@@ -1,0 +1,62 @@
+"""Figure 5: effect of varying k (Flickr-like, all three measures).
+
+(a) MRPU of Baseline vs Joint top-k, (b) MIOCPU of the same, (c) runtime
+of Baseline / Exact / Approx candidate selection, (d) approximation
+ratio.  Paper shape: J beats B on both metrics for every measure, KO is
+the costliest measure, A is orders faster than E, and the ratio rises
+with k.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import BENCH_BASE, bench_for, run_once
+
+K_VALUES = [1, 10, 50]
+MEASURES = ["LM", "TF", "KO"]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("measure", MEASURES)
+def test_fig5ab_topk_baseline(benchmark, k, measure):
+    bench = bench_for("k", k, BENCH_BASE.with_(measure=measure))
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+@pytest.mark.parametrize("measure", MEASURES)
+def test_fig5ab_topk_joint(benchmark, k, measure):
+    bench = bench_for("k", k, BENCH_BASE.with_(measure=measure))
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("k", [1, 50])
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig5c_selection(benchmark, k, method):
+    bench = bench_for("k", k)
+    metrics = run_once(benchmark, measure_selection, bench, method)
+    benchmark.extra_info["cardinality"] = metrics.cardinality
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig5d_approximation_ratio(benchmark, k):
+    """Timed together; the ratio lands in extra_info."""
+    bench = bench_for("k", k)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

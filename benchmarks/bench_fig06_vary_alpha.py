@@ -1,0 +1,55 @@
+"""Figure 6: effect of varying alpha (spatial vs textual preference).
+
+Paper shape: the baseline's top-k cost falls as alpha grows (the tree
+groups spatially), the joint cost stays nearly flat, and the
+approximation ratio improves with alpha.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import bench_for, run_once
+
+ALPHAS = [0.1, 0.5, 0.9]
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig6ab_topk_baseline(benchmark, alpha):
+    bench = bench_for("alpha", alpha)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig6ab_topk_joint(benchmark, alpha):
+    bench = bench_for("alpha", alpha)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("alpha", [0.1, 0.9])
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig6c_selection(benchmark, alpha, method):
+    bench = bench_for("alpha", alpha)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+def test_fig6d_approximation_ratio(benchmark, alpha):
+    bench = bench_for("alpha", alpha)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,55 @@
+"""Figure 7: effect of varying UL (keywords per user).
+
+Paper shape: baseline cost grows with UL (more objects become relevant
+per user); the joint algorithm's I/O stays nearly constant because each
+node is still read at most once.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import bench_for, run_once
+
+ULS = [1, 3, 6]
+
+
+@pytest.mark.parametrize("ul", ULS)
+def test_fig7ab_topk_baseline(benchmark, ul):
+    bench = bench_for("ul", ul)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("ul", ULS)
+def test_fig7ab_topk_joint(benchmark, ul):
+    bench = bench_for("ul", ul)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("ul", [1, 6])
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig7c_selection(benchmark, ul, method):
+    bench = bench_for("ul", ul)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("ul", ULS)
+def test_fig7d_approximation_ratio(benchmark, ul):
+    bench = bench_for("ul", ul)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

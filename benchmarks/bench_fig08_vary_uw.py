@@ -1,0 +1,55 @@
+"""Figure 8: effect of varying UW (unique user keywords = |W|).
+
+Paper shape: low UW means heavy keyword sharing, which is where the
+joint algorithm's shared I/O helps most; selection runtimes grow with
+UW for both exact and approx (more candidate combinations / lists).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import bench_for, run_once
+
+UWS = [5, 20, 40]
+
+
+@pytest.mark.parametrize("uw", UWS)
+def test_fig8ab_topk_baseline(benchmark, uw):
+    bench = bench_for("uw", uw)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("uw", UWS)
+def test_fig8ab_topk_joint(benchmark, uw):
+    bench = bench_for("uw", uw)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("uw", [5, 40])
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig8c_selection(benchmark, uw, method):
+    bench = bench_for("uw", uw)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("uw", UWS)
+def test_fig8d_approximation_ratio(benchmark, uw):
+    bench = bench_for("uw", uw)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,30 @@
+"""Figure 9: effect of varying Area (the user MBR side length).
+
+Paper shape: even with sparse users the joint algorithm keeps its
+advantage because the keyword union stays the same and shared I/O
+still applies.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_topk_baseline, measure_topk_joint
+
+from conftest import bench_for, run_once
+
+AREAS = [1.0, 5.0, 20.0]
+
+
+@pytest.mark.parametrize("area", AREAS)
+def test_fig9ab_topk_baseline(benchmark, area):
+    bench = bench_for("area", area)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("area", AREAS)
+def test_fig9ab_topk_joint(benchmark, area):
+    bench = bench_for("area", area)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu

@@ -1,0 +1,35 @@
+"""Figure 10: effect of varying |L| (number of candidate locations).
+
+Paper shape: selection runtime grows roughly linearly with |L| for both
+exact and approx; the ratio improves slightly at large |L|.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_selection
+
+from conftest import bench_for, run_once
+
+LS = [1, 50, 300]
+
+
+@pytest.mark.parametrize("num_locations", LS)
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig10a_selection(benchmark, num_locations, method):
+    bench = bench_for("num_locations", num_locations)
+    metrics = run_once(benchmark, measure_selection, bench, method)
+    benchmark.extra_info["cardinality"] = metrics.cardinality
+
+
+@pytest.mark.parametrize("num_locations", LS)
+def test_fig10b_approximation_ratio(benchmark, num_locations):
+    bench = bench_for("num_locations", num_locations)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,37 @@
+"""Figure 11: effect of varying ws (keyword budget).
+
+Paper shape: baseline and exact runtimes explode combinatorially with
+ws while the greedy approx stays nearly flat; the ratio dips mid-range
+and recovers once the BRSTkNN growth levels off.
+"""
+
+import pytest
+
+from repro.bench.harness import measure_selection
+
+from conftest import bench_for, run_once
+
+# ws > 4 makes the exact method combinatorial; 4 keeps the suite quick
+# while already showing the blow-up (the report sweeps to 8).
+WSS = [1, 2, 4]
+
+
+@pytest.mark.parametrize("ws", WSS)
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig11a_selection(benchmark, ws, method):
+    bench = bench_for("ws", ws)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("ws", WSS)
+def test_fig11b_approximation_ratio(benchmark, ws):
+    bench = bench_for("ws", ws)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

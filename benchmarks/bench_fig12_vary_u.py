@@ -1,0 +1,55 @@
+"""Figure 12: effect of varying |U| (number of users).
+
+Paper shape: the baseline's *total* top-k cost grows linearly with |U|
+(one query per user); the joint pipeline's cost barely moves because
+the super-user's MBR and keyword union change little.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import bench_for, run_once
+
+US = [25, 250, 1000]
+
+
+@pytest.mark.parametrize("num_users", US)
+def test_fig12ab_topk_baseline_total(benchmark, num_users):
+    bench = bench_for("num_users", num_users)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["total_ms"] = metrics.total_ms
+    benchmark.extra_info["total_io"] = metrics.total_io
+
+
+@pytest.mark.parametrize("num_users", US)
+def test_fig12ab_topk_joint_total(benchmark, num_users):
+    bench = bench_for("num_users", num_users)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["total_ms"] = metrics.total_ms
+    benchmark.extra_info["total_io"] = metrics.total_io
+
+
+@pytest.mark.parametrize("num_users", [25, 1000])
+@pytest.mark.parametrize("method", ["baseline", "exact", "approx"])
+def test_fig12c_selection(benchmark, num_users, method):
+    bench = bench_for("num_users", num_users)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("num_users", US)
+def test_fig12d_approximation_ratio(benchmark, num_users):
+    bench = bench_for("num_users", num_users)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,55 @@
+"""Figure 13: effect of varying |O| (number of objects).
+
+Paper shape: both pipelines' costs grow with |O|, but larger
+collections also sharpen the k-th thresholds, so candidate pruning
+improves and the exact/approx selection cost grows slowly.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import bench_for, run_once
+
+OS = [1000, 4000, 8000]
+
+
+@pytest.mark.parametrize("num_objects", OS)
+def test_fig13ab_topk_baseline(benchmark, num_objects):
+    bench = bench_for("num_objects", num_objects)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("num_objects", OS)
+def test_fig13ab_topk_joint(benchmark, num_objects):
+    bench = bench_for("num_objects", num_objects)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("num_objects", [1000, 8000])
+@pytest.mark.parametrize("method", ["exact", "approx"])
+def test_fig13c_selection(benchmark, num_objects, method):
+    bench = bench_for("num_objects", num_objects)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("num_objects", OS)
+def test_fig13d_approximation_ratio(benchmark, num_objects):
+    bench = bench_for("num_objects", num_objects)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

@@ -1,0 +1,55 @@
+"""Figure 14: the k sweep on the Yelp-like dataset.
+
+Paper statement: all trends are consistent across both datasets; this
+module repeats Figure 5's pattern on the long-document collection.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+)
+
+from conftest import BENCH_BASE, bench_for, run_once
+
+YELP_BASE = BENCH_BASE.with_(dataset="yelp")
+K_VALUES = [1, 10, 50]
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig14ab_topk_baseline(benchmark, k):
+    bench = bench_for("k", k, YELP_BASE)
+    metrics = run_once(benchmark, measure_topk_baseline, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig14ab_topk_joint(benchmark, k):
+    bench = bench_for("k", k, YELP_BASE)
+    metrics = run_once(benchmark, measure_topk_joint, bench)
+    benchmark.extra_info["mrpu_ms"] = metrics.mrpu_ms
+    benchmark.extra_info["miocpu"] = metrics.miocpu
+
+
+@pytest.mark.parametrize("k", [1, 50])
+@pytest.mark.parametrize("method", ["exact", "approx"])
+def test_fig14c_selection(benchmark, k, method):
+    bench = bench_for("k", k, YELP_BASE)
+    run_once(benchmark, measure_selection, bench, method)
+
+
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig14d_approximation_ratio(benchmark, k):
+    bench = bench_for("k", k, YELP_BASE)
+
+    def both():
+        exact = measure_selection(bench, "exact")
+        approx = measure_selection(bench, "approx")
+        return 1.0 if exact.cardinality == 0 else approx.cardinality / exact.cardinality
+
+    ratio = run_once(benchmark, both)
+    benchmark.extra_info["approximation_ratio"] = ratio
+    assert 0.0 <= ratio <= 1.0

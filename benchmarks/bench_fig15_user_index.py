@@ -1,0 +1,27 @@
+"""Figure 15: users on disk under the MIUR-tree vs a flat user file.
+
+Paper shape: the fraction of users whose top-k is never computed grows
+with |U| (5–12.5% in the paper); total I/O of the indexed pipeline
+tracks the un-indexed one.  The cell follows Section 7's own framing —
+sparse users and spatially dominated ranking (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.bench.harness import measure_user_index
+
+from conftest import FIG15_BASE, bench_for, run_once
+
+US = [125, 500, 2000]
+
+
+@pytest.mark.parametrize("num_users", US)
+def test_fig15_user_index(benchmark, num_users):
+    bench = bench_for("user_index_users", num_users, FIG15_BASE)
+    unindexed_io, indexed_io, pruned_pct = run_once(
+        benchmark, measure_user_index, bench
+    )
+    benchmark.extra_info["unindexed_io"] = unindexed_io
+    benchmark.extra_info["indexed_io"] = indexed_io
+    benchmark.extra_info["users_pruned_pct"] = pruned_pct
+    assert 0.0 <= pruned_pct <= 100.0

@@ -1,0 +1,28 @@
+"""Table 4: dataset properties of the two synthetic collections.
+
+Benchmarks generation + indexing cost and records the Table 4 rows in
+extra_info (the report prints them as the paper lays them out).
+"""
+
+import pytest
+
+from repro import Dataset, MaxBRSTkNNEngine
+from repro.datagen import flickr_like, generate_users, yelp_like
+
+
+def _build(kind: str):
+    if kind == "flickr":
+        objects, vocab = flickr_like(num_objects=1500, seed=0)
+    else:
+        objects, vocab = yelp_like(num_objects=250, seed=0)
+    workload = generate_users(objects, num_users=150, seed=0)
+    dataset = Dataset(objects, workload.users, relevance="LM", vocabulary=vocab)
+    MaxBRSTkNNEngine(dataset)
+    return dataset
+
+
+@pytest.mark.parametrize("kind", ["flickr", "yelp"])
+def test_table4_dataset_build(benchmark, kind):
+    dataset = benchmark.pedantic(_build, args=(kind,), rounds=1, iterations=1)
+    for name, value in dataset.stats().rows():
+        benchmark.extra_info[name] = value

@@ -1,0 +1,24 @@
+"""Experiment harness: parameter grids, metrics, report generation."""
+
+from .harness import (
+    Workbench,
+    build_workbench,
+    measure_selection,
+    measure_topk_baseline,
+    measure_topk_joint,
+    measure_user_index,
+)
+from .params import DEFAULTS, SWEEPS, ExperimentConfig, config_for
+
+__all__ = [
+    "DEFAULTS",
+    "ExperimentConfig",
+    "SWEEPS",
+    "Workbench",
+    "build_workbench",
+    "config_for",
+    "measure_selection",
+    "measure_topk_baseline",
+    "measure_topk_joint",
+    "measure_user_index",
+]

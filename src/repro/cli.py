@@ -1,0 +1,129 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``        run a MaxBRSTkNN query on a generated workload and print
+                the result plus per-phase stats;
+``report``      shortcut to :mod:`repro.bench.report`;
+``stats``       print Table 4-style statistics of a generated dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from . import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from .datagen import candidate_locations, flickr_like, generate_users, yelp_like
+
+__all__ = ["main"]
+
+
+def _make_workload(args):
+    if args.dataset == "flickr":
+        objects, vocab = flickr_like(num_objects=args.objects, seed=args.seed)
+    else:
+        objects, vocab = yelp_like(num_objects=max(60, args.objects // 6), seed=args.seed)
+    workload = generate_users(
+        objects,
+        num_users=args.users,
+        keywords_per_user=args.ul,
+        unique_keywords=args.uw,
+        area_side=args.area,
+        seed=args.seed,
+    )
+    candidate_locations(workload, num_locations=args.locations, seed=args.seed)
+    dataset = Dataset(
+        objects, workload.users, relevance=args.measure, alpha=args.alpha,
+        vocabulary=vocab,
+    )
+    return dataset, workload
+
+
+def _cmd_demo(args) -> int:
+    dataset, workload = _make_workload(args)
+    engine = MaxBRSTkNNEngine(dataset, index_users=(args.mode == "indexed"))
+    query = MaxBRSTkNNQuery(
+        ox=workload.query_object(),
+        locations=workload.locations,
+        keywords=workload.candidate_keywords,
+        ws=args.ws,
+        k=args.k,
+    )
+    t0 = time.perf_counter()
+    result = engine.query(query, method=args.method, mode=args.mode)
+    elapsed = time.perf_counter() - t0
+    print(result.summary())
+    print(f"total runtime: {1000 * elapsed:.1f} ms "
+          f"(top-k {1000 * result.stats.topk_time_s:.1f} ms, "
+          f"selection {1000 * result.stats.selection_time_s:.1f} ms)")
+    print(f"simulated I/O: {result.stats.io_total} "
+          f"({result.stats.io_node_visits} node visits, "
+          f"{result.stats.io_invfile_blocks} list blocks)")
+    if args.mode == "indexed":
+        print(f"users pruned: {result.stats.users_pruned} / "
+              f"{result.stats.users_total} "
+              f"({result.stats.users_pruned_pct:.1f}%)")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    dataset, _ = _make_workload(args)
+    for name, value in dataset.stats().rows():
+        print(f"{name}: {value}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .bench.report import main as report_main
+
+    forwarded = []
+    if args.figure:
+        forwarded += ["--figure", args.figure]
+    if args.quick:
+        forwarded += ["--quick"]
+    return report_main(forwarded)
+
+
+def _add_workload_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--dataset", choices=["flickr", "yelp"], default="flickr")
+    p.add_argument("--objects", type=int, default=2000)
+    p.add_argument("--users", type=int, default=200)
+    p.add_argument("--ul", type=int, default=3, help="keywords per user")
+    p.add_argument("--uw", type=int, default=20, help="unique user keywords")
+    p.add_argument("--area", type=float, default=5.0)
+    p.add_argument("--locations", type=int, default=20)
+    p.add_argument("--measure", choices=["LM", "TF", "KO"], default="LM")
+    p.add_argument("--alpha", type=float, default=0.5)
+    p.add_argument("--seed", type=int, default=0)
+
+
+def main(argv=None) -> int:
+    """CLI entry point (``python -m repro``)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run one MaxBRSTkNN query")
+    _add_workload_args(demo)
+    demo.add_argument("--k", type=int, default=10)
+    demo.add_argument("--ws", type=int, default=2)
+    demo.add_argument("--method", choices=["approx", "exact"], default="approx")
+    demo.add_argument("--mode", choices=["joint", "baseline", "indexed"],
+                      default="joint")
+    demo.set_defaults(func=_cmd_demo)
+
+    stats = sub.add_parser("stats", help="print dataset statistics")
+    _add_workload_args(stats)
+    stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser("report", help="regenerate figure series")
+    report.add_argument("--figure")
+    report.add_argument("--quick", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

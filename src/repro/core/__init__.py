@@ -1,0 +1,40 @@
+"""The paper's primary contribution: MaxBRSTkNN query processing."""
+
+from .baseline import baseline_maxbrstknn, baseline_select_candidate
+from .bounds import BoundCalculator, augmented_document
+from .candidate_selection import select_candidate, shortlist_locations
+from .engine import MaxBRSTkNNEngine
+from .extensions import Placement, collective_placement, top_placements
+from .indexed_users import indexed_users_maxbrstknn
+from .joint_topk import individual_topk, joint_topk, joint_traversal
+from .keyword_selection import (
+    compute_brstknn,
+    greedy_max_coverage,
+    select_keywords_exact,
+    select_keywords_greedy,
+)
+from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+
+__all__ = [
+    "BoundCalculator",
+    "MaxBRSTkNNEngine",
+    "MaxBRSTkNNQuery",
+    "MaxBRSTkNNResult",
+    "Placement",
+    "QueryStats",
+    "augmented_document",
+    "baseline_maxbrstknn",
+    "baseline_select_candidate",
+    "collective_placement",
+    "compute_brstknn",
+    "greedy_max_coverage",
+    "indexed_users_maxbrstknn",
+    "individual_topk",
+    "joint_topk",
+    "joint_traversal",
+    "select_candidate",
+    "select_keywords_exact",
+    "select_keywords_greedy",
+    "shortlist_locations",
+    "top_placements",
+]

@@ -1,0 +1,152 @@
+"""High-level facade: build indexes once, answer queries many times.
+
+``MaxBRSTkNNEngine`` wires together everything the paper's pipeline
+needs — the MIR-tree over objects, optionally an MIUR-tree over users,
+the simulated page store, the joint top-k, and the candidate selection
+— behind a small API:
+
+>>> engine = MaxBRSTkNNEngine(dataset)
+>>> result = engine.query(q, method="approx")
+>>> result.cardinality, sorted(result.keywords)
+
+Modes
+-----
+* ``mode="joint"`` (default): users in memory, joint top-k (Section 5)
+  then Algorithm 3 candidate selection.
+* ``mode="baseline"``: Section 4's per-user top-k + exhaustive scan.
+* ``mode="indexed"``: users on disk under the MIUR-tree (Section 7).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..index.irtree import IRTree, MIRTree
+from ..index.miurtree import MIURTree
+from ..model.dataset import Dataset
+from ..spatial.rtree import DEFAULT_FANOUT
+from ..storage.iostats import IOCounter
+from ..storage.pager import LRUBuffer, PageStore
+from ..topk.single import TopKResult, topk_all_users_individually
+from .baseline import baseline_maxbrstknn
+from .candidate_selection import select_candidate
+from .indexed_users import indexed_users_maxbrstknn
+from .joint_topk import individual_topk, joint_traversal
+from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+
+__all__ = ["MaxBRSTkNNEngine"]
+
+
+class MaxBRSTkNNEngine:
+    """Index container + query dispatcher for MaxBRSTkNN queries.
+
+    Parameters
+    ----------
+    dataset:
+        The bichromatic dataset (objects, users, relevance, alpha).
+    fanout:
+        R-tree fanout for all trees.
+    index_users:
+        Also build the MIUR-tree so ``mode="indexed"`` is available.
+    buffer_pages:
+        LRU buffer capacity in pages; 0 = cold queries (paper setting).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        fanout: int = DEFAULT_FANOUT,
+        index_users: bool = False,
+        buffer_pages: int = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.io = IOCounter()
+        buffer = LRUBuffer(buffer_pages) if buffer_pages > 0 else None
+        self.store = PageStore(counter=self.io, buffer=buffer)
+        self.object_tree = MIRTree(dataset.objects, dataset.relevance, fanout=fanout)
+        self.user_tree: Optional[MIURTree] = None
+        if index_users:
+            if not dataset.users:
+                raise ValueError("cannot index an empty user set")
+            self.user_tree = MIURTree(dataset.users, dataset.relevance, fanout=fanout)
+
+    # ------------------------------------------------------------------
+    # Top-k entry points (benchmarked separately: Figures 5a/5b etc.)
+    # ------------------------------------------------------------------
+    def topk_joint(self, k: int) -> Dict[int, TopKResult]:
+        """Joint top-k (Algorithms 1+2) for every user."""
+        traversal = joint_traversal(self.object_tree, self.dataset, k, store=self.store)
+        return individual_topk(traversal, self.dataset, k)
+
+    def topk_baseline(self, k: int) -> Dict[int, TopKResult]:
+        """Per-user top-k over the same tree (baseline B)."""
+        return topk_all_users_individually(
+            self.object_tree, self.dataset, k, store=self.store
+        )
+
+    # ------------------------------------------------------------------
+    # Full query
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: MaxBRSTkNNQuery,
+        method: str = "approx",
+        mode: str = "joint",
+    ) -> MaxBRSTkNNResult:
+        """Answer one MaxBRSTkNN query.
+
+        ``method`` picks the keyword selector ("approx" / "exact");
+        ``mode`` picks the pipeline ("joint" / "baseline" / "indexed").
+        """
+        if mode == "baseline":
+            return baseline_maxbrstknn(
+                self.object_tree, self.dataset, query, store=self.store
+            )
+        if mode == "indexed":
+            if self.user_tree is None:
+                raise ValueError("engine built without index_users=True")
+            return indexed_users_maxbrstknn(
+                self.object_tree,
+                self.user_tree,
+                self.dataset,
+                query,
+                method=method,
+                store=self.store,
+            )
+        if mode != "joint":
+            raise ValueError(f"unknown mode {mode!r}")
+
+        stats = QueryStats(users_total=len(self.dataset.users))
+        before = self.io.snapshot()
+        t0 = time.perf_counter()
+        traversal = joint_traversal(
+            self.object_tree, self.dataset, query.k, store=self.store
+        )
+        per_user = individual_topk(traversal, self.dataset, query.k)
+        stats.topk_time_s = time.perf_counter() - t0
+        delta = self.io.snapshot() - before
+        stats.io_node_visits = delta.node_visits
+        stats.io_invfile_blocks = delta.invfile_blocks
+
+        rsk = {uid: res.kth_score for uid, res in per_user.items()}
+        t1 = time.perf_counter()
+        result = select_candidate(
+            self.dataset,
+            query,
+            rsk,
+            rsk_group=traversal.rsk_group,
+            method=method,
+            stats=stats,
+        )
+        stats.selection_time_s = time.perf_counter() - t1
+        result.stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def reset_io(self) -> None:
+        self.io.reset()
+        if self.store.buffer is not None:
+            self.store.buffer.clear()

@@ -1,0 +1,227 @@
+"""MaxBRSTkNN with users on disk under an MIUR-tree (Section 7).
+
+With the flat super-user, ``RSk(u)`` is computed for *every* user, even
+those no candidate location can ever win.  Section 7 replaces the flat
+group by a hierarchy: the MIUR-tree, whose root is exactly the
+super-user and whose every node acts as the super-user of its subtree.
+
+The processing is best-first over *locations* exactly as Algorithm 3,
+except that a location's shortlist ``LU_l`` may contain whole user
+*nodes*.  The node-level admission test uses
+
+    ``UBL(l, node) >= RSk(node)``
+
+where ``RSk(node)`` is the k-th best *lower* bound over the traversal's
+candidate pool w.r.t. the node's summary.  Both sides bound every user
+in the subtree (``UBL(l, node) >= UBL(l, u)`` and
+``RSk(node) <= RSk(u)``), so failing the test proves no user below can
+be a BRSTkNN at ``l`` — the subtree is pruned without ever computing
+individual top-k results.  Only nodes surviving for the currently most
+promising location are expanded; leaves yield real users whose exact
+``RSk(u)`` is then resolved from the joint traversal's pools
+(Algorithm 2 on the node's user group).
+
+The fraction of users whose top-k was never resolved is the paper's
+"Users pruned (%)" metric (Figure 15).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from ..index.irtree import MIRTree
+from ..index.miurtree import MIURTree, UserNodeView
+from ..model.dataset import Dataset
+from ..model.objects import SuperUser, User
+from ..spatial.geometry import Point, Rect
+from ..storage.pager import PageStore
+from .bounds import BoundCalculator
+from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
+from .keyword_selection import (
+    compute_brstknn,
+    select_keywords_exact,
+    select_keywords_greedy,
+)
+from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+
+__all__ = ["indexed_users_maxbrstknn"]
+
+#: A shortlist entry: either a resolved user or a whole user node.
+_Entry = Union[User, UserNodeView]
+
+
+@dataclass
+class _LocationState:
+    """Mutable per-location shortlist during the best-first search."""
+
+    location: Point
+    entries: List[_Entry]
+
+    def user_count(self) -> int:
+        return sum(
+            e.user_count if isinstance(e, UserNodeView) else 1 for e in self.entries
+        )
+
+    def has_nodes(self) -> bool:
+        return any(isinstance(e, UserNodeView) for e in self.entries)
+
+
+def _node_rsk(
+    traversal: JointTraversalResult,
+    bounds: BoundCalculator,
+    summary: SuperUser,
+    k: int,
+) -> float:
+    """``RSk(node)``: k-th best candidate lower bound w.r.t. the node.
+
+    Lower bounds w.r.t. a subtree summary under-estimate every member
+    user's STS, so the k-th best is <= every member's true ``RSk(u)``.
+    """
+    lows: List[float] = []
+    for cand in traversal.all_candidates():
+        rect = Rect.from_point(cand.obj.location)
+        lows.append(bounds.node_lower(rect, cand.weights, summary))
+    if len(lows) < k:
+        return 0.0
+    lows.sort(reverse=True)
+    return lows[k - 1]
+
+
+def indexed_users_maxbrstknn(
+    object_tree: MIRTree,
+    user_tree: MIURTree,
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    method: str = "approx",
+    store: Optional[PageStore] = None,
+) -> MaxBRSTkNNResult:
+    """Answer a MaxBRSTkNN query with both sets on (simulated) disk."""
+    if method not in ("approx", "exact"):
+        raise ValueError(f"unknown keyword-selection method {method!r}")
+    stats = QueryStats(users_total=len(user_tree))
+    bounds = BoundCalculator(dataset)
+    root = user_tree.root
+
+    # Step 1: one joint traversal of the object tree for the root (the
+    # root's summary *is* the super-user of all users).
+    traversal = joint_traversal(
+        object_tree, dataset, query.k, super_user=root.summary, store=store
+    )
+    rsk_group = traversal.rsk_group
+
+    # Per-resolved-user exact thresholds, filled lazily per leaf group.
+    rsk: Dict[int, float] = {}
+    resolved_users: Dict[int, User] = {}
+
+    def resolve_users(users: Sequence[User]) -> None:
+        """Algorithm 2 restricted to one leaf's user group."""
+        fresh = [u for u in users if u.item_id not in rsk]
+        if not fresh:
+            return
+        results = individual_topk(traversal, dataset, query.k, users=fresh)
+        for u in fresh:
+            rsk[u.item_id] = results[u.item_id].kth_score
+            resolved_users[u.item_id] = u
+
+    # Node-level RSk cache.
+    node_rsk_cache: Dict[int, float] = {}
+
+    def rsk_of_node(view: UserNodeView) -> float:
+        val = node_rsk_cache.get(view.page_id)
+        if val is None:
+            val = _node_rsk(traversal, bounds, view.summary, query.k)
+            node_rsk_cache[view.page_id] = val
+        return val
+
+    def admits(loc: Point, entry: _Entry) -> bool:
+        if isinstance(entry, UserNodeView):
+            ub = bounds.location_upper_group(
+                loc, query.ox, query.keywords, query.ws, entry.summary
+            )
+            return ub >= rsk_of_node(entry)
+        ub = bounds.location_upper_user(loc, query.ox, query.keywords, query.ws, entry)
+        return ub >= rsk[entry.item_id]
+
+    # Step 2: initialize every location's shortlist with the root,
+    # pruning whole locations by the group bound first.
+    states: List[_LocationState] = []
+    for loc in query.locations:
+        ub = bounds.location_upper_group(
+            loc, query.ox, query.keywords, query.ws, root.summary
+        )
+        if ub < rsk_group:
+            stats.locations_pruned += 1
+            continue
+        states.append(_LocationState(location=loc, entries=[root]))
+
+    counter = itertools.count()
+    heap: List[Tuple[int, int, _LocationState]] = []
+    for st in states:
+        heapq.heappush(heap, (-st.user_count(), next(counter), st))
+
+    best_location: Optional[Point] = None
+    best_keywords: FrozenSet[int] = frozenset()
+    best_users: FrozenSet[int] = frozenset()
+    selector: Callable = (
+        select_keywords_greedy if method == "approx" else select_keywords_exact
+    )
+
+    while heap:
+        neg_count, _, st = heapq.heappop(heap)
+        if -neg_count <= len(best_users):
+            break  # early termination on the cardinality upper bound
+        if st.has_nodes():
+            # Expand the node with the most users below it (Section 7,
+            # step 1), then refresh *every* state containing it so each
+            # MIUR-tree node is read at most once.
+            node = max(
+                (e for e in st.entries if isinstance(e, UserNodeView)),
+                key=lambda v: v.user_count,
+            )
+            child_views, leaf_users = user_tree.read_children(node, store)
+            if leaf_users:
+                resolve_users(leaf_users)
+            replacements: List[_Entry] = list(child_views) + list(leaf_users)
+            for other in states:
+                if any(
+                    isinstance(e, UserNodeView) and e.page_id == node.page_id
+                    for e in other.entries
+                ):
+                    kept = [
+                        e
+                        for e in other.entries
+                        if not (
+                            isinstance(e, UserNodeView) and e.page_id == node.page_id
+                        )
+                    ]
+                    kept.extend(
+                        r for r in replacements if admits(other.location, r)
+                    )
+                    other.entries = kept
+            # Re-enqueue this state with its refreshed count.
+            heapq.heappush(heap, (-st.user_count(), next(counter), st))
+            continue
+        # All entries are resolved users: run keyword selection.
+        users_l = [e for e in st.entries if isinstance(e, User)]
+        if not users_l:
+            continue
+        local_rsk = {u.item_id: rsk[u.item_id] for u in users_l}
+        keywords, winners, scored = selector(
+            dataset, query.ox, st.location, query.keywords, query.ws, users_l, local_rsk
+        )
+        stats.keyword_combinations_scored += scored
+        if len(winners) > len(best_users):
+            best_location, best_keywords, best_users = st.location, keywords, winners
+
+    stats.users_pruned = stats.users_total - len(rsk)
+    if best_location is None and query.locations:
+        best_location = query.locations[0]
+    return MaxBRSTkNNResult(
+        location=best_location,
+        keywords=best_keywords,
+        brstknn=best_users,
+        stats=stats,
+    )

@@ -1,0 +1,204 @@
+"""Joint top-k processing over the MIR-tree (Section 5, Algorithms 1–2).
+
+The baseline runs one top-k query per user and pays for every page again
+and again.  The joint algorithm traverses the MIR-tree **once** for the
+whole user group:
+
+1. **Tree traversal (Algorithm 1).**  The group is summarized by the
+   super-user ``us``.  Nodes are dequeued from a max-priority queue
+   keyed by their *lower bound* ``LB(E, us)`` (best-lower-bound first,
+   so strong thresholds form early).  Two object pools are maintained:
+
+   * ``LO`` — a min-heap of the k objects with the best lower bounds
+     seen so far; ``RSk(us)``, the k-th best lower bound, is the global
+     pruning threshold;
+   * ``RO`` — objects displaced from (or never admitted to) ``LO``
+     whose *upper* bound still reaches ``RSk(us)``; they may yet belong
+     to some individual user's top-k.
+
+   A node or object whose upper bound falls below ``RSk(us)`` is
+   discarded: ``LO`` already holds k objects that every user scores at
+   least ``RSk(us)``, while no user can score the discarded entry that
+   high (Lemma 2), so it can appear in nobody's top-k.
+
+2. **Individual refinement (Algorithm 2).**  For each user the exact
+   STS is computed against the ``LO`` objects, then the ``RO`` objects
+   are scanned in descending upper bound with a per-user early break
+   once ``UB(o, us) < RSk(u)`` (Example 4's stopping rule — every later
+   object has an even smaller upper bound).
+
+The result is identical to running the baseline per user (the gold
+tests check this), at a fraction of the I/O.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..index.irtree import IRTree, MIRTree
+from ..model.dataset import Dataset
+from ..model.objects import STObject, SuperUser, User
+from ..spatial.geometry import Rect
+from ..storage.pager import PageStore
+from ..topk.single import TopKResult
+from .bounds import BoundCalculator
+
+__all__ = ["CandidateObject", "JointTraversalResult", "joint_traversal", "individual_topk", "joint_topk"]
+
+
+@dataclass(slots=True)
+class CandidateObject:
+    """An object surviving the traversal, with its group-level bounds."""
+
+    obj: STObject
+    lower: float
+    upper: float
+    #: Actual term weights restricted to the group's union keywords.
+    weights: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class JointTraversalResult:
+    """Output of Algorithm 1: the candidate pools and the threshold."""
+
+    lo: List[CandidateObject]  # the k best-lower-bound objects
+    ro: List[CandidateObject]  # descending upper bound
+    rsk_group: float  # RSk(us)
+
+    def all_candidates(self) -> List[CandidateObject]:
+        return self.lo + self.ro
+
+
+def joint_traversal(
+    tree: MIRTree | IRTree,
+    dataset: Dataset,
+    k: int,
+    super_user: Optional[SuperUser] = None,
+    store: Optional[PageStore] = None,
+) -> JointTraversalResult:
+    """Algorithm 1: single best-lower-bound-first traversal for a group.
+
+    ``super_user`` defaults to the dataset-wide super-user; the
+    MIUR-tree mode of Section 7 passes node summaries instead.
+    """
+    if k <= 0:
+        return JointTraversalResult(lo=[], ro=[], rsk_group=0.0)
+    su = dataset.super_user if super_user is None else super_user
+    bounds = BoundCalculator(dataset)
+
+    counter = itertools.count()
+    # Max-heap on the lower bound (negated); holds nodes and objects.
+    pq: List[Tuple[float, int, object]] = []
+    root = tree.root
+    heapq.heappush(pq, (0.0, next(counter), ("node", root)))
+
+    # LO: min-heap of (lower_bound, tiebreak, CandidateObject), size <= k.
+    lo_heap: List[Tuple[float, int, CandidateObject]] = []
+    ro: List[CandidateObject] = []
+    rsk = float("-inf")
+
+    def admit(cand: CandidateObject) -> None:
+        """Lines 1.9–1.18: maintain LO/RO and the RSk(us) threshold."""
+        nonlocal rsk
+        if len(lo_heap) < k:
+            heapq.heappush(lo_heap, (cand.lower, next(counter), cand))
+            if len(lo_heap) == k:
+                rsk = lo_heap[0][0]
+            return
+        if cand.upper < rsk:
+            return  # cannot be in any user's top-k
+        if cand.lower > lo_heap[0][0]:
+            _, __, displaced = heapq.heapreplace(
+                lo_heap, (cand.lower, next(counter), cand)
+            )
+            rsk = lo_heap[0][0]
+            if displaced.upper >= rsk:
+                ro.append(displaced)
+        else:
+            ro.append(cand)
+
+    while pq:
+        neg_lb, _, payload = heapq.heappop(pq)
+        kind, item = payload  # type: ignore[misc]
+        if kind == "object":
+            admit(item)  # type: ignore[arg-type]
+            continue
+        node = item
+        # Line 1.20: expand only while the node may contribute.
+        children, objects = tree.read_node(node, su.union_terms, store)
+        for ov in objects:
+            rect = Rect.from_point(ov.obj.location)
+            ub = bounds.node_upper(rect, ov.weights, su)
+            if len(lo_heap) >= k and ub < rsk:
+                continue
+            lb = bounds.node_lower(rect, ov.weights, su)
+            cand = CandidateObject(obj=ov.obj, lower=lb, upper=ub, weights=ov.weights)
+            heapq.heappush(pq, (-lb, next(counter), ("object", cand)))
+        for cv in children:
+            ub = bounds.node_upper(cv.node.rect, cv.weights, su)
+            if len(lo_heap) >= k and ub < rsk:
+                continue
+            lb = bounds.node_lower(cv.node.rect, cv.weights, su)
+            heapq.heappush(pq, (-lb, next(counter), ("node", cv.node)))
+
+    lo = [cand for _, __, cand in sorted(lo_heap, key=lambda t: -t[0])]
+    ro.sort(key=lambda c: -c.upper)
+    return JointTraversalResult(
+        lo=lo, ro=ro, rsk_group=(rsk if rsk != float("-inf") else 0.0)
+    )
+
+
+def individual_topk(
+    traversal: JointTraversalResult,
+    dataset: Dataset,
+    k: int,
+    users: Optional[Sequence[User]] = None,
+) -> Dict[int, TopKResult]:
+    """Algorithm 2: refine the candidate pools into per-user top-k lists.
+
+    ``LO`` objects are scored exactly for every user; ``RO`` objects are
+    scanned in descending group upper bound and the scan stops per user
+    as soon as ``UB(o, us) < RSk(u)`` — no later object can qualify.
+    """
+    users = dataset.users if users is None else users
+    out: Dict[int, TopKResult] = {}
+    if k <= 0:
+        return {u.item_id: TopKResult(user_id=u.item_id, ranked=[]) for u in users}
+    for user in users:
+        # Min-heap of the k best (score, -object_id).
+        best: List[Tuple[float, int]] = []
+        for cand in traversal.lo:
+            score = dataset.sts(cand.obj, user)
+            entry = (score, -cand.obj.item_id)
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                heapq.heapreplace(best, entry)
+        rsk_u = best[0][0] if len(best) >= k else float("-inf")
+        for cand in traversal.ro:
+            if len(best) >= k and cand.upper < rsk_u:
+                break  # Example 4's per-user early termination
+            score = dataset.sts(cand.obj, user)
+            entry = (score, -cand.obj.item_id)
+            if len(best) < k:
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                heapq.heapreplace(best, entry)
+            rsk_u = best[0][0] if len(best) >= k else float("-inf")
+        ranked = sorted(((s, -negid) for s, negid in best), key=lambda t: (-t[0], t[1]))
+        out[user.item_id] = TopKResult(user_id=user.item_id, ranked=ranked)
+    return out
+
+
+def joint_topk(
+    tree: MIRTree | IRTree,
+    dataset: Dataset,
+    k: int,
+    store: Optional[PageStore] = None,
+) -> Dict[int, TopKResult]:
+    """Sections 5.4's full pipeline: traversal + individual refinement."""
+    traversal = joint_traversal(tree, dataset, k, store=store)
+    return individual_topk(traversal, dataset, k)

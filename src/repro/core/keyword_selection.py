@@ -1,0 +1,293 @@
+"""Candidate keyword selection: greedy approximation and pruned exact.
+
+Lemma 1 reduces Maximum Coverage to keyword selection, so even with one
+candidate location the problem is NP-hard.  Section 6.2 gives two
+solvers, both implemented here:
+
+**Greedy approximation (Section 6.2.1).**  For each candidate keyword
+``w`` a user list ``LUW_w`` is precomputed: user ``u`` enters the list
+when placing ``ox`` at the chosen location with the *most optimistic*
+keyword set containing ``w`` (``HW_{w,u}``: the ``ws`` highest-weight
+candidates from ``W ∩ u.d`` including ``w``) reaches ``RSk(u)``.  The
+classic max-coverage greedy then picks ``ws`` keywords maximizing the
+union of their lists; since the lists are optimistic, the *actual*
+BRSTkNN of the chosen set is recomputed before the caller compares
+candidates.  Greedy max coverage is the best possible polynomial
+approximation (``1 − 1/e``) unless P = NP.
+
+**Exact (Section 6.2.2, Algorithm 4).**  Enumerates combinations of
+size up to ``ws`` (see DESIGN.md §3.5 on why "up to" rather than the
+paper's "exactly") of the *useful* candidates (``W ∩ Wu`` where ``Wu``
+is the union of the shortlisted users' keywords) with the paper's
+prunings — users outside ``LU_l`` are never touched; users whose
+location-only lower bound already meets ``RSk(u)`` count for every
+combination; a combination is scored against a user only when it
+shares a keyword with them — plus a memoized per-user won/lost table
+(DESIGN.md §3.8) that turns the scan into set intersections.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..model.dataset import Dataset
+from ..model.objects import STObject, User
+from ..spatial.geometry import Point
+from .bounds import BoundCalculator, augmented_document, candidate_term_weight
+
+__all__ = [
+    "KeywordSelection",
+    "compute_brstknn",
+    "select_keywords_greedy",
+    "select_keywords_exact",
+    "greedy_max_coverage",
+]
+
+
+#: Result of one keyword-selection call: the chosen keyword set, the
+#: users it actually wins, and how many combinations were scored (for
+#: the benchmark instrumentation).
+KeywordSelection = Tuple[FrozenSet[int], FrozenSet[int], int]
+
+
+def compute_brstknn(
+    dataset: Dataset,
+    ox: STObject,
+    location: Point,
+    keywords: Iterable[int],
+    users: Sequence[User],
+    rsk: Mapping[int, float],
+) -> FrozenSet[int]:
+    """Users for whom ``ox`` at ``location`` with ``ox.d ∪ keywords``
+    enters the top-k (``STS >= RSk(u)``, ties admit as in the paper)."""
+    doc = augmented_document(ox.terms, keywords)
+    winners = {
+        u.item_id
+        for u in users
+        if dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
+    }
+    return frozenset(winners)
+
+
+def greedy_max_coverage(
+    sets: Mapping[int, Set[int]], budget: int
+) -> Tuple[List[int], Set[int]]:
+    """Plain greedy Maximum Coverage over ``{key: element-set}``.
+
+    Picks up to ``budget`` keys, each step taking the key covering the
+    most yet-uncovered elements (ties broken by key for determinism).
+    Stops early when no key adds coverage.  Exposed separately so the
+    property tests can verify the ``(1 − 1/e)`` guarantee directly.
+    """
+    chosen: List[int] = []
+    covered: Set[int] = set()
+    remaining = dict(sets)
+    for _ in range(max(0, budget)):
+        best_key, best_gain = None, 0
+        for key in sorted(remaining):
+            gain = len(remaining[key] - covered)
+            if gain > best_gain:
+                best_key, best_gain = key, gain
+        if best_key is None:
+            break
+        chosen.append(best_key)
+        covered |= remaining.pop(best_key)
+    return chosen, covered
+
+
+def select_keywords_greedy(
+    dataset: Dataset,
+    ox: STObject,
+    location: Point,
+    candidate_keywords: Sequence[int],
+    ws: int,
+    users: Sequence[User],
+    rsk: Mapping[int, float],
+) -> KeywordSelection:
+    """Section 6.2.1: greedy approximate keyword selection at ``location``.
+
+    ``users`` is the shortlist ``LU_l`` of Algorithm 3 (only they can be
+    BRSTkNNs by the location upper bound); ``rsk`` maps user id to
+    ``RSk(u)``.
+    """
+    rel = dataset.relevance
+    cand_set = set(candidate_keywords)
+    # Optimistic per-keyword weight (Lemma 3 style): candidate added to
+    # ox.d alone.  Used to rank candidates inside HW_{w,u}.
+    opt_weight = {t: candidate_term_weight(rel, ox.terms, t) for t in cand_set}
+
+    luw: Dict[int, Set[int]] = {}
+    scored = 0
+    for user in users:
+        useful = sorted(
+            cand_set & user.keyword_set, key=lambda t: (-opt_weight[t], t)
+        )
+        if not useful:
+            continue
+        top = useful[: max(ws, 1)]
+        for w in useful:
+            # HW_{w,u}: ws highest-weight useful candidates, forced to
+            # contain w.
+            hw = list(top[: max(ws - 1, 0)]) if w not in top[: max(ws, 1)] else list(top[:ws])
+            if w not in hw:
+                hw = hw[: max(ws - 1, 0)] + [w]
+            doc = augmented_document(ox.terms, hw)
+            scored += 1
+            if dataset.sts_parts(location, doc, user) >= rsk[user.item_id]:
+                luw.setdefault(w, set()).add(user.item_id)
+
+    best_set: FrozenSet[int] = frozenset()
+    best_users = compute_brstknn(dataset, ox, location, best_set, users, rsk)
+
+    coverage_estimate = 0
+    if luw:
+        chosen, covered = greedy_max_coverage(luw, ws)
+        coverage_estimate = len(covered)
+        # The LUW lists are optimistic, and under length-normalized
+        # measures a longer keyword set can score *worse*; evaluating
+        # every greedy prefix costs ws extra evaluations and only
+        # improves the answer (the full set remains a candidate).
+        for end in range(1, len(chosen) + 1):
+            prefix = frozenset(chosen[:end])
+            actual = compute_brstknn(dataset, ox, location, prefix, users, rsk)
+            scored += 1
+            if len(actual) > len(best_users):
+                best_set, best_users = prefix, actual
+
+    # Fallback pass: greedy on the *true* objective, run only when the
+    # LUW optimism demonstrably misled — the actual wins fall well short
+    # of the coverage estimate.  The LUW lists rank keywords by what
+    # they could win under the most optimistic companion set, which can
+    # fail when weights are skewed (TF-IDF) or heavily tied (KO).  The
+    # pool is capped to the candidates with the largest LUW lists so the
+    # pass stays a small constant number of actual BRSTkNN evaluations
+    # (DESIGN.md §3); the better of the two greedy answers is returned.
+    if luw and len(best_users) >= 0.8 * coverage_estimate:
+        return best_set, best_users, scored
+    ranked_pool = sorted(
+        cand_set & {t for u in users for t in u.keyword_set},
+        key=lambda t: (-len(luw.get(t, ())), t),
+    )[: 2 * ws + 6]
+    current: FrozenSet[int] = frozenset()
+    current_users = compute_brstknn(dataset, ox, location, current, users, rsk)
+    for _ in range(ws):
+        step_set, step_users = None, current_users
+        for w in ranked_pool:
+            if w in current:
+                continue
+            trial = current | {w}
+            winners = compute_brstknn(dataset, ox, location, trial, users, rsk)
+            scored += 1
+            if len(winners) > len(step_users):
+                step_set, step_users = trial, winners
+        if step_set is None:
+            break
+        current, current_users = step_set, step_users
+    if len(current_users) > len(best_users):
+        best_set, best_users = current, current_users
+    return best_set, best_users, scored
+
+
+def select_keywords_exact(
+    dataset: Dataset,
+    ox: STObject,
+    location: Point,
+    candidate_keywords: Sequence[int],
+    ws: int,
+    users: Sequence[User],
+    rsk: Mapping[int, float],
+    bounds: Optional[BoundCalculator] = None,
+) -> KeywordSelection:
+    """Algorithm 4: exact keyword selection with pruning at ``location``."""
+    bounds = bounds or BoundCalculator(dataset)
+
+    # Pruning 1+2: only shortlisted users; only candidates some
+    # shortlisted user actually has.
+    wu: Set[int] = set()
+    for u in users:
+        wu |= u.keyword_set
+    useful = sorted(set(candidate_keywords) & wu)
+
+    # Users already won by location alone count for every combination
+    # (Algorithm 4 lines 4.6–4.7).
+    always_in: Set[int] = set()
+    contested: List[User] = []
+    for u in users:
+        if bounds.location_lower_user(location, ox, u) >= rsk[u.item_id]:
+            always_in.add(u.item_id)
+        else:
+            contested.append(u)
+
+    # Definition 1 asks for |W'| <= ws, and under length-normalized
+    # measures (LM) adding a keyword can *lower* other term weights, so
+    # a smaller set can strictly beat every size-ws set.  The paper's
+    # Algorithm 4 enumerates only size-ws combinations (implicitly
+    # assuming monotone text scores); to stay exact for all three
+    # measures we enumerate every size from 0 up to ws.  See DESIGN.md.
+    #
+    # Scoring is memoized: for a fixed location and combo size s, a
+    # user's STS depends only on (combo ∩ u.d, s) — the other combo
+    # keywords contribute nothing but document length.  Each user has
+    # at most 2^|W ∩ u.d| * ws reachable states, precomputed once, so
+    # the combinatorial loop reduces to set intersections and lookups.
+    best_set: FrozenSet[int] = frozenset()
+    best_users: FrozenSet[int] = frozenset(
+        compute_brstknn(dataset, ox, location, frozenset(), users, rsk)
+    )
+    scored = 1
+    max_size = min(ws, len(useful))
+
+    # won[user_index][(matched_subset, size)] -> bool
+    won: List[Dict[Tuple[FrozenSet[int], int], bool]] = []
+    user_useful: List[FrozenSet[int]] = []
+    by_keyword: Dict[int, List[int]] = {t: [] for t in useful}
+    fillers = [-(i + 1) for i in range(max_size)]  # pad terms outside any u.d
+    for idx, u in enumerate(contested):
+        ku = frozenset(set(useful) & u.keyword_set)
+        user_useful.append(ku)
+        table: Dict[Tuple[FrozenSet[int], int], bool] = {}
+        threshold = rsk[u.item_id]
+        subsets: List[Tuple[int, ...]] = [()]
+        for t in sorted(ku):
+            subsets += [s + (t,) for s in subsets]
+        for sub in subsets:
+            if not sub:
+                continue
+            for size in range(len(sub), max_size + 1):
+                doc = augmented_document(ox.terms, sub)
+                for f in fillers[: size - len(sub)]:
+                    doc[f] = 1
+                table[(frozenset(sub), size)] = (
+                    dataset.sts_parts(location, doc, u) >= threshold
+                )
+        won.append(table)
+        for t in ku:
+            by_keyword[t].append(idx)
+
+    base_count = len(always_in)
+    for size in range(1, max_size + 1):
+        for combo in combinations(useful, size):
+            combo_set = frozenset(combo)
+            count = base_count
+            touched: Set[int] = set()
+            for t in combo:
+                for idx in by_keyword[t]:
+                    if idx in touched:
+                        continue
+                    touched.add(idx)
+                    matched = combo_set & user_useful[idx]
+                    if won[idx][(matched, size)]:
+                        count += 1
+            scored += 1
+            if count > len(best_users):
+                winners = set(always_in)
+                doc = augmented_document(ox.terms, combo_set)
+                for u in contested:
+                    if combo_set & u.keyword_set and (
+                        dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
+                    ):
+                        winners.add(u.item_id)
+                best_set = combo_set
+                best_users = frozenset(winners)
+    return best_set, best_users, scored

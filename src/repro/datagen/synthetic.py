@@ -1,0 +1,172 @@
+"""Synthetic spatial-textual collections standing in for Flickr and Yelp.
+
+The paper evaluates on two real collections we cannot ship (a Yahoo
+Flickr extract and the Yelp academic dataset).  The algorithms consume
+nothing but ``(location, term multiset)`` pairs, so a faithful synthetic
+stand-in needs to match the *shape* the experiments depend on:
+
+* **Flickr-like** — many objects, short documents (~7 distinct tags,
+  Table 4 reports 6.9), large vocabulary, heavy-tailed (Zipf) term
+  usage, spatially clustered around "cities";
+* **Yelp-like** — far fewer objects but very long documents (~400
+  distinct terms/object in Table 4: reviews concatenated per business).
+
+Both generators are deterministic under a seed and emit
+:class:`~repro.model.objects.STObject` lists plus the shared
+:class:`~repro.text.vocabulary.Vocabulary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..model.objects import STObject
+from ..spatial.geometry import Point
+from ..text.vocabulary import Vocabulary
+
+__all__ = ["SpaceConfig", "flickr_like", "yelp_like", "zipf_term_sampler"]
+
+#: Side length of the synthetic dataspace.  The paper's user areas are
+#: 1–20 "degrees"; a 50x50 space keeps the default 5x5 user area a small
+#: fraction of the whole, like a city inside a continent-scale extract.
+DEFAULT_SPACE = 50.0
+
+
+@dataclass(slots=True)
+class SpaceConfig:
+    """Geometry of the synthetic dataspace."""
+
+    side: float = DEFAULT_SPACE
+    num_clusters: int = 24
+    cluster_std: float = 1.5
+    #: Fraction of objects scattered uniformly (background noise).
+    uniform_fraction: float = 0.2
+
+
+def zipf_term_sampler(
+    rng: np.random.Generator, vocab_size: int, exponent: float = 1.1
+) -> np.ndarray:
+    """Zipf-shaped probability vector over ``vocab_size`` term ids.
+
+    Real tag/review vocabularies are heavy-tailed; the exponent ~1.1
+    reproduces a few extremely common terms plus a long tail, which is
+    what makes the min/max posting-list bounds interesting (common
+    terms appear in most subtrees, rare terms in few).
+    """
+    ranks = np.arange(1, vocab_size + 1, dtype=np.float64)
+    probs = ranks ** (-exponent)
+    probs /= probs.sum()
+    # Shuffle so term id order does not encode frequency rank.
+    perm = rng.permutation(vocab_size)
+    return probs[perm]
+
+
+def _cluster_locations(
+    rng: np.random.Generator, n: int, space: SpaceConfig
+) -> np.ndarray:
+    """Locations drawn from Gaussian clusters plus uniform background."""
+    n_uniform = int(n * space.uniform_fraction)
+    n_cluster = n - n_uniform
+    centers = rng.uniform(0.0, space.side, size=(space.num_clusters, 2))
+    assignment = rng.integers(0, space.num_clusters, size=n_cluster)
+    pts = centers[assignment] + rng.normal(0.0, space.cluster_std, size=(n_cluster, 2))
+    uniform = rng.uniform(0.0, space.side, size=(n_uniform, 2))
+    all_pts = np.vstack([pts, uniform])
+    np.clip(all_pts, 0.0, space.side, out=all_pts)
+    rng.shuffle(all_pts, axis=0)
+    return all_pts
+
+
+def _make_documents(
+    rng: np.random.Generator,
+    n: int,
+    vocab_size: int,
+    mean_unique_terms: float,
+    tf_max: int,
+    zipf_exponent: float,
+) -> List[Dict[int, int]]:
+    """Documents with Poisson-distributed unique-term counts."""
+    probs = zipf_term_sampler(rng, vocab_size, exponent=zipf_exponent)
+    docs: List[Dict[int, int]] = []
+    for _ in range(n):
+        n_terms = max(1, int(rng.poisson(mean_unique_terms)))
+        n_terms = min(n_terms, vocab_size)
+        terms = rng.choice(vocab_size, size=n_terms, replace=False, p=probs)
+        if tf_max <= 1:
+            doc = {int(t): 1 for t in terms}
+        else:
+            tfs = 1 + rng.integers(0, tf_max, size=n_terms)
+            doc = {int(t): int(tf) for t, tf in zip(terms, tfs)}
+        docs.append(doc)
+    return docs
+
+
+def _build_objects(
+    locations: np.ndarray, docs: List[Dict[int, int]], prefix: str
+) -> Tuple[List[STObject], Vocabulary]:
+    vocab = Vocabulary()
+    objects: List[STObject] = []
+    for i, (loc, doc) in enumerate(zip(locations, docs)):
+        terms = {vocab.add(f"{prefix}{tid}"): tf for tid, tf in doc.items()}
+        objects.append(
+            STObject(item_id=i, location=Point(float(loc[0]), float(loc[1])), terms=terms)
+        )
+    return objects, vocab
+
+
+def flickr_like(
+    num_objects: int = 4000,
+    vocab_size: int = 2000,
+    mean_tags: float = 6.9,
+    space: Optional[SpaceConfig] = None,
+    seed: int = 0,
+) -> Tuple[List[STObject], Vocabulary]:
+    """Flickr-shaped collection: short tag documents, clustered space.
+
+    Defaults mirror Table 4's *ratios* at a pure-Python-friendly scale:
+    ~7 unique tags per object and a vocabulary about half the object
+    count (1M objects / 166k unique terms in the paper).
+    """
+    rng = np.random.default_rng(seed)
+    space = space or SpaceConfig()
+    locations = _cluster_locations(rng, num_objects, space)
+    docs = _make_documents(
+        rng,
+        num_objects,
+        vocab_size,
+        mean_unique_terms=mean_tags,
+        tf_max=1,  # photo tags occur once
+        zipf_exponent=1.1,
+    )
+    return _build_objects(locations, docs, prefix="tag")
+
+
+def yelp_like(
+    num_objects: int = 600,
+    vocab_size: int = 3000,
+    mean_terms: float = 120.0,
+    space: Optional[SpaceConfig] = None,
+    seed: int = 0,
+) -> Tuple[List[STObject], Vocabulary]:
+    """Yelp-shaped collection: few objects, long review documents.
+
+    Table 4 shows ~399 unique terms per business with repeated
+    occurrences (77.8M total terms over 61k businesses).  We keep the
+    long-document character (hundreds of term slots, tf up to 8) at a
+    reduced scale.
+    """
+    rng = np.random.default_rng(seed)
+    space = space or SpaceConfig(num_clusters=8, cluster_std=2.5)
+    locations = _cluster_locations(rng, num_objects, space)
+    docs = _make_documents(
+        rng,
+        num_objects,
+        vocab_size,
+        mean_unique_terms=mean_terms,
+        tf_max=8,  # review text repeats terms
+        zipf_exponent=1.05,
+    )
+    return _build_objects(locations, docs, prefix="rev")

@@ -1,0 +1,144 @@
+"""User generation following the paper's protocol (Section 8).
+
+For the Flickr dataset the paper generates users like this: pick an
+area of fixed size (default 5x5 degrees), sample ``|U|`` objects inside
+it and take their locations as user locations; pool ``UW`` keywords
+sampled from those objects' tags; distribute the pool over the users so
+each user carries ``UL`` keywords following the pool's own term
+distribution.  The pooled ``UW`` keywords double as the candidate
+keyword set ``W`` of the query, and candidate locations are drawn from
+the same area.
+
+:func:`generate_users` reproduces that protocol; the returned
+:class:`UserWorkload` also carries everything a MaxBRSTkNN query needs
+(candidate keywords, candidate locations, and a fresh query object).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..model.objects import STObject, User
+from ..spatial.geometry import Point, Rect
+
+__all__ = ["UserWorkload", "generate_users", "candidate_locations"]
+
+
+@dataclass(slots=True)
+class UserWorkload:
+    """Users plus the query ingredients derived with them."""
+
+    users: List[User]
+    #: Candidate keyword ids ``W`` (the pooled UW keywords).
+    candidate_keywords: List[int]
+    #: The area users were drawn from.
+    area: Rect
+    #: Candidate locations ``L`` inside the area.
+    locations: List[Point] = field(default_factory=list)
+
+    def query_object(self, object_id: int = -1, terms: Optional[Dict[int, int]] = None) -> STObject:
+        """A fresh query object ``ox`` centred in the user area.
+
+        ``ox`` starts with an empty description unless ``terms`` given —
+        Definition 1 allows both; the chosen keywords are added on top.
+        """
+        return STObject(
+            item_id=object_id, location=self.area.center, terms=dict(terms or {})
+        )
+
+
+def _pick_area(
+    rng: np.random.Generator, objects: Sequence[STObject], area_side: float
+) -> Tuple[Rect, List[STObject]]:
+    """Pick an area of side ``area_side`` containing enough objects.
+
+    Areas are centred on randomly chosen objects so dense regions are
+    preferred, like picking a populated 5x5-degree window on Flickr.
+    """
+    best: Tuple[int, Rect, List[STObject]] = (-1, Rect(0, 0, area_side, area_side), [])
+    for _ in range(32):
+        anchor = objects[int(rng.integers(0, len(objects)))]
+        half = area_side / 2.0
+        rect = Rect(
+            anchor.location.x - half,
+            anchor.location.y - half,
+            anchor.location.x + half,
+            anchor.location.y + half,
+        )
+        inside = [o for o in objects if rect.contains_point(o.location)]
+        if len(inside) > best[0]:
+            best = (len(inside), rect, inside)
+    return best[1], best[2]
+
+
+def generate_users(
+    objects: Sequence[STObject],
+    num_users: int = 400,
+    keywords_per_user: int = 3,
+    unique_keywords: int = 20,
+    area_side: float = 5.0,
+    seed: int = 0,
+) -> UserWorkload:
+    """Generate users per the paper's Section 8 protocol.
+
+    Parameters map one-to-one onto the paper's knobs: ``num_users`` is
+    ``|U|``, ``keywords_per_user`` is ``UL``, ``unique_keywords`` is
+    ``UW``, ``area_side`` is ``Area`` (the user-MBR side length).
+    """
+    if not objects:
+        raise ValueError("cannot generate users from an empty object set")
+    if keywords_per_user > unique_keywords:
+        raise ValueError("UL cannot exceed UW (users draw from the pooled keywords)")
+    rng = np.random.default_rng(seed)
+    area, inside = _pick_area(rng, objects, area_side)
+    pool_objects = inside if inside else list(objects)
+
+    # User locations: |U| object locations from the area (with
+    # replacement when the area holds fewer objects than users).
+    replace = len(pool_objects) < num_users
+    idx = rng.choice(len(pool_objects), size=num_users, replace=replace)
+    locations = [pool_objects[i].location for i in idx]
+
+    # Keyword pool: UW distinct keywords sampled from the area's
+    # objects, weighted by how often they occur there (so the pool
+    # follows the local tag distribution).
+    term_freq: Dict[int, int] = {}
+    for o in pool_objects:
+        for tid, tf in o.terms.items():
+            term_freq[tid] = term_freq.get(tid, 0) + tf
+    all_terms = sorted(term_freq)
+    if not all_terms:
+        raise ValueError("area objects carry no keywords")
+    weights = np.array([term_freq[t] for t in all_terms], dtype=np.float64)
+    weights /= weights.sum()
+    take = min(unique_keywords, len(all_terms))
+    pool = rng.choice(all_terms, size=take, replace=False, p=weights)
+    pool = [int(t) for t in pool]
+
+    # Distribute pool keywords to users following the pool distribution.
+    pool_w = np.array([term_freq[t] for t in pool], dtype=np.float64)
+    pool_w /= pool_w.sum()
+    users: List[User] = []
+    for uid, loc in enumerate(locations):
+        ul = min(keywords_per_user, len(pool))
+        chosen = rng.choice(len(pool), size=ul, replace=False, p=pool_w)
+        terms = {pool[int(c)]: 1 for c in chosen}
+        users.append(User(item_id=uid, location=loc, terms=terms))
+
+    return UserWorkload(users=users, candidate_keywords=sorted(pool), area=area)
+
+
+def candidate_locations(
+    workload: UserWorkload, num_locations: int = 20, seed: int = 0
+) -> List[Point]:
+    """Draw candidate locations ``L`` uniformly inside the user area."""
+    rng = np.random.default_rng(seed + 1_000_003)
+    area = workload.area
+    xs = rng.uniform(area.min_x, area.max_x, size=num_locations)
+    ys = rng.uniform(area.min_y, area.max_y, size=num_locations)
+    locs = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+    workload.locations = locs
+    return locs

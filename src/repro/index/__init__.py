@@ -1,0 +1,20 @@
+"""Spatial-textual indexes: inverted files, IR-tree, MIR-tree, MIUR-tree."""
+
+from .dirtree import MDIRTree, leaf_cohesion
+from .invfile import InvertedFile, Posting, merge_minmax
+from .irtree import ChildView, IRTree, MIRTree, ObjectView
+from .miurtree import MIURTree, UserNodeView
+
+__all__ = [
+    "ChildView",
+    "IRTree",
+    "InvertedFile",
+    "MDIRTree",
+    "MIRTree",
+    "MIURTree",
+    "ObjectView",
+    "Posting",
+    "UserNodeView",
+    "leaf_cohesion",
+    "merge_minmax",
+]

@@ -1,0 +1,179 @@
+"""Per-node inverted files with minimum and maximum term weights.
+
+Every node of an IR-tree references an inverted file over the documents
+(or pseudo-documents) of its entries.  The MIR-tree of Section 5.1
+extends each posting from ``<d, w>`` to ``<d, maxw, minw>``:
+
+* for a **leaf** node both weights equal the document's term weight;
+* for a **non-leaf** node the pseudo-document of a child is the union of
+  the documents in the child's subtree — ``maxw`` is the maximum weight
+  of the term in that union, ``minw`` the minimum weight over the
+  *intersection* (0 when some document in the subtree misses the term).
+
+The same class serves the plain IR-tree (callers simply ignore ``minw``
+and the size model drops the extra field).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..storage.pager import (
+    PageStore,
+    POSTING_ENTRY_BYTES_IR,
+    POSTING_ENTRY_BYTES_MIR,
+)
+
+__all__ = ["Posting", "InvertedFile", "merge_minmax"]
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One posting ``<entry_key, maxw, minw>``.
+
+    ``entry_key`` identifies an entry of the owning node: the object id
+    in a leaf, the child node's page id in an internal node.
+    """
+
+    entry_key: int
+    max_weight: float
+    min_weight: float
+
+    def __post_init__(self) -> None:
+        if self.min_weight > self.max_weight + 1e-12:
+            raise ValueError(
+                f"posting min weight {self.min_weight} exceeds max {self.max_weight}"
+            )
+
+
+class InvertedFile:
+    """Inverted file of one tree node: term id -> list of postings."""
+
+    def __init__(self, minmax: bool = True) -> None:
+        #: True for MIR-tree layout (12-byte postings), False for IR-tree.
+        self.minmax = minmax
+        self._lists: Dict[int, List[Posting]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_document(self, entry_key: int, weights: Mapping[int, float]) -> None:
+        """Add a leaf document: min == max == actual weight."""
+        for tid, w in weights.items():
+            self._lists.setdefault(tid, []).append(Posting(entry_key, w, w))
+
+    def add_summary(
+        self,
+        entry_key: int,
+        max_weights: Mapping[int, float],
+        min_weights: Mapping[int, float],
+    ) -> None:
+        """Add an internal entry's pseudo-document summary.
+
+        ``max_weights`` covers the union of subtree terms; a term absent
+        from ``min_weights`` has minimum weight 0 (not in intersection).
+        """
+        for tid, maxw in max_weights.items():
+            minw = min_weights.get(tid, 0.0)
+            self._lists.setdefault(tid, []).append(Posting(entry_key, maxw, minw))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def postings(self, term_id: int) -> List[Posting]:
+        """Posting list of ``term_id`` (empty when absent)."""
+        return self._lists.get(term_id, [])
+
+    def terms(self) -> Iterator[int]:
+        return iter(self._lists)
+
+    def __contains__(self, term_id: int) -> bool:
+        return term_id in self._lists
+
+    def __len__(self) -> int:
+        """Number of distinct terms."""
+        return len(self._lists)
+
+    def num_postings(self) -> int:
+        return sum(len(v) for v in self._lists.values())
+
+    # ------------------------------------------------------------------
+    # Per-entry views (what the traversal needs after loading lists)
+    # ------------------------------------------------------------------
+    def entry_weights(
+        self, term_ids: Iterable[int]
+    ) -> Dict[int, Dict[int, Tuple[float, float]]]:
+        """Group postings of ``term_ids`` by entry key.
+
+        Returns ``{entry_key: {term_id: (maxw, minw)}}`` — the traversal
+        loads the lists for the super-user's terms once and then scores
+        every child entry from this view.
+        """
+        out: Dict[int, Dict[int, Tuple[float, float]]] = {}
+        for tid in set(term_ids):
+            for p in self._lists.get(tid, []):
+                out.setdefault(p.entry_key, {})[tid] = (p.max_weight, p.min_weight)
+        return out
+
+    # ------------------------------------------------------------------
+    # Size model and I/O charging
+    # ------------------------------------------------------------------
+    @property
+    def posting_entry_bytes(self) -> int:
+        return POSTING_ENTRY_BYTES_MIR if self.minmax else POSTING_ENTRY_BYTES_IR
+
+    def list_bytes(self, term_id: int) -> int:
+        plist = self._lists.get(term_id)
+        if not plist:
+            return 0
+        return PageStore.posting_list_bytes(len(plist), self.posting_entry_bytes)
+
+    def total_bytes(self) -> int:
+        return sum(self.list_bytes(t) for t in self._lists)
+
+    def charge_lists(
+        self,
+        store: Optional[PageStore],
+        index_name: str,
+        page_id: int,
+        term_ids: Iterable[int],
+    ) -> None:
+        """Charge the I/O of loading the posting lists for ``term_ids``."""
+        if store is None:
+            return
+        for tid in set(term_ids):
+            nbytes = self.list_bytes(tid)
+            if nbytes:
+                store.read_inverted_list(index_name, page_id, tid, nbytes)
+
+
+def merge_minmax(
+    documents: Iterable[Mapping[int, float]],
+) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """Min/max merge of term-weight maps, the MIR-tree node summary rule.
+
+    Returns ``(max_weights, min_weights)`` where ``max_weights`` holds
+    the maximum weight of each term over the union of the inputs and
+    ``min_weights`` holds the minimum over their intersection only —
+    a term missing from any input document is dropped from
+    ``min_weights`` (its effective minimum is 0).
+    """
+    max_w: Dict[int, float] = {}
+    min_w: Dict[int, float] = {}
+    first = True
+    for doc in documents:
+        for tid, w in doc.items():
+            if w > max_w.get(tid, float("-inf")):
+                max_w[tid] = w
+        if first:
+            min_w = dict(doc)
+            first = False
+        else:
+            for tid in list(min_w):
+                w = doc.get(tid)
+                if w is None:
+                    del min_w[tid]
+                elif w < min_w[tid]:
+                    min_w[tid] = w
+    return max_w, min_w

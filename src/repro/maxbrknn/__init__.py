@@ -1,0 +1,11 @@
+"""Spatial-only MaxBRkNN baseline (related-work extension)."""
+
+from .nlc import NLC, best_candidate_location, build_nlcs, count_brknn, grid_maxbrknn
+
+__all__ = [
+    "NLC",
+    "best_candidate_location",
+    "build_nlcs",
+    "count_brknn",
+    "grid_maxbrknn",
+]

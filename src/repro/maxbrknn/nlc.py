@@ -1,0 +1,133 @@
+"""Spatial-only MaxBRkNN via Nearest Location Circles (related work).
+
+Section 2.1 of the paper surveys the purely spatial ancestor of
+MaxBRSTkNN: given facilities ``O`` and users ``U``, find where to place
+a new facility so it becomes a k-nearest facility of the maximum number
+of users.  The standard tool is the **Nearest Location Circle** (NLC):
+the circle around user ``u`` whose radius is the distance to ``u``'s
+k-th nearest existing facility.  A new facility wins ``u`` exactly when
+it lands inside ``u``'s NLC, so MaxBRkNN asks for the point covered by
+the most circles (MAXOVERLAP computes circle-intersection points;
+MAXFIRST partitions space; FILM approximates on a grid).
+
+This module implements
+
+* NLC construction over the library's R-tree,
+* exact candidate-location evaluation (count of covering NLCs), and
+* a FILM-style grid approximation that returns the best cell.
+
+It is both a usable spatial baseline and a correctness oracle: with
+``alpha = 1`` the MaxBRSTkNN engine must agree with the NLC count on
+any candidate location (a cross-check test enforces this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..model.objects import STObject, User
+from ..spatial.geometry import Point, Rect
+from ..spatial.rtree import RTree, RTreeEntry
+
+__all__ = ["NLC", "build_nlcs", "count_brknn", "best_candidate_location", "grid_maxbrknn"]
+
+
+@dataclass(frozen=True, slots=True)
+class NLC:
+    """One user's nearest-location circle."""
+
+    user_id: int
+    center: Point
+    radius: float
+
+    def contains(self, p: Point) -> bool:
+        # <= : a new facility tied with the k-th nearest still becomes
+        # a k-nearest facility (matches the engine's >= threshold).
+        return self.center.distance_to(p) <= self.radius + 1e-12
+
+    def bounding_box(self) -> Rect:
+        return Rect(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )
+
+
+def build_nlcs(
+    facilities: Sequence[STObject], users: Sequence[User], k: int
+) -> List[NLC]:
+    """Radius of each user's k-th nearest facility via the R-tree."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    entries = [RTreeEntry(point=o.location, item=o.item_id) for o in facilities]
+    tree: RTree[int] = RTree.bulk_load(entries)
+    nlcs: List[NLC] = []
+    for u in users:
+        neighbors = tree.nearest(u.location, n=k)
+        if not neighbors:
+            raise ValueError("cannot build NLCs without facilities")
+        radius = neighbors[-1].point.distance_to(u.location)
+        nlcs.append(NLC(user_id=u.item_id, center=u.location, radius=radius))
+    return nlcs
+
+
+def count_brknn(nlcs: Sequence[NLC], location: Point) -> int:
+    """Number of users a facility at ``location`` would win."""
+    return sum(1 for c in nlcs if c.contains(location))
+
+
+def best_candidate_location(
+    nlcs: Sequence[NLC], candidates: Sequence[Point]
+) -> Tuple[Optional[Point], int]:
+    """Exact MaxBRkNN restricted to a candidate location set."""
+    best, best_count = None, -1
+    for p in candidates:
+        n = count_brknn(nlcs, p)
+        if n > best_count:
+            best, best_count = p, n
+    return best, max(best_count, 0)
+
+
+def grid_maxbrknn(
+    nlcs: Sequence[NLC], resolution: int = 64, bounds: Optional[Rect] = None
+) -> Tuple[Point, int]:
+    """FILM-style grid approximation of the unrestricted MaxBRkNN.
+
+    Overlays a ``resolution x resolution`` grid on ``bounds`` (default:
+    the union of the NLC bounding boxes) and counts, per cell center,
+    the covering NLCs.  Returns the best cell center and its count —
+    a lower bound on the true optimum that converges as the resolution
+    grows (the classic accuracy/time trade-off of FILM).
+    """
+    if not nlcs:
+        raise ValueError("grid_maxbrknn needs at least one NLC")
+    if resolution < 1:
+        raise ValueError("resolution must be positive")
+    if bounds is None:
+        bounds = Rect.from_rects([c.bounding_box() for c in nlcs])
+    dx = bounds.width / resolution
+    dy = bounds.height / resolution
+
+    # Rasterize each circle into the cells its bounding box touches —
+    # O(total covered cells) instead of O(cells * circles).
+    counts: Dict[Tuple[int, int], int] = {}
+    for c in nlcs:
+        bb = c.bounding_box()
+        ix0 = max(0, int((bb.min_x - bounds.min_x) / dx) if dx > 0 else 0)
+        ix1 = min(resolution - 1, int((bb.max_x - bounds.min_x) / dx) if dx > 0 else 0)
+        iy0 = max(0, int((bb.min_y - bounds.min_y) / dy) if dy > 0 else 0)
+        iy1 = min(resolution - 1, int((bb.max_y - bounds.min_y) / dy) if dy > 0 else 0)
+        for ix in range(ix0, ix1 + 1):
+            cx = bounds.min_x + (ix + 0.5) * dx
+            for iy in range(iy0, iy1 + 1):
+                cy = bounds.min_y + (iy + 0.5) * dy
+                if c.contains(Point(cx, cy)):
+                    counts[(ix, iy)] = counts.get((ix, iy), 0) + 1
+
+    if not counts:
+        return bounds.center, 0
+    (ix, iy), best = max(counts.items(), key=lambda kv: (kv[1], -kv[0][0], -kv[0][1]))
+    center = Point(bounds.min_x + (ix + 0.5) * dx, bounds.min_y + (iy + 0.5) * dy)
+    return center, best

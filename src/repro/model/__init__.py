@@ -1,0 +1,13 @@
+"""Data model: spatial-textual objects, users, super-users, datasets."""
+
+from .dataset import Dataset, DatasetStats
+from .objects import SpatialTextualItem, STObject, SuperUser, User
+
+__all__ = [
+    "Dataset",
+    "DatasetStats",
+    "SpatialTextualItem",
+    "STObject",
+    "SuperUser",
+    "User",
+]

@@ -1,0 +1,18 @@
+"""Spatial substrate: geometry primitives and the R-tree."""
+
+from .geometry import Point, Rect
+from .metrics import CHEBYSHEV, EUCLIDEAN, LpMetric, MANHATTAN
+from .rtree import RTree, RTreeEntry, RTreeNode, DEFAULT_FANOUT
+
+__all__ = [
+    "CHEBYSHEV",
+    "DEFAULT_FANOUT",
+    "EUCLIDEAN",
+    "LpMetric",
+    "MANHATTAN",
+    "Point",
+    "Rect",
+    "RTree",
+    "RTreeEntry",
+    "RTreeNode",
+]

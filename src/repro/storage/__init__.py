@@ -1,0 +1,12 @@
+"""Simulated disk: I/O counters, page sizing, LRU buffer pool.
+
+Binary index persistence lives in :mod:`repro.storage.serde`; import it
+as a submodule (``from repro.storage.serde import serialize_irtree``) —
+it is not re-exported here because it depends on ``repro.index``, which
+itself depends on this package.
+"""
+
+from .iostats import IOCounter, IOSnapshot, PAGE_SIZE_BYTES
+from .pager import LRUBuffer, PageStore
+
+__all__ = ["IOCounter", "IOSnapshot", "LRUBuffer", "PAGE_SIZE_BYTES", "PageStore"]

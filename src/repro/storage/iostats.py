@@ -1,0 +1,80 @@
+"""Simulated I/O accounting, matching the paper's experimental setup.
+
+Section 8: "we report simulated I/O costs ... The number of simulated
+I/Os is increased by 1 when a node of a tree is visited.  When an
+inverted file is loaded, the number of simulated I/Os is increased by
+the number of blocks (4 kB per block) for storing the list."
+
+:class:`IOCounter` implements exactly that model.  Algorithms charge
+costs through the index objects (which know their node/list sizes), and
+benchmarks snapshot/reset counters around each measured query to obtain
+the MIOCPU metric (mean I/O cost per user).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["IOCounter", "IOSnapshot", "PAGE_SIZE_BYTES"]
+
+#: The paper fixes the page size at 4 kB.
+PAGE_SIZE_BYTES = 4096
+
+
+@dataclass(slots=True)
+class IOSnapshot:
+    """Immutable snapshot of an :class:`IOCounter` at one instant."""
+
+    node_visits: int
+    invfile_blocks: int
+
+    @property
+    def total(self) -> int:
+        return self.node_visits + self.invfile_blocks
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        return IOSnapshot(
+            node_visits=self.node_visits - other.node_visits,
+            invfile_blocks=self.invfile_blocks - other.invfile_blocks,
+        )
+
+
+@dataclass
+class IOCounter:
+    """Mutable simulated-I/O counter.
+
+    ``node_visits`` counts tree node accesses (1 I/O each);
+    ``invfile_blocks`` counts 4 kB blocks of inverted lists loaded.
+    """
+
+    node_visits: int = 0
+    invfile_blocks: int = 0
+    page_size: int = PAGE_SIZE_BYTES
+
+    @property
+    def total(self) -> int:
+        """Total simulated I/Os."""
+        return self.node_visits + self.invfile_blocks
+
+    def visit_node(self) -> None:
+        """Charge one node access."""
+        self.node_visits += 1
+
+    def load_bytes(self, num_bytes: int) -> None:
+        """Charge ``ceil(num_bytes / page_size)`` block reads."""
+        if num_bytes <= 0:
+            return
+        self.invfile_blocks += math.ceil(num_bytes / self.page_size)
+
+    def load_blocks(self, blocks: int) -> None:
+        """Charge a precomputed number of block reads."""
+        if blocks > 0:
+            self.invfile_blocks += blocks
+
+    def reset(self) -> None:
+        self.node_visits = 0
+        self.invfile_blocks = 0
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(self.node_visits, self.invfile_blocks)

@@ -1,0 +1,252 @@
+"""Binary serialization of the spatial-textual indexes.
+
+The I/O cost model (``repro.storage.pager``) prices nodes and posting
+lists by a byte layout; this module makes that layout real: trees are
+written to and read back from an actual page-structured binary image,
+so the simulated sizes are backed by a concrete encoding rather than a
+guess.  It also gives the library persistence — build the MIR-tree
+once, ship the image, reload it elsewhere.
+
+Layout
+------
+The image is a sequence of length-prefixed records::
+
+    header   : magic "MIRT"/"MIUR" | version u16 | fanout u16 |
+               minmax u8 | node_count u32 | object_count u32
+    node     : page_id u32 | flags u8 (leaf bit) | rect 4*f64 |
+               entry_count u16 | entries | inverted file
+    leaf entry     : item_id u32 | x f64 | y f64
+    internal entry : child page_id u32
+    inverted file  : term_count u32, then per term:
+                     term_id u32 | posting_count u32, then per posting:
+                     entry_key u32 | maxw f64 [| minw f64]
+
+Documents (term-frequency maps) are stored in a trailing dictionary so
+a reloaded tree can answer queries without the original dataset object.
+All integers are little-endian; floats are IEEE-754.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from typing import BinaryIO, Dict, List, Tuple
+
+from ..index.invfile import InvertedFile, Posting
+from ..index.irtree import IRTree, MIRTree
+from ..model.objects import STObject
+from ..spatial.geometry import Point, Rect
+from ..spatial.rtree import RTree, RTreeNode, RTreeEntry
+from ..text.relevance import TextRelevance
+
+__all__ = ["serialize_irtree", "deserialize_irtree", "image_size", "SerdeError"]
+
+_MAGIC = b"MIRT"
+_VERSION = 1
+
+
+class SerdeError(ValueError):
+    """Raised when an image is malformed or version-incompatible."""
+
+
+def _w(fmt: str, buf: BinaryIO, *values) -> None:
+    buf.write(struct.pack("<" + fmt, *values))
+
+
+def _r(fmt: str, buf: BinaryIO):
+    size = struct.calcsize("<" + fmt)
+    data = buf.read(size)
+    if len(data) != size:
+        raise SerdeError("truncated image")
+    return struct.unpack("<" + fmt, data)
+
+
+def _write_invfile(buf: BinaryIO, inv: InvertedFile) -> None:
+    terms = sorted(inv.terms())
+    _w("I", buf, len(terms))
+    for tid in terms:
+        postings = inv.postings(tid)
+        _w("II", buf, tid, len(postings))
+        for p in postings:
+            if inv.minmax:
+                _w("Idd", buf, p.entry_key, p.max_weight, p.min_weight)
+            else:
+                _w("Id", buf, p.entry_key, p.max_weight)
+
+
+def _read_invfile(buf: BinaryIO, minmax: bool) -> InvertedFile:
+    inv = InvertedFile(minmax=minmax)
+    (term_count,) = _r("I", buf)
+    for _ in range(term_count):
+        tid, n = _r("II", buf)
+        max_w: Dict[int, float] = {}
+        min_w: Dict[int, float] = {}
+        plist = inv._lists.setdefault(tid, [])  # serde is a friend module
+        for _ in range(n):
+            if minmax:
+                key, maxw, minw = _r("Idd", buf)
+            else:
+                key, maxw = _r("Id", buf)
+                minw = maxw
+            plist.append(Posting(key, maxw, minw))
+    return inv
+
+
+def _write_node(buf: BinaryIO, tree: IRTree, node: RTreeNode[int]) -> None:
+    flags = 1 if node.is_leaf else 0
+    _w("IB", buf, node.page_id, flags)
+    _w("dddd", buf, node.rect.min_x, node.rect.min_y, node.rect.max_x, node.rect.max_y)
+    if node.is_leaf:
+        _w("H", buf, len(node.entries))
+        for e in node.entries:
+            _w("Idd", buf, e.item, e.point.x, e.point.y)
+    else:
+        _w("H", buf, len(node.children))
+        for c in node.children:
+            _w("I", buf, c.page_id)
+    _write_invfile(buf, tree.invfile_of(node))
+
+
+def serialize_irtree(tree: IRTree) -> bytes:
+    """Encode an IR-tree or MIR-tree (with its documents) to bytes."""
+    buf = io.BytesIO()
+    nodes = list(tree.rtree.iter_nodes())
+    buf.write(_MAGIC)
+    _w("HHB", buf, _VERSION, tree.fanout, 1 if tree.minmax else 0)
+    _w("II", buf, len(nodes), len(tree))
+    _w("I", buf, tree.root.page_id)
+    for node in sorted(nodes, key=lambda n: n.page_id):
+        _write_node(buf, tree, node)
+    # trailing document dictionary
+    for node in nodes:
+        if not node.is_leaf:
+            continue
+        for e in node.entries:
+            obj = tree.object_by_id(e.item)
+            _w("II", buf, obj.item_id, len(obj.terms))
+            for tid, tf in sorted(obj.terms.items()):
+                _w("II", buf, tid, tf)
+    payload = buf.getvalue()
+    return payload + struct.pack("<I", zlib.crc32(payload))
+
+
+def deserialize_irtree(data: bytes, relevance: TextRelevance) -> IRTree:
+    """Rebuild a tree from :func:`serialize_irtree` output.
+
+    ``relevance`` must be the measure the tree was built with (its
+    fitted statistics are not part of the image; refit it on the
+    documents the image carries if needed — see the tests).
+    """
+    if len(data) < 4:
+        raise SerdeError("image too small")
+    payload, crc = data[:-4], struct.unpack("<I", data[-4:])[0]
+    if zlib.crc32(payload) != crc:
+        raise SerdeError("checksum mismatch")
+    buf = io.BytesIO(payload)
+    if buf.read(4) != _MAGIC:
+        raise SerdeError("bad magic")
+    version, fanout, minmax = _r("HHB", buf)
+    if version != _VERSION:
+        raise SerdeError(f"unsupported version {version}")
+    node_count, object_count = _r("II", buf)
+    (root_id,) = _r("I", buf)
+
+    raw_nodes: Dict[int, Tuple[bool, Rect, List, InvertedFile]] = {}
+    for _ in range(node_count):
+        page_id, flags = _r("IB", buf)
+        x0, y0, x1, y1 = _r("dddd", buf)
+        rect = Rect(x0, y0, x1, y1)
+        (entry_count,) = _r("H", buf)
+        is_leaf = bool(flags & 1)
+        entries: List = []
+        for _ in range(entry_count):
+            if is_leaf:
+                item, x, y = _r("Idd", buf)
+                entries.append((item, Point(x, y)))
+            else:
+                entries.append(_r("I", buf)[0])
+        inv = _read_invfile(buf, bool(minmax))
+        raw_nodes[page_id] = (is_leaf, rect, entries, inv)
+
+    docs: Dict[int, Dict[int, int]] = {}
+    for _ in range(object_count):
+        oid, nterms = _r("II", buf)
+        docs[oid] = {}
+        for _ in range(nterms):
+            tid, tf = _r("II", buf)
+            docs[oid][tid] = tf
+
+    # Reassemble RTreeNode graph.
+    built: Dict[int, RTreeNode[int]] = {}
+
+    def build(page_id: int) -> RTreeNode[int]:
+        if page_id in built:
+            return built[page_id]
+        is_leaf, rect, entries, _inv = raw_nodes[page_id]
+        if is_leaf:
+            node = RTreeNode[int](
+                is_leaf=True,
+                rect=rect,
+                entries=[RTreeEntry(point=p, item=item) for item, p in entries],
+            )
+            node.subtree_count = len(entries)
+        else:
+            children = [build(cid) for cid in entries]
+            node = RTreeNode[int](is_leaf=False, rect=rect, children=children)
+            node.subtree_count = sum(c.subtree_count for c in children)
+        node.page_id = page_id
+        built[page_id] = node
+        return node
+
+    root = build(root_id)
+
+    # Assemble the tree object without re-running construction.
+    tree = object.__new__(MIRTree if minmax else IRTree)
+    tree.relevance = relevance
+    tree.minmax = bool(minmax)
+    tree.fanout = fanout
+    objects = {
+        oid: STObject(item_id=oid, location=_object_location(raw_nodes, oid), terms=terms)
+        for oid, terms in docs.items()
+    }
+    tree._objects = objects
+    tree._doc_weights = {
+        oid: relevance.document_weights(terms) for oid, terms in docs.items()
+    }
+    rtree: RTree[int] = RTree(fanout=fanout)
+    rtree.root = root
+    rtree._size = object_count
+    rtree._next_page = max(raw_nodes) + 1
+    tree.rtree = rtree
+    tree._invfiles = {pid: raw_nodes[pid][3] for pid in raw_nodes}
+    tree._summaries = {}
+    _rebuild_summaries(tree, root)
+    return tree
+
+
+def _object_location(raw_nodes, oid: int) -> Point:
+    for is_leaf, _rect, entries, _inv in raw_nodes.values():
+        if is_leaf:
+            for item, p in entries:
+                if item == oid:
+                    return p
+    raise SerdeError(f"object {oid} missing from leaf entries")
+
+
+def _rebuild_summaries(tree: IRTree, node: RTreeNode[int]):
+    """Recompute subtree summaries from the reloaded posting lists."""
+    from ..index.invfile import merge_minmax
+    from ..index.irtree import _merge_summaries
+
+    if node.is_leaf:
+        summary = merge_minmax([tree._doc_weights[e.item] for e in node.entries])
+    else:
+        summary = _merge_summaries([_rebuild_summaries(tree, c) for c in node.children])
+    tree._summaries[node.page_id] = summary
+    return summary
+
+
+def image_size(tree: IRTree) -> int:
+    """Size in bytes of the tree's serialized image."""
+    return len(serialize_irtree(tree))

@@ -1,0 +1,24 @@
+"""Textual substrate: tokenizer, vocabulary, relevance measures."""
+
+from .relevance import (
+    KeywordOverlapRelevance,
+    LanguageModelRelevance,
+    TextRelevance,
+    TfIdfRelevance,
+    make_relevance,
+    MEASURES,
+)
+from .tokenizer import tokenize
+from .vocabulary import CollectionStats, Vocabulary
+
+__all__ = [
+    "CollectionStats",
+    "KeywordOverlapRelevance",
+    "LanguageModelRelevance",
+    "MEASURES",
+    "TextRelevance",
+    "TfIdfRelevance",
+    "Vocabulary",
+    "make_relevance",
+    "tokenize",
+]

@@ -1,0 +1,41 @@
+"""A small, deterministic tokenizer for raw text descriptions.
+
+The synthetic data generators emit term ids directly, but the public API
+also accepts raw strings ("sushi, seafood") so the examples read like
+the paper's Figure 1.  The tokenizer lowercases, strips punctuation and
+drops a tiny built-in stopword list — enough for realistic examples
+without pulling in an NLP dependency.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List
+
+__all__ = ["tokenize", "STOPWORDS"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+#: Minimal English stopword list — keeps example documents clean without
+#: changing the behaviour of the synthetic workloads (which bypass it).
+STOPWORDS = frozenset(
+    """a an and are as at be by for from has he in is it its of on that the
+    to was were will with this those these you your our we they i""".split()
+)
+
+
+def tokenize(text: str, drop_stopwords: bool = True) -> List[str]:
+    """Split ``text`` into lowercase alphanumeric tokens.
+
+    >>> tokenize("Sushi, Seafood & more!")
+    ['sushi', 'seafood', 'more']
+    """
+    tokens = _TOKEN_RE.findall(text.lower())
+    if drop_stopwords:
+        tokens = [t for t in tokens if t not in STOPWORDS]
+    return tokens
+
+
+def tokenize_all(texts: Iterable[str], drop_stopwords: bool = True) -> List[List[str]]:
+    """Tokenize a batch of texts."""
+    return [tokenize(t, drop_stopwords=drop_stopwords) for t in texts]

@@ -1,0 +1,5 @@
+"""Top-k spatial-textual query processing (per-user baseline)."""
+
+from .single import TopKResult, topk_all_users_individually, topk_single_user
+
+__all__ = ["TopKResult", "topk_all_users_individually", "topk_single_user"]

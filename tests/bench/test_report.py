@@ -1,0 +1,47 @@
+"""Tests for the report generator (table formatting + figure registry)."""
+
+import io
+
+import pytest
+
+from repro.bench.report import FIGURES, print_table, run_figure
+from repro.bench.harness import clear_cache
+
+
+class TestPrintTable:
+    def test_layout(self):
+        out = io.StringIO()
+        print_table(
+            "Fig X", [1, 5, 10], {"B ms": [1.0, 2.0, 3.0], "J ms": [0.5, 0.5, 0.5]},
+            out,
+        )
+        text = out.getvalue()
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("Fig X")
+        assert "B ms" in text and "J ms" in text
+        assert "2.00" in text
+
+    def test_float_formatting(self):
+        out = io.StringIO()
+        print_table("T", [1], {"big": [1234.5], "small": [0.1234]}, out)
+        text = out.getvalue()
+        assert "1234" in text  # no decimals for >= 100
+        assert "0.123" in text
+
+
+class TestFigureRegistry:
+    def test_every_paper_artifact_has_a_target(self):
+        expected = {"table4"} | {f"fig{i}" for i in range(5, 16)}
+        assert set(FIGURES) == expected
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99")
+
+    def test_table4_runs(self):
+        out = io.StringIO()
+        run_figure("table4", quick=True, out=out)
+        clear_cache()
+        text = out.getvalue()
+        assert "Total objects" in text
+        assert "Avg unique terms per object" in text

@@ -1,0 +1,71 @@
+"""Shared fixtures: small deterministic datasets for the whole suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Dataset, STObject, User
+from repro.datagen import candidate_locations, flickr_like, generate_users
+from repro.spatial.geometry import Point
+
+
+def make_random_objects(n, vocab_size, rng, tf_max=3, space=10.0):
+    """Hand-rolled random objects (independent of the datagen package)."""
+    objects = []
+    for i in range(n):
+        num_terms = rng.randint(1, min(6, vocab_size))
+        terms = {
+            t: rng.randint(1, tf_max)
+            for t in rng.sample(range(vocab_size), num_terms)
+        }
+        objects.append(
+            STObject(
+                item_id=i,
+                location=Point(rng.uniform(0, space), rng.uniform(0, space)),
+                terms=terms,
+            )
+        )
+    return objects
+
+
+def make_random_users(n, vocab_size, rng, space=10.0, start_id=0):
+    users = []
+    for i in range(n):
+        num_terms = rng.randint(1, min(4, vocab_size))
+        terms = {t: 1 for t in rng.sample(range(vocab_size), num_terms)}
+        users.append(
+            User(
+                item_id=start_id + i,
+                location=Point(rng.uniform(0, space), rng.uniform(0, space)),
+                terms=terms,
+            )
+        )
+    return users
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """60 objects / 12 users, LM relevance — fast unit-test workhorse."""
+    rng = random.Random(42)
+    objects = make_random_objects(60, 20, rng)
+    users = make_random_users(12, 20, rng)
+    return Dataset(objects, users, relevance="LM", alpha=0.5)
+
+
+@pytest.fixture(scope="session")
+def small_flickr():
+    """Generated Flickr-like workload with query ingredients."""
+    objects, vocab = flickr_like(num_objects=250, vocab_size=150, seed=11)
+    workload = generate_users(
+        objects, num_users=30, keywords_per_user=3, unique_keywords=12, seed=11
+    )
+    candidate_locations(workload, num_locations=5, seed=11)
+    dataset = Dataset(objects, workload.users, relevance="LM", alpha=0.5, vocabulary=vocab)
+    return dataset, workload
+
+
+@pytest.fixture(params=["LM", "TF", "KO"])
+def measure_name(request):
+    return request.param

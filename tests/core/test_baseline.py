@@ -1,0 +1,92 @@
+"""Tests for the exhaustive baseline (Section 4)."""
+
+import random
+
+import pytest
+
+from repro import Dataset
+from repro.core.baseline import baseline_maxbrstknn, baseline_select_candidate
+from repro.core.query import MaxBRSTkNNQuery
+from repro.index.irtree import MIRTree
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build(seed, n_obj=60, n_users=10, vocab=12):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    ds = Dataset(objects, users, relevance="LM", alpha=0.5)
+    tree = MIRTree(objects, ds.relevance, fanout=4)
+    locations = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3)]
+    query = MaxBRSTkNNQuery(
+        ox=STObject(item_id=-1, location=Point(5, 5), terms={}),
+        locations=locations,
+        keywords=sorted(rng.sample(range(vocab), 5)),
+        ws=2,
+        k=4,
+    )
+    return ds, tree, query
+
+
+class TestBaselineScan:
+    def test_scans_all_combinations(self):
+        ds, tree, query = build(1)
+        rsk = {u.item_id: 0.9 for u in ds.users}
+        res = baseline_select_candidate(ds, query, rsk)
+        from math import comb
+
+        # every size 0..ws over the 5-keyword pool, for all 3 locations
+        expected_combos = 1 + comb(5, 1) + comb(5, 2)
+        assert res.stats.keyword_combinations_scored == 3 * expected_combos
+
+    def test_returns_at_most_ws_keywords(self):
+        ds, tree, query = build(2)
+        rsk = {u.item_id: 0.0 for u in ds.users}
+        res = baseline_select_candidate(ds, query, rsk)
+        assert len(res.keywords) <= query.ws
+
+    def test_zero_overlap_users_win_only_spatially(self):
+        """With no shared keyword TS = 0, so only alpha * SS can win.
+
+        Thresholds above alpha are therefore unreachable for users whose
+        vocabulary never matches the placed object.
+        """
+        ds, tree, query = build(3)
+        # give every user an unmatchable vocabulary
+        for u in ds.users:
+            u.terms = {999: 1}
+        above_alpha = {u.item_id: ds.alpha + 0.01 for u in ds.users}
+        res = baseline_select_candidate(ds, query, above_alpha)
+        assert res.cardinality == 0
+        # but a zero threshold admits everyone purely spatially
+        zero = {u.item_id: 0.0 for u in ds.users}
+        res2 = baseline_select_candidate(ds, query, zero)
+        assert res2.cardinality == len(ds.users)
+
+    def test_ws_zero_scores_empty_combo(self):
+        ds, tree, query = build(4)
+        query.ws = 0
+        rsk = {u.item_id: 0.5 for u in ds.users}
+        res = baseline_select_candidate(ds, query, rsk)
+        assert res.keywords == frozenset()
+
+
+class TestFullBaseline:
+    def test_end_to_end_and_stats(self):
+        ds, tree, query = build(5)
+        res = baseline_maxbrstknn(tree, ds, query)
+        assert res.location is not None
+        assert res.stats.topk_time_s > 0
+        assert res.stats.selection_time_s > 0
+
+    def test_io_recorded_with_store(self):
+        from repro.storage.iostats import IOCounter
+        from repro.storage.pager import PageStore
+
+        ds, tree, query = build(6)
+        store = PageStore(counter=IOCounter())
+        res = baseline_maxbrstknn(tree, ds, query, store=store)
+        assert res.stats.io_node_visits > 0

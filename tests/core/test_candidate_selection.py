@@ -1,0 +1,129 @@
+"""Tests for Algorithm 3: candidate location selection with pruning."""
+
+import random
+
+import pytest
+
+from repro import Dataset
+from repro.core.candidate_selection import select_candidate, shortlist_locations
+from repro.core.joint_topk import joint_topk, joint_traversal
+from repro.core.query import MaxBRSTkNNQuery
+from repro.index.irtree import MIRTree
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build_problem(seed, n_obj=80, n_users=15, vocab=14, k=5, n_locs=6):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    ds = Dataset(objects, users, relevance="LM", alpha=0.5)
+    tree = MIRTree(objects, ds.relevance, fanout=4)
+    trav = joint_traversal(tree, ds, k)
+    topk = joint_topk(tree, ds, k)
+    rsk = {uid: r.kth_score for uid, r in topk.items()}
+    locations = [Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(n_locs)]
+    candidates = sorted(rng.sample(range(vocab), 7))
+    query = MaxBRSTkNNQuery(
+        ox=STObject(item_id=-1, location=Point(5, 5), terms={}),
+        locations=locations,
+        keywords=candidates,
+        ws=2,
+        k=k,
+    )
+    return ds, query, rsk, trav.rsk_group
+
+
+class TestShortlist:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_shortlist_is_superset_of_true_winners(self, seed):
+        """No user who can actually be won may be shortlisted away."""
+        from repro.core.keyword_selection import compute_brstknn
+        from repro.core.bounds import augmented_document
+        from itertools import combinations
+
+        ds, query, rsk, rsk_group = build_problem(seed)
+        shortlists, _ = shortlist_locations(ds, query, rsk, rsk_group)
+        by_loc = {id(sl.location): sl for sl in shortlists}
+        surviving = {(sl.location.x, sl.location.y) for sl in shortlists}
+        for loc in query.locations:
+            winners_any = set()
+            for size in range(0, query.ws + 1):
+                for combo in combinations(query.keywords, size):
+                    winners_any |= compute_brstknn(
+                        ds, query.ox, loc, combo, ds.users, rsk
+                    )
+            if not winners_any:
+                continue
+            assert (loc.x, loc.y) in surviving
+            sl = next(s for s in shortlists if s.location == loc)
+            shortlisted = {u.item_id for u in sl.users}
+            assert winners_any <= shortlisted
+
+    def test_group_pruning_counts(self):
+        """With spatial-dominant scoring a remote location is prunable."""
+        ds, query, rsk, rsk_group = build_problem(7)
+        spatial_ds = ds.with_alpha(1.0)
+        from repro.core.joint_topk import joint_topk as jt, joint_traversal as jtrav
+        from repro.index.irtree import MIRTree
+
+        tree = MIRTree(spatial_ds.objects, spatial_ds.relevance, fanout=4)
+        trav = jtrav(tree, spatial_ds, query.k)
+        topk = jt(tree, spatial_ds, query.k)
+        rsk_s = {uid: r.kth_score for uid, r in topk.items()}
+        query.locations.append(Point(1e6, 1e6))
+        shortlists, pruned = shortlist_locations(
+            spatial_ds, query, rsk_s, trav.rsk_group
+        )
+        assert pruned >= 1
+
+
+class TestSelectCandidate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_exact_equals_baseline_scan(self, seed):
+        from repro.core.baseline import baseline_select_candidate
+
+        ds, query, rsk, rsk_group = build_problem(seed)
+        pruned = select_candidate(ds, query, rsk, rsk_group, method="exact")
+        gold = baseline_select_candidate(ds, query, rsk)
+        assert pruned.cardinality == gold.cardinality
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_approx_bounded_by_exact(self, seed):
+        ds, query, rsk, rsk_group = build_problem(seed)
+        approx = select_candidate(ds, query, rsk, rsk_group, method="approx")
+        exact = select_candidate(ds, query, rsk, rsk_group, method="exact")
+        assert approx.cardinality <= exact.cardinality
+        if exact.cardinality:
+            assert approx.cardinality / exact.cardinality >= 0.5
+
+    def test_result_reports_achievable_set(self):
+        from repro.core.keyword_selection import compute_brstknn
+
+        ds, query, rsk, rsk_group = build_problem(11)
+        res = select_candidate(ds, query, rsk, rsk_group, method="exact")
+        assert res.location is not None
+        actual = compute_brstknn(
+            ds, query.ox, res.location, res.keywords, ds.users, rsk
+        )
+        assert actual >= res.brstknn  # reported winners are real
+
+    def test_single_location(self):
+        ds, query, rsk, rsk_group = build_problem(13)
+        query.locations = query.locations[:1]
+        res = select_candidate(ds, query, rsk, rsk_group, method="exact")
+        assert res.location == query.locations[0]
+
+    def test_unknown_method_rejected(self):
+        ds, query, rsk, rsk_group = build_problem(14)
+        with pytest.raises(ValueError):
+            select_candidate(ds, query, rsk, rsk_group, method="magic")
+
+    def test_impossible_thresholds_yield_empty(self):
+        ds, query, rsk, _ = build_problem(15)
+        impossible = {uid: 2.0 for uid in rsk}  # STS can never reach 2
+        res = select_candidate(ds, query, impossible, 2.0, method="exact")
+        assert res.cardinality == 0
+        assert res.location is not None  # still returns a placement

@@ -1,0 +1,67 @@
+"""Tests for query/result value types."""
+
+import pytest
+
+from repro.core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+
+
+def ox():
+    return STObject(item_id=-1, location=Point(0, 0), terms={})
+
+
+class TestQueryValidation:
+    def test_requires_locations(self):
+        with pytest.raises(ValueError):
+            MaxBRSTkNNQuery(ox=ox(), locations=[], keywords=[1], ws=1, k=1)
+
+    def test_rejects_negative_ws(self):
+        with pytest.raises(ValueError):
+            MaxBRSTkNNQuery(ox=ox(), locations=[Point(0, 0)], keywords=[1], ws=-1, k=1)
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            MaxBRSTkNNQuery(ox=ox(), locations=[Point(0, 0)], keywords=[1], ws=1, k=0)
+
+    def test_clamps_ws_to_pool(self):
+        q = MaxBRSTkNNQuery(
+            ox=ox(), locations=[Point(0, 0)], keywords=[1, 2], ws=10, k=1
+        )
+        assert q.ws == 2
+
+    def test_deduplicates_keywords(self):
+        q = MaxBRSTkNNQuery(
+            ox=ox(), locations=[Point(0, 0)], keywords=[3, 1, 3, 1], ws=1, k=1
+        )
+        assert q.keywords == [3, 1]
+
+
+class TestResult:
+    def test_cardinality_and_summary(self):
+        r = MaxBRSTkNNResult(
+            location=Point(1.0, 2.0),
+            keywords=frozenset({4, 2}),
+            brstknn=frozenset({10, 11, 12}),
+        )
+        assert r.cardinality == 3
+        s = r.summary()
+        assert "|BRSTkNN|=3" in s
+        assert "[2, 4]" in s
+
+    def test_summary_without_location(self):
+        r = MaxBRSTkNNResult(location=None, keywords=frozenset(), brstknn=frozenset())
+        assert "<none>" in r.summary()
+
+
+class TestQueryStats:
+    def test_io_total(self):
+        s = QueryStats(io_node_visits=3, io_invfile_blocks=4)
+        assert s.io_total == 7
+
+    def test_users_pruned_pct(self):
+        s = QueryStats(users_pruned=25, users_total=200)
+        assert s.users_pruned_pct == pytest.approx(12.5)
+
+    def test_users_pruned_pct_empty(self):
+        assert QueryStats().users_pruned_pct == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the synthetic collection generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    SpaceConfig,
+    flickr_like,
+    yelp_like,
+    zipf_term_sampler,
+)
+
+
+class TestZipfSampler:
+    def test_valid_distribution(self):
+        rng = np.random.default_rng(0)
+        p = zipf_term_sampler(rng, 100)
+        assert p.shape == (100,)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p > 0).all()
+
+    def test_heavy_tail(self):
+        """A small head of terms carries a large probability share."""
+        rng = np.random.default_rng(0)
+        p = np.sort(zipf_term_sampler(rng, 1000))[::-1]
+        assert p[:50].sum() > 0.3
+
+    def test_shuffled_by_seed(self):
+        a = zipf_term_sampler(np.random.default_rng(1), 50)
+        b = zipf_term_sampler(np.random.default_rng(2), 50)
+        assert not np.allclose(a, b)
+
+
+class TestFlickrLike:
+    def test_shape(self):
+        objects, vocab = flickr_like(num_objects=300, vocab_size=200, seed=3)
+        assert len(objects) == 300
+        assert len(vocab) <= 200
+        ids = [o.item_id for o in objects]
+        assert ids == list(range(300))
+
+    def test_short_documents(self):
+        objects, _ = flickr_like(num_objects=400, seed=4)
+        mean_terms = sum(len(o.keyword_set) for o in objects) / len(objects)
+        assert 4.0 <= mean_terms <= 10.0  # paper: 6.9
+
+    def test_tags_occur_once(self):
+        objects, _ = flickr_like(num_objects=100, seed=5)
+        assert all(tf == 1 for o in objects for tf in o.terms.values())
+
+    def test_deterministic_under_seed(self):
+        a, _ = flickr_like(num_objects=50, seed=9)
+        b, _ = flickr_like(num_objects=50, seed=9)
+        assert all(
+            x.location == y.location and x.terms == y.terms for x, y in zip(a, b)
+        )
+
+    def test_locations_inside_space(self):
+        cfg = SpaceConfig(side=20.0)
+        objects, _ = flickr_like(num_objects=200, space=cfg, seed=6)
+        assert all(0 <= o.location.x <= 20 and 0 <= o.location.y <= 20 for o in objects)
+
+    def test_clustering_present(self):
+        """Clustered generation concentrates mass versus uniform."""
+        objects, _ = flickr_like(num_objects=2000, seed=7)
+        xs = np.array([o.location.x for o in objects])
+        ys = np.array([o.location.y for o in objects])
+        grid, _, _ = np.histogram2d(xs, ys, bins=10)
+        top_cells = np.sort(grid.ravel())[::-1]
+        assert top_cells[:10].sum() > 0.25 * len(objects)
+
+
+class TestYelpLike:
+    def test_long_documents(self):
+        objects, _ = yelp_like(num_objects=80, seed=8)
+        mean_terms = sum(len(o.keyword_set) for o in objects) / len(objects)
+        assert mean_terms > 50
+
+    def test_repeated_terms(self):
+        objects, _ = yelp_like(num_objects=50, seed=9)
+        assert any(tf > 1 for o in objects for tf in o.terms.values())
+
+    def test_distinct_prefix_from_flickr(self):
+        _, vocab_f = flickr_like(num_objects=10, seed=1)
+        _, vocab_y = yelp_like(num_objects=10, seed=1)
+        assert vocab_f.term_of(0).startswith("tag")
+        assert vocab_y.term_of(0).startswith("rev")

@@ -1,0 +1,79 @@
+"""Tests for the Section 8 user-generation protocol."""
+
+import pytest
+
+from repro.datagen.synthetic import flickr_like
+from repro.datagen.users import candidate_locations, generate_users
+
+
+@pytest.fixture(scope="module")
+def objects():
+    objs, _ = flickr_like(num_objects=800, vocab_size=400, seed=21)
+    return objs
+
+
+class TestGenerateUsers:
+    def test_counts_and_ids(self, objects):
+        wl = generate_users(objects, num_users=50, seed=1)
+        assert len(wl.users) == 50
+        assert [u.item_id for u in wl.users] == list(range(50))
+
+    def test_ul_keywords_per_user(self, objects):
+        wl = generate_users(objects, num_users=40, keywords_per_user=4,
+                            unique_keywords=25, seed=2)
+        assert all(len(u.keyword_set) == 4 for u in wl.users)
+
+    def test_pool_size_is_uw(self, objects):
+        wl = generate_users(objects, num_users=40, unique_keywords=15, seed=3)
+        assert len(wl.candidate_keywords) <= 15
+        union = set().union(*(u.keyword_set for u in wl.users))
+        assert union <= set(wl.candidate_keywords)
+
+    def test_users_inside_area(self, objects):
+        wl = generate_users(objects, num_users=60, area_side=5.0, seed=4)
+        assert wl.area.width == pytest.approx(5.0)
+        assert all(wl.area.contains_point(u.location) for u in wl.users)
+
+    def test_user_locations_are_object_locations(self, objects):
+        wl = generate_users(objects, num_users=30, seed=5)
+        locs = {(o.location.x, o.location.y) for o in objects}
+        assert all((u.location.x, u.location.y) in locs for u in wl.users)
+
+    def test_ul_exceeding_uw_rejected(self, objects):
+        with pytest.raises(ValueError):
+            generate_users(objects, num_users=5, keywords_per_user=10,
+                           unique_keywords=5)
+
+    def test_empty_objects_rejected(self):
+        with pytest.raises(ValueError):
+            generate_users([], num_users=5)
+
+    def test_deterministic(self, objects):
+        a = generate_users(objects, num_users=20, seed=8)
+        b = generate_users(objects, num_users=20, seed=8)
+        assert all(x.terms == y.terms and x.location == y.location
+                   for x, y in zip(a.users, b.users))
+        assert a.candidate_keywords == b.candidate_keywords
+
+    def test_query_object(self, objects):
+        wl = generate_users(objects, num_users=10, seed=9)
+        ox = wl.query_object()
+        assert ox.terms == {}
+        assert wl.area.contains_point(ox.location)
+        ox2 = wl.query_object(terms={3: 1})
+        assert ox2.terms == {3: 1}
+
+
+class TestCandidateLocations:
+    def test_inside_area_and_count(self, objects):
+        wl = generate_users(objects, num_users=20, seed=10)
+        locs = candidate_locations(wl, num_locations=12, seed=10)
+        assert len(locs) == 12
+        assert all(wl.area.contains_point(p) for p in locs)
+        assert wl.locations == locs
+
+    def test_deterministic(self, objects):
+        wl = generate_users(objects, num_users=20, seed=11)
+        a = candidate_locations(wl, 6, seed=11)
+        b = candidate_locations(wl, 6, seed=11)
+        assert a == b

@@ -1,0 +1,121 @@
+"""Tests for the min-max DIR-tree variant (text-aware construction)."""
+
+import random
+
+import pytest
+
+from repro import Dataset, STObject
+from repro.core.joint_topk import joint_topk
+from repro.index.dirtree import MDIRTree, leaf_cohesion
+from repro.index.irtree import MIRTree
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def topic_clustered_objects(n, num_topics, rng, space=10.0):
+    """Objects whose vocabulary is topical but whose locations are not:
+    each topic owns a disjoint term block; locations are uniform."""
+    objects = []
+    for i in range(n):
+        topic = rng.randrange(num_topics)
+        base = topic * 10
+        terms = {base + t: 1 for t in rng.sample(range(10), 4)}
+        objects.append(
+            STObject(
+                item_id=i,
+                location=Point(rng.uniform(0, space), rng.uniform(0, space)),
+                terms=terms,
+            )
+        )
+    return objects
+
+
+@pytest.fixture(scope="module")
+def world():
+    rng = random.Random(31)
+    objects = make_random_objects(120, 18, rng)
+    users = make_random_users(12, 18, rng)
+    ds = Dataset(objects, users, relevance="LM")
+    return ds
+
+
+class TestConstruction:
+    def test_invariants(self, world):
+        tree = MDIRTree(world.objects, world.relevance, fanout=8, beta=0.4)
+        tree.check_invariants()
+        assert len(tree) == len(world.objects)
+
+    def test_parameter_validation(self, world):
+        with pytest.raises(ValueError):
+            MDIRTree(world.objects, world.relevance, beta=1.5)
+        with pytest.raises(ValueError):
+            MDIRTree(world.objects, world.relevance, refinement_passes=-1)
+
+    def test_zero_passes_equals_str_packing(self, world):
+        plain = MIRTree(world.objects, world.relevance, fanout=8)
+        zero = MDIRTree(
+            world.objects, world.relevance, fanout=8, refinement_passes=0
+        )
+        a = sorted(
+            tuple(sorted(e.item for e in n.entries))
+            for n in plain.rtree.iter_nodes()
+            if n.is_leaf
+        )
+        b = sorted(
+            tuple(sorted(e.item for e in n.entries))
+            for n in zero.rtree.iter_nodes()
+            if n.is_leaf
+        )
+        assert a == b
+
+    def test_small_collection(self, world):
+        tree = MDIRTree(world.objects[:5], world.relevance, fanout=8)
+        tree.check_invariants()
+
+
+class TestQueryEquivalence:
+    """Grouping changes I/O, never answers (bounds stay sound)."""
+
+    @pytest.mark.parametrize("beta", [0.1, 0.5, 0.9])
+    def test_joint_topk_identical_to_mir(self, world, beta):
+        mir = MIRTree(world.objects, world.relevance, fanout=8)
+        mdir = MDIRTree(world.objects, world.relevance, fanout=8, beta=beta)
+        a = joint_topk(mir, world, 5)
+        b = joint_topk(mdir, world, 5)
+        for uid in a:
+            assert a[uid].kth_score == pytest.approx(b[uid].kth_score, abs=1e-12)
+
+    def test_engine_accepts_mdir(self, world):
+        from repro.topk.single import topk_single_user
+
+        mdir = MDIRTree(world.objects, world.relevance, fanout=8)
+        u = world.users[0]
+        got = topk_single_user(mdir, world, u, 4)
+        gold = sorted((world.sts(o, u) for o in world.objects), reverse=True)[3]
+        assert got.kth_score == pytest.approx(gold, abs=1e-9)
+
+
+class TestCohesion:
+    def test_dir_grouping_improves_cohesion_on_topical_text(self):
+        rng = random.Random(41)
+        objects = topic_clustered_objects(160, 4, rng)
+        users = make_random_users(8, 40, rng)
+        ds = Dataset(objects, users, relevance="LM")
+        by_id = {o.item_id: o for o in objects}
+        plain = MIRTree(objects, ds.relevance, fanout=8)
+        textual = MDIRTree(
+            objects, ds.relevance, fanout=8, beta=0.05, refinement_passes=3
+        )
+        assert textual.textual_cohesion() == pytest.approx(
+            leaf_cohesion(textual, by_id)
+        )
+        assert leaf_cohesion(textual, by_id) > leaf_cohesion(plain, by_id)
+
+    def test_beta_one_changes_little(self, world):
+        by_id = {o.item_id: o for o in world.objects}
+        plain = MIRTree(world.objects, world.relevance, fanout=8)
+        spatial = MDIRTree(world.objects, world.relevance, fanout=8, beta=1.0)
+        # With beta = 1 the cost is purely spatial; cohesion should not
+        # move meaningfully from the STR packing.
+        assert abs(leaf_cohesion(spatial, by_id) - leaf_cohesion(plain, by_id)) < 0.2

@@ -1,0 +1,110 @@
+"""Tests for inverted files and the min/max merge rule."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.invfile import InvertedFile, Posting, merge_minmax
+from repro.storage.pager import POSTING_ENTRY_BYTES_IR, POSTING_ENTRY_BYTES_MIR
+
+
+class TestPosting:
+    def test_rejects_min_above_max(self):
+        with pytest.raises(ValueError):
+            Posting(entry_key=1, max_weight=1.0, min_weight=2.0)
+
+    def test_equal_min_max_ok(self):
+        p = Posting(entry_key=1, max_weight=0.5, min_weight=0.5)
+        assert p.max_weight == p.min_weight
+
+
+class TestInvertedFile:
+    def test_add_document_min_equals_max(self):
+        inv = InvertedFile()
+        inv.add_document(7, {0: 0.4, 1: 0.2})
+        (p,) = inv.postings(0)
+        assert p.entry_key == 7
+        assert p.max_weight == p.min_weight == 0.4
+
+    def test_add_summary_defaults_min_to_zero(self):
+        inv = InvertedFile()
+        inv.add_summary(3, {0: 0.9, 1: 0.5}, {0: 0.1})
+        assert inv.postings(0)[0].min_weight == pytest.approx(0.1)
+        assert inv.postings(1)[0].min_weight == 0.0
+
+    def test_missing_term_empty(self):
+        inv = InvertedFile()
+        assert inv.postings(42) == []
+        assert 42 not in inv
+
+    def test_entry_weights_groups_by_entry(self):
+        inv = InvertedFile()
+        inv.add_document(1, {0: 0.5, 1: 0.3})
+        inv.add_document(2, {0: 0.7})
+        view = inv.entry_weights([0, 1, 9])
+        assert view[1] == {0: (0.5, 0.5), 1: (0.3, 0.3)}
+        assert view[2] == {0: (0.7, 0.7)}
+        assert 9 not in view.get(1, {})
+
+    def test_counts(self):
+        inv = InvertedFile()
+        inv.add_document(1, {0: 0.5, 1: 0.3})
+        inv.add_document(2, {0: 0.7})
+        assert len(inv) == 2
+        assert inv.num_postings() == 3
+
+    def test_size_model_minmax_vs_plain(self):
+        minmax = InvertedFile(minmax=True)
+        plain = InvertedFile(minmax=False)
+        for inv in (minmax, plain):
+            inv.add_document(1, {0: 0.5})
+        assert minmax.posting_entry_bytes == POSTING_ENTRY_BYTES_MIR
+        assert plain.posting_entry_bytes == POSTING_ENTRY_BYTES_IR
+        assert minmax.list_bytes(0) > plain.list_bytes(0)
+        assert minmax.list_bytes(99) == 0
+
+    def test_total_bytes_sums_lists(self):
+        inv = InvertedFile()
+        inv.add_document(1, {0: 0.5, 1: 0.3})
+        assert inv.total_bytes() == inv.list_bytes(0) + inv.list_bytes(1)
+
+
+class TestMergeMinMax:
+    def test_paper_example_r4(self):
+        """Table 2: node R4 over (o6, o7) for term t1 -> max 2, min 1."""
+        o6 = {1: 1.0, 3: 1.0}          # t1:1, t3:1
+        o7 = {1: 2.0, 4: 3.0}          # t1:2, t4:3
+        max_w, min_w = merge_minmax([o6, o7])
+        assert max_w[1] == 2.0
+        assert min_w[1] == 1.0
+        # t3 and t4 are not in the intersection -> absent from min.
+        assert 3 not in min_w and 4 not in min_w
+        assert max_w[3] == 1.0 and max_w[4] == 3.0
+
+    def test_single_document(self):
+        max_w, min_w = merge_minmax([{0: 0.5}])
+        assert max_w == min_w == {0: 0.5}
+
+    def test_empty_input(self):
+        max_w, min_w = merge_minmax([])
+        assert max_w == {} and min_w == {}
+
+    @given(st.lists(
+        st.dictionaries(st.integers(0, 6), st.floats(0, 10, allow_nan=False),
+                        min_size=1, max_size=5),
+        min_size=1, max_size=6))
+    @settings(max_examples=100)
+    def test_property_bounds_every_document(self, docs):
+        max_w, min_w = merge_minmax(docs)
+        all_terms = {t for d in docs for t in d}
+        assert set(max_w) == all_terms
+        for d in docs:
+            for t, w in d.items():
+                assert w <= max_w[t] + 1e-12
+        inter = set(docs[0])
+        for d in docs[1:]:
+            inter &= set(d)
+        assert set(min_w) == inter
+        for t in inter:
+            assert min_w[t] == pytest.approx(min(d[t] for d in docs))
+            assert min_w[t] <= max_w[t] + 1e-12

@@ -1,0 +1,56 @@
+"""Smoke tests for the example scripts.
+
+The tiny Figure 1 example runs end to end; the larger examples are
+import-checked and their mains exercised through the same API calls at
+reduced scale elsewhere in the suite (running them verbatim would add
+minutes of benchmark-scale work to every test run).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_complete(self):
+        present = {p.stem for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart",
+            "restaurant_menu",
+            "ad_placement",
+            "joint_topk_io",
+            "franchise_expansion",
+        } <= present
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "restaurant_menu",
+            "ad_placement",
+            "joint_topk_io",
+            "franchise_expansion",
+        ],
+    )
+    def test_example_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    def test_restaurant_menu_runs(self, capsys):
+        module = load_example("restaurant_menu")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Best placement" in out
+        assert "sushi" in out
+        assert "WON" in out

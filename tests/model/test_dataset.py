@@ -1,0 +1,118 @@
+"""Tests for the Dataset scoring context."""
+
+import math
+import random
+
+import pytest
+
+from repro import Dataset
+from repro.model.objects import STObject, User
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+class TestConstruction:
+    def test_rejects_empty_objects(self):
+        with pytest.raises(ValueError):
+            Dataset([], [], relevance="LM")
+
+    def test_rejects_bad_alpha(self):
+        o = [STObject(0, Point(0, 0), {0: 1})]
+        with pytest.raises(ValueError):
+            Dataset(o, [], alpha=1.5)
+        with pytest.raises(ValueError):
+            Dataset(o, [], alpha=-0.1)
+
+    def test_accepts_measure_by_name_or_instance(self):
+        from repro.text.relevance import TfIdfRelevance
+
+        o = [STObject(0, Point(0, 0), {0: 1})]
+        assert Dataset(o, [], relevance="TF").relevance.name == "TF"
+        assert Dataset(o, [], relevance=TfIdfRelevance()).relevance.name == "TF"
+
+    def test_lookup_by_id(self):
+        rng = random.Random(1)
+        objects = make_random_objects(5, 8, rng)
+        users = make_random_users(3, 8, rng)
+        ds = Dataset(objects, users)
+        assert ds.object_by_id(objects[2].item_id) is objects[2]
+        assert ds.user_by_id(users[1].item_id) is users[1]
+
+
+class TestDmaxAndSpatialScore:
+    def test_dmax_covers_all_pairs(self):
+        rng = random.Random(2)
+        objects = make_random_objects(30, 8, rng)
+        users = make_random_users(10, 8, rng)
+        ds = Dataset(objects, users)
+        pts = [o.location for o in objects] + [u.location for u in users]
+        for i in range(0, len(pts), 7):
+            for j in range(0, len(pts), 5):
+                assert pts[i].distance_to(pts[j]) <= ds.dmax + 1e-9
+
+    def test_identical_points_dmax_one(self):
+        """Degenerate geometry: dmax falls back to 1 to avoid 0-division."""
+        o = [STObject(i, Point(3, 3), {0: 1}) for i in range(3)]
+        ds = Dataset(o, [])
+        assert ds.dmax == 1.0
+        assert ds.spatial_score(Point(3, 3), Point(3, 3)) == 1.0
+
+    def test_spatial_score_clamped(self):
+        o = [STObject(0, Point(0, 0), {0: 1}), STObject(1, Point(1, 0), {0: 1})]
+        ds = Dataset(o, [])
+        # a far query point would give a negative raw score
+        assert ds.spatial_score(Point(0, 0), Point(100, 0)) == 0.0
+        assert ds.spatial_score(Point(0, 0), Point(0, 0)) == 1.0
+
+
+class TestSTS:
+    def test_alpha_blend(self):
+        o = [STObject(0, Point(0, 0), {0: 1}), STObject(1, Point(10, 0), {1: 1})]
+        u = User(0, Point(0, 0), {0: 1})
+        ds = Dataset(o, [u], relevance="KO", alpha=0.3)
+        ss = ds.spatial_score(o[0].location, u.location)
+        ts = ds.text_score(o[0].terms, u.keyword_set)
+        assert ds.sts(o[0], u) == pytest.approx(0.3 * ss + 0.7 * ts)
+
+    def test_sts_in_unit_interval(self, tiny_dataset):
+        ds = tiny_dataset
+        for o in ds.objects[:10]:
+            for u in ds.users:
+                assert 0.0 <= ds.sts(o, u) <= 1.0
+
+    def test_sts_parts_matches_sts(self, tiny_dataset):
+        ds = tiny_dataset
+        o, u = ds.objects[0], ds.users[0]
+        assert ds.sts_parts(o.location, o.terms, u) == pytest.approx(ds.sts(o, u))
+
+
+class TestClones:
+    def test_with_alpha_shares_relevance(self, tiny_dataset):
+        clone = tiny_dataset.with_alpha(0.9)
+        assert clone.alpha == 0.9
+        assert clone.relevance is tiny_dataset.relevance
+        assert clone.dmax == tiny_dataset.dmax
+        assert tiny_dataset.alpha == 0.5  # original untouched
+
+    def test_with_users_rebuilds_super_user(self, tiny_dataset):
+        subset = tiny_dataset.users[:3]
+        clone = tiny_dataset.with_users(subset)
+        assert clone.super_user.count == 3
+        assert tiny_dataset.super_user.count == len(tiny_dataset.users)
+
+
+class TestStats:
+    def test_stats_rows(self, tiny_dataset):
+        stats = tiny_dataset.stats()
+        rows = dict((k, v) for k, v in stats.rows())
+        assert rows["Total objects"] == len(tiny_dataset.objects)
+        assert rows["Total terms in dataset"] == sum(
+            o.doc_length for o in tiny_dataset.objects
+        )
+        assert stats.num_users == len(tiny_dataset.users)
+
+    def test_super_user_requires_users(self):
+        ds = Dataset([STObject(0, Point(0, 0), {0: 1})], [])
+        with pytest.raises(ValueError):
+            _ = ds.super_user

@@ -1,0 +1,80 @@
+"""Tests for the data model: items, super-users."""
+
+import pytest
+
+from repro.model.objects import STObject, SuperUser, User
+from repro.spatial.geometry import Point, Rect
+from repro.text.relevance import make_relevance
+
+
+def fitted_relevance():
+    return make_relevance("LM").fit([{0: 1, 1: 2}, {1: 1, 2: 3}])
+
+
+class TestSpatialTextualItem:
+    def test_keyword_set_and_length(self):
+        o = STObject(1, Point(0, 0), {3: 2, 5: 1})
+        assert o.keyword_set == {3, 5}
+        assert o.doc_length == 3
+
+    def test_rejects_nonpositive_tf(self):
+        with pytest.raises(ValueError):
+            STObject(1, Point(0, 0), {3: 0})
+
+    def test_has_any_keyword(self):
+        o = STObject(1, Point(0, 0), {3: 1})
+        assert o.has_any_keyword([9, 3])
+        assert not o.has_any_keyword([9, 8])
+        assert not o.has_any_keyword([])
+
+    def test_empty_description_allowed(self):
+        o = STObject(1, Point(0, 0), {})
+        assert o.keyword_set == set()
+        assert o.doc_length == 0
+
+
+class TestSuperUser:
+    def test_from_users_aggregates(self):
+        rel = fitted_relevance()
+        users = [
+            User(0, Point(0, 0), {0: 1, 1: 1}),
+            User(1, Point(2, 3), {1: 1, 2: 1}),
+        ]
+        su = SuperUser.from_users(users, rel)
+        assert su.union_terms == frozenset({0, 1, 2})
+        assert su.intersection_terms == frozenset({1})
+        assert su.count == 2
+        assert su.mbr == Rect(0, 0, 2, 3)
+        z0 = rel.user_normalizer({0, 1})
+        z1 = rel.user_normalizer({1, 2})
+        assert su.min_normalizer == pytest.approx(min(z0, z1))
+        assert su.max_normalizer == pytest.approx(max(z0, z1))
+
+    def test_single_user(self):
+        rel = fitted_relevance()
+        su = SuperUser.from_users([User(0, Point(1, 1), {0: 1})], rel)
+        assert su.union_terms == su.intersection_terms == frozenset({0})
+        assert su.min_normalizer == pytest.approx(su.max_normalizer)
+        assert su.mbr.is_point()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SuperUser.from_users([], fitted_relevance())
+
+    def test_disjoint_keywords_empty_intersection(self):
+        rel = fitted_relevance()
+        users = [User(0, Point(0, 0), {0: 1}), User(1, Point(1, 1), {2: 1})]
+        su = SuperUser.from_users(users, rel)
+        assert su.intersection_terms == frozenset()
+
+    def test_from_parts_roundtrip(self):
+        su = SuperUser.from_parts(
+            mbr=Rect(0, 0, 1, 1),
+            union_terms=[1, 2],
+            intersection_terms=[1],
+            min_normalizer=0.5,
+            max_normalizer=1.5,
+            count=7,
+        )
+        assert su.union_terms == frozenset({1, 2})
+        assert su.count == 7

@@ -1,0 +1,169 @@
+"""R-tree tests: structure invariants plus query-vs-brute-force oracles."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import RTree, RTreeEntry
+
+
+def random_entries(n, rng, space=100.0):
+    return [
+        RTreeEntry(point=Point(rng.uniform(0, space), rng.uniform(0, space)), item=i)
+        for i in range(n)
+    ]
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 5, 32, 33, 200, 1000])
+    def test_sizes_and_invariants(self, n):
+        rng = random.Random(n)
+        tree = RTree.bulk_load(random_entries(n, rng), fanout=8)
+        assert len(tree) == n
+        tree.check_invariants()
+
+    def test_all_entries_preserved(self):
+        rng = random.Random(7)
+        entries = random_entries(300, rng)
+        tree = RTree.bulk_load(entries, fanout=8)
+        items = sorted(e.item for e in tree.iter_entries())
+        assert items == list(range(300))
+
+    def test_page_ids_unique_and_dense(self):
+        rng = random.Random(3)
+        tree = RTree.bulk_load(random_entries(200, rng), fanout=8)
+        ids = [n.page_id for n in tree.iter_nodes()]
+        assert sorted(ids) == list(range(len(ids)))
+
+    def test_height_grows_logarithmically(self):
+        rng = random.Random(5)
+        small = RTree.bulk_load(random_entries(8, rng), fanout=8)
+        big = RTree.bulk_load(random_entries(4000, rng), fanout=8)
+        assert small.height == 1
+        assert 3 <= big.height <= 6
+
+    def test_fanout_validation(self):
+        with pytest.raises(ValueError):
+            RTree(fanout=1)
+
+
+class TestInsert:
+    def test_incremental_insert_invariants(self):
+        rng = random.Random(13)
+        tree = RTree(fanout=4)
+        for i in range(150):
+            tree.insert(Point(rng.uniform(0, 50), rng.uniform(0, 50)), i)
+            if i % 25 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert len(tree) == 150
+        assert sorted(e.item for e in tree.iter_entries()) == list(range(150))
+
+    def test_insert_duplicate_points(self):
+        tree = RTree(fanout=4)
+        for i in range(20):
+            tree.insert(Point(1.0, 1.0), i)
+        tree.check_invariants()
+        assert len(tree) == 20
+
+    def test_insert_into_bulk_loaded(self):
+        rng = random.Random(17)
+        tree = RTree.bulk_load(random_entries(64, rng), fanout=8)
+        for i in range(64, 100):
+            tree.insert(Point(rng.uniform(0, 100), rng.uniform(0, 100)), i)
+        tree.check_invariants()
+        assert len(tree) == 100
+
+
+class TestQueries:
+    def test_range_query_matches_brute_force(self):
+        rng = random.Random(23)
+        entries = random_entries(500, rng)
+        tree = RTree.bulk_load(entries, fanout=8)
+        for _ in range(20):
+            x1, x2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            y1, y2 = sorted((rng.uniform(0, 100), rng.uniform(0, 100)))
+            query = Rect(x1, y1, x2, y2)
+            expected = {e.item for e in entries if query.contains_point(e.point)}
+            got = {e.item for e in tree.range_query(query)}
+            assert got == expected
+
+    def test_range_query_empty_tree(self):
+        tree = RTree(fanout=4)
+        assert tree.range_query(Rect(0, 0, 10, 10)) == []
+
+    def test_nearest_matches_brute_force(self):
+        rng = random.Random(29)
+        entries = random_entries(300, rng)
+        tree = RTree.bulk_load(entries, fanout=8)
+        for _ in range(15):
+            q = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+            gold = sorted(entries, key=lambda e: e.point.distance_to(q))[:5]
+            gold_d = [e.point.distance_to(q) for e in gold]
+            got = tree.nearest(q, n=5)
+            got_d = [e.point.distance_to(q) for e in got]
+            assert got_d == pytest.approx(gold_d)
+
+    def test_nearest_n_larger_than_tree(self):
+        rng = random.Random(31)
+        tree = RTree.bulk_load(random_entries(5, rng), fanout=4)
+        assert len(tree.nearest(Point(0, 0), n=50)) == 5
+
+    def test_nearest_zero(self):
+        rng = random.Random(37)
+        tree = RTree.bulk_load(random_entries(5, rng), fanout=4)
+        assert tree.nearest(Point(0, 0), n=0) == []
+
+
+class TestSubtreeCounts:
+    def test_counts_after_bulk_load(self):
+        rng = random.Random(41)
+        tree = RTree.bulk_load(random_entries(256, rng), fanout=8)
+        assert tree.root.subtree_count == 256
+
+    def test_counts_after_inserts(self):
+        rng = random.Random(43)
+        tree = RTree(fanout=4)
+        for i in range(77):
+            tree.insert(Point(rng.uniform(0, 10), rng.uniform(0, 10)), i)
+        assert tree.root.subtree_count == 77
+        tree.check_invariants()
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+        ),
+        min_size=0,
+        max_size=120,
+    ),
+    st.integers(min_value=2, max_value=16),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_bulk_load_preserves_everything(points, fanout):
+    entries = [RTreeEntry(point=Point(x, y), item=i) for i, (x, y) in enumerate(points)]
+    tree = RTree.bulk_load(entries, fanout=fanout)
+    tree.check_invariants()
+    assert sorted(e.item for e in tree.iter_entries()) == list(range(len(points)))
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)
+        ),
+        min_size=1,
+        max_size=80,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_property_incremental_insert_invariants(points):
+    tree = RTree(fanout=4)
+    for i, (x, y) in enumerate(points):
+        tree.insert(Point(x, y), i)
+    tree.check_invariants()
+    assert len(tree) == len(points)

@@ -1,0 +1,58 @@
+"""Stateful property test: the R-tree against a naive list model.
+
+Hypothesis drives an arbitrary interleaving of inserts and queries and
+checks every query answer against a brute-force shadow model, plus the
+structural invariants after every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, initialize, invariant, rule
+
+from repro.spatial.geometry import Point, Rect
+from repro.spatial.rtree import RTree
+
+coords = st.floats(min_value=0, max_value=50, allow_nan=False)
+
+
+class RTreeModel(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.tree = RTree(fanout=4)
+        self.shadow = []
+        self.next_id = 0
+
+    @rule(x=coords, y=coords)
+    def insert(self, x, y):
+        self.tree.insert(Point(x, y), self.next_id)
+        self.shadow.append((self.next_id, Point(x, y)))
+        self.next_id += 1
+
+    @rule(x1=coords, y1=coords, x2=coords, y2=coords)
+    def range_query(self, x1, y1, x2, y2):
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        got = {e.item for e in self.tree.range_query(rect)}
+        expected = {i for i, p in self.shadow if rect.contains_point(p)}
+        assert got == expected
+
+    @rule(x=coords, y=coords, n=st.integers(1, 5))
+    def nearest_query(self, x, y, n):
+        q = Point(x, y)
+        got = self.tree.nearest(q, n=n)
+        gold = sorted(p.distance_to(q) for _, p in self.shadow)[:n]
+        assert [e.point.distance_to(q) for e in got] == gold or all(
+            abs(a - b) < 1e-9
+            for a, b in zip([e.point.distance_to(q) for e in got], gold)
+        )
+
+    @invariant()
+    def structural_invariants(self):
+        if getattr(self, "tree", None) is not None:
+            self.tree.check_invariants()
+            assert len(self.tree) == len(self.shadow)
+
+
+TestRTreeStateful = RTreeModel.TestCase
+TestRTreeStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

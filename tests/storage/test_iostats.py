@@ -1,0 +1,60 @@
+"""Tests for the simulated I/O model (the paper's Section 8 accounting)."""
+
+import pytest
+
+from repro.storage.iostats import IOCounter, IOSnapshot, PAGE_SIZE_BYTES
+
+
+class TestIOCounter:
+    def test_node_visits(self):
+        c = IOCounter()
+        c.visit_node()
+        c.visit_node()
+        assert c.node_visits == 2
+        assert c.total == 2
+
+    def test_load_bytes_rounds_up_to_blocks(self):
+        c = IOCounter()
+        c.load_bytes(1)
+        assert c.invfile_blocks == 1
+        c.load_bytes(PAGE_SIZE_BYTES)
+        assert c.invfile_blocks == 2
+        c.load_bytes(PAGE_SIZE_BYTES + 1)
+        assert c.invfile_blocks == 4
+
+    def test_load_zero_bytes_free(self):
+        c = IOCounter()
+        c.load_bytes(0)
+        c.load_bytes(-5)
+        assert c.total == 0
+
+    def test_load_blocks_direct(self):
+        c = IOCounter()
+        c.load_blocks(3)
+        c.load_blocks(0)
+        assert c.invfile_blocks == 3
+
+    def test_reset(self):
+        c = IOCounter()
+        c.visit_node()
+        c.load_bytes(100)
+        c.reset()
+        assert c.total == 0
+
+    def test_snapshot_subtraction(self):
+        c = IOCounter()
+        c.visit_node()
+        before = c.snapshot()
+        c.visit_node()
+        c.load_bytes(5000)
+        delta = c.snapshot() - before
+        assert delta.node_visits == 1
+        assert delta.invfile_blocks == 2
+        assert delta.total == 3
+
+    def test_snapshot_is_immutable_copy(self):
+        c = IOCounter()
+        snap = c.snapshot()
+        c.visit_node()
+        assert snap.node_visits == 0
+        assert isinstance(snap, IOSnapshot)

@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_stats_command(self, capsys):
+        rc = main(["stats", "--objects", "200", "--users", "20"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Total objects: 200" in out
+
+    def test_demo_command(self, capsys):
+        rc = main([
+            "demo", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--ws", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "|BRSTkNN|=" in out
+        assert "simulated I/O" in out
+
+    def test_demo_indexed_mode(self, capsys):
+        rc = main([
+            "demo", "--objects", "200", "--users", "20", "--locations", "3",
+            "--mode", "indexed", "--k", "3",
+        ])
+        assert rc == 0
+        assert "users pruned" in capsys.readouterr().out
+
+    def test_demo_exact_yelp(self, capsys):
+        rc = main([
+            "demo", "--dataset", "yelp", "--objects", "300", "--users", "15",
+            "--locations", "2", "--method", "exact", "--k", "3", "--uw", "8",
+        ])
+        assert rc == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

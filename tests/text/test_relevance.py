@@ -1,0 +1,171 @@
+"""Tests for the three text relevance measures and their shared contract."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.relevance import (
+    KeywordOverlapRelevance,
+    LanguageModelRelevance,
+    TfIdfRelevance,
+    make_relevance,
+)
+
+DOCS = [
+    {0: 2, 1: 1},        # d0
+    {0: 1, 2: 3},        # d1
+    {1: 1, 2: 1, 3: 1},  # d2
+    {3: 4},              # d3
+]
+
+
+def doc_strategy(vocab=8, max_tf=4):
+    return st.dictionaries(
+        st.integers(0, vocab - 1), st.integers(1, max_tf), min_size=1, max_size=vocab
+    )
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_requires_fit(self, name):
+        rel = make_relevance(name)
+        with pytest.raises(RuntimeError):
+            rel.score(DOCS[0], {0})
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_score_in_unit_interval(self, name):
+        rel = make_relevance(name).fit(DOCS)
+        for doc in DOCS:
+            for terms in ({0}, {0, 1}, {0, 1, 2, 3}, {5}):
+                assert 0.0 <= rel.score(doc, terms) <= 1.0
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_no_shared_terms_scores_zero(self, name):
+        rel = make_relevance(name).fit(DOCS)
+        assert rel.score(DOCS[3], {0, 1, 2}) == 0.0
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_empty_user_terms_scores_zero(self, name):
+        rel = make_relevance(name).fit(DOCS)
+        assert rel.score(DOCS[0], set()) == 0.0
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_unknown_term_contributes_nothing(self, name):
+        rel = make_relevance(name).fit(DOCS)
+        assert rel.score(DOCS[0], {99}) == 0.0
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_score_with_weights_matches_score(self, name):
+        rel = make_relevance(name).fit(DOCS)
+        for doc in DOCS:
+            weights = rel.document_weights(doc)
+            for terms in ({0}, {1, 2}, {0, 3}):
+                assert rel.score_with_weights(weights, terms) == pytest.approx(
+                    rel.score(doc, terms)
+                )
+
+    @pytest.mark.parametrize("name", ["LM", "TF", "KO"])
+    def test_best_document_reaches_one_for_single_term(self, name):
+        """For a single-keyword user, the collection-best doc scores 1."""
+        rel = make_relevance(name).fit(DOCS)
+        for term in (0, 1, 2, 3):
+            best = max(rel.score(d, {term}) for d in DOCS)
+            assert best == pytest.approx(1.0)
+
+    def test_make_relevance_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_relevance("BM25")
+
+
+class TestTfIdf:
+    def test_weight_formula(self):
+        rel = TfIdfRelevance().fit(DOCS)
+        # term 0 appears in 2 of 4 docs -> idf = ln 2; tf in d0 is 2.
+        assert rel.term_weight(0, DOCS[0]) == pytest.approx(2 * math.log(2))
+
+    def test_ubiquitous_term_weighs_zero(self):
+        docs = [{7: 1, i: 1} for i in range(3)]
+        rel = TfIdfRelevance().fit(docs)
+        assert rel.term_weight(7, docs[0]) == 0.0
+
+
+class TestLanguageModel:
+    def test_weight_formula(self):
+        lam = 0.25
+        rel = LanguageModelRelevance(smoothing=lam).fit(DOCS)
+        # d0 has length 3; term 0: tf 2. Collection: tf_c(0)=3, |C|=14.
+        expected = (1 - lam) * (2 / 3) + lam * (3 / 14)
+        assert rel.term_weight(0, DOCS[0]) == pytest.approx(expected)
+
+    def test_smoothing_validation(self):
+        with pytest.raises(ValueError):
+            LanguageModelRelevance(smoothing=1.0)
+        with pytest.raises(ValueError):
+            LanguageModelRelevance(smoothing=-0.1)
+
+    def test_absent_term_weighs_zero(self):
+        """Background mass alone does not make a term scorable."""
+        rel = LanguageModelRelevance().fit(DOCS)
+        assert rel.term_weight(3, DOCS[0]) == 0.0
+
+    def test_higher_tf_higher_weight(self):
+        rel = LanguageModelRelevance().fit(DOCS)
+        # Same doc length, different tf.
+        w_low = rel.term_weight(2, {2: 1, 0: 3})
+        w_high = rel.term_weight(2, {2: 3, 0: 1})
+        assert w_high > w_low
+
+
+class TestKeywordOverlap:
+    def test_exact_fraction(self):
+        rel = KeywordOverlapRelevance().fit(DOCS)
+        # d2 keywords {1,2,3}; user {1,2,5,9} -> overlap 2 of 4... but 5
+        # and 9 are not in the collection so only scorable mass counts:
+        # KO normalizes by |u.d| regardless.
+        assert rel.score(DOCS[2], {1, 2, 5, 9}) == pytest.approx(0.5)
+
+    def test_full_overlap_scores_one(self):
+        rel = KeywordOverlapRelevance().fit(DOCS)
+        assert rel.score(DOCS[2], {1, 2, 3}) == pytest.approx(1.0)
+
+    def test_ties_are_common(self):
+        """Many docs tie under KO — the paper's stated cost driver."""
+        rel = KeywordOverlapRelevance().fit(DOCS)
+        s0 = rel.score(DOCS[0], {0})
+        s1 = rel.score(DOCS[1], {0})
+        assert s0 == s1 == 1.0
+
+
+class TestProperties:
+    @given(st.lists(doc_strategy(), min_size=1, max_size=12),
+           st.sets(st.integers(0, 9), min_size=0, max_size=6),
+           st.sampled_from(["LM", "TF", "KO"]))
+    @settings(max_examples=120, deadline=None)
+    def test_scores_bounded(self, docs, terms, name):
+        rel = make_relevance(name).fit(docs)
+        for doc in docs:
+            s = rel.score(doc, terms)
+            assert 0.0 <= s <= 1.0 + 1e-12
+
+    @given(st.lists(doc_strategy(), min_size=2, max_size=10),
+           st.sampled_from(["LM", "TF", "KO"]))
+    @settings(max_examples=80, deadline=None)
+    def test_max_weight_is_collection_max(self, docs, name):
+        rel = make_relevance(name).fit(docs)
+        terms = {t for d in docs for t in d}
+        for t in terms:
+            observed = max(rel.term_weight(t, d) for d in docs)
+            assert observed <= rel.max_term_weight(t) + 1e-12
+            assert observed == pytest.approx(rel.max_term_weight(t))
+
+    @given(st.lists(doc_strategy(), min_size=1, max_size=10),
+           st.sets(st.integers(0, 7), min_size=1, max_size=5))
+    @settings(max_examples=80, deadline=None)
+    def test_ko_equals_manual_overlap(self, docs, terms):
+        rel = KeywordOverlapRelevance().fit(docs)
+        for doc in docs:
+            expected = len(terms & set(doc)) / len(terms)
+            assert rel.score(doc, terms) == pytest.approx(expected)

@@ -1,0 +1,33 @@
+"""Tests for the example-facing tokenizer."""
+
+from repro.text.tokenizer import STOPWORDS, tokenize, tokenize_all
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Sushi SEAFOOD") == ["sushi", "seafood"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("sushi, seafood & noodles!") == ["sushi", "seafood", "noodles"]
+
+    def test_drops_stopwords_by_default(self):
+        assert tokenize("the best sushi in the city") == ["best", "sushi", "city"]
+
+    def test_keeps_stopwords_on_request(self):
+        toks = tokenize("the best sushi", drop_stopwords=False)
+        assert "the" in toks
+
+    def test_numbers_survive(self):
+        assert tokenize("open 24 7") == ["open", "24", "7"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("... !!! ???") == []
+
+    def test_batch(self):
+        assert tokenize_all(["a cat", "a dog"]) == [["cat"], ["dog"]]
+
+    def test_stopwords_are_lowercase(self):
+        assert all(w == w.lower() for w in STOPWORDS)

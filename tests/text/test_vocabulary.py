@@ -1,0 +1,68 @@
+"""Tests for vocabulary interning and collection statistics."""
+
+import pytest
+
+from repro.text.vocabulary import CollectionStats, Vocabulary
+
+
+class TestVocabulary:
+    def test_add_returns_stable_ids(self):
+        v = Vocabulary()
+        a = v.add("sushi")
+        b = v.add("noodles")
+        assert a != b
+        assert v.add("sushi") == a
+        assert len(v) == 2
+
+    def test_roundtrip(self):
+        v = Vocabulary()
+        ids = v.add_all(["a", "b", "c"])
+        assert v.decode(ids) == ["a", "b", "c"]
+        assert v.term_of(v.id_of("b")) == "b"
+
+    def test_contains_and_get(self):
+        v = Vocabulary()
+        v.add("x")
+        assert "x" in v
+        assert "y" not in v
+        assert v.get("y") is None
+        with pytest.raises(KeyError):
+            v.id_of("y")
+
+    def test_encode_counts_duplicates(self):
+        v = Vocabulary()
+        tf = v.encode(["a", "b", "a", "a"])
+        assert tf[v.id_of("a")] == 3
+        assert tf[v.id_of("b")] == 1
+
+
+class TestCollectionStats:
+    def test_from_documents(self):
+        docs = [{0: 2, 1: 1}, {1: 3}, {2: 1}]
+        s = CollectionStats.from_documents(docs)
+        assert s.num_docs == 3
+        assert s.collection_length == 7
+        assert s.tf_c(1) == 4
+        assert s.df(1) == 2
+        assert s.tf_c(9) == 0
+        assert s.df(9) == 0
+
+    def test_incremental_matches_batch(self):
+        docs = [{0: 1}, {0: 2, 3: 1}, {3: 5}]
+        batch = CollectionStats.from_documents(docs)
+        inc = CollectionStats()
+        for d in docs:
+            inc.add_document(d)
+        assert inc.num_docs == batch.num_docs
+        assert inc.collection_length == batch.collection_length
+        assert inc.collection_tf == batch.collection_tf
+        assert inc.doc_frequency == batch.doc_frequency
+
+    def test_rejects_nonpositive_tf(self):
+        with pytest.raises(ValueError):
+            CollectionStats.from_documents([{0: 0}])
+
+    def test_empty_collection(self):
+        s = CollectionStats.from_documents([])
+        assert s.num_docs == 0
+        assert s.collection_length == 0

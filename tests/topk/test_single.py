@@ -1,0 +1,103 @@
+"""Tests for the per-user top-k search (baseline B)."""
+
+import random
+
+import pytest
+
+from repro import Dataset
+from repro.index.irtree import IRTree, MIRTree
+from repro.storage.iostats import IOCounter
+from repro.storage.pager import PageStore
+from repro.topk.single import topk_all_users_individually, topk_single_user
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build(seed, measure="LM", alpha=0.5, n_obj=100, n_users=10, vocab=16):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    ds = Dataset(objects, users, relevance=measure, alpha=alpha)
+    tree = MIRTree(objects, ds.relevance, fanout=4)
+    return ds, tree
+
+
+class TestSingleUserTopK:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("measure", ["LM", "TF", "KO"])
+    def test_matches_brute_force(self, seed, measure):
+        ds, tree = build(seed, measure)
+        k = 6
+        for u in ds.users:
+            gold = sorted(
+                ((ds.sts(o, u), o.item_id) for o in ds.objects),
+                key=lambda t: (-t[0], t[1]),
+            )[:k]
+            got = topk_single_user(tree, ds, u, k)
+            assert [s for s, _ in got.ranked] == pytest.approx(
+                [s for s, _ in gold], abs=1e-9
+            )
+
+    def test_k_one(self):
+        ds, tree = build(5)
+        u = ds.users[0]
+        got = topk_single_user(tree, ds, u, 1)
+        best = max(ds.sts(o, u) for o in ds.objects)
+        assert got.kth_score == pytest.approx(best, abs=1e-9)
+        assert len(got.ranked) == 1
+
+    def test_k_zero(self):
+        ds, tree = build(6)
+        got = topk_single_user(tree, ds, ds.users[0], 0)
+        assert got.ranked == []
+        assert got.kth_score == 0.0
+
+    def test_k_exceeds_collection(self):
+        ds, tree = build(7, n_obj=8)
+        got = topk_single_user(tree, ds, ds.users[0], 100)
+        assert len(got.ranked) == 8
+
+    def test_works_on_plain_irtree(self):
+        """Baseline search needs only max weights; IR-tree suffices."""
+        rng = random.Random(9)
+        objects = make_random_objects(80, 14, rng)
+        users = make_random_users(5, 14, rng)
+        ds = Dataset(objects, users, relevance="LM")
+        ir = IRTree(objects, ds.relevance, fanout=4, minmax=False)
+        for u in ds.users:
+            gold_kth = sorted((ds.sts(o, u) for o in ds.objects), reverse=True)[4]
+            assert topk_single_user(ir, ds, u, 5).kth_score == pytest.approx(
+                gold_kth, abs=1e-9
+            )
+
+    def test_user_with_no_keywords_in_collection(self):
+        """A user whose terms match nothing still ranks spatially."""
+        from repro.model.objects import User
+        from repro.spatial.geometry import Point
+
+        rng = random.Random(10)
+        objects = make_random_objects(50, 10, rng)
+        stranger = User(item_id=0, location=Point(5, 5), terms={999: 1})
+        ds = Dataset(objects, [stranger], relevance="LM", alpha=0.5)
+        tree = MIRTree(objects, ds.relevance, fanout=4)
+        got = topk_single_user(tree, ds, stranger, 3)
+        gold = sorted((ds.sts(o, stranger) for o in ds.objects), reverse=True)[:3]
+        assert [s for s, _ in got.ranked] == pytest.approx(gold, abs=1e-9)
+
+
+class TestAllUsers:
+    def test_covers_every_user(self):
+        ds, tree = build(11)
+        res = topk_all_users_individually(tree, ds, 4)
+        assert set(res) == {u.item_id for u in ds.users}
+
+    def test_io_scales_with_users(self):
+        ds, tree = build(12, n_users=20)
+        c1, c2 = IOCounter(), IOCounter()
+        topk_all_users_individually(
+            tree, ds, 4, users=ds.users[:5], store=PageStore(counter=c1)
+        )
+        topk_all_users_individually(
+            tree, ds, 4, users=ds.users, store=PageStore(counter=c2)
+        )
+        assert c2.total > c1.total
