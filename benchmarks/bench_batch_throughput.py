@@ -1,0 +1,177 @@
+"""Batch query engine throughput: queries/sec vs batch size.
+
+Not a paper figure — this benchmarks the batch subsystem added on top
+of the reproduction.  For each batch size ``b`` the engine answers the
+first ``b`` of a fixed pool of generated queries through
+``engine.query_batch`` with a *cold* shared-top-k cache, so every batch
+pays the query-independent top-k phase exactly once; batch size 1 is
+therefore the sequential ``engine.query`` cost.  The headline number is
+the speedup of batch-64 queries/sec over batch-1 queries/sec (expected
+well above 3x: the shared phase dominates a single query).
+
+Run::
+
+    python benchmarks/bench_batch_throughput.py            # full sweep
+    python benchmarks/bench_batch_throughput.py --tiny     # CI smoke
+
+The script exits non-zero if any batch produces results that differ
+from sequential python-backend queries (a built-in equivalence check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import MaxBRSTkNNEngine, MaxBRSTkNNQuery  # noqa: E402
+from repro.bench.harness import build_workbench  # noqa: E402
+from repro.bench.params import DEFAULTS  # noqa: E402
+from repro.core.kernels import HAS_NUMPY  # noqa: E402
+from repro.datagen.users import candidate_locations  # noqa: E402
+
+
+def make_queries(workload, config, count: int):
+    """A pool of distinct queries (fresh candidate locations each)."""
+    queries = []
+    for i in range(count):
+        candidate_locations(
+            workload, num_locations=config.num_locations, seed=config.seed + 101 * i
+        )
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=workload.query_object(object_id=-(i + 1)),
+                locations=list(workload.locations),
+                keywords=list(workload.candidate_keywords),
+                ws=config.ws,
+                k=config.k,
+            )
+        )
+    return queries
+
+
+def time_batch(engine, queries, backend, workers, method, repeats):
+    """Best-of-N wall time for one cold batch call."""
+    best = float("inf")
+    results = None
+    for _ in range(repeats):
+        engine.clear_topk_cache()
+        t0 = time.perf_counter()
+        results = engine.query_batch(
+            queries, method=method, backend=backend, workers=workers
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=DEFAULTS.num_objects)
+    parser.add_argument("--users", type=int, default=DEFAULTS.num_users)
+    parser.add_argument("--locations", type=int, default=DEFAULTS.num_locations)
+    parser.add_argument("--measure", default=DEFAULTS.measure)
+    parser.add_argument("--k", type=int, default=DEFAULTS.k)
+    parser.add_argument("--seed", type=int, default=DEFAULTS.seed)
+    parser.add_argument("--method", choices=["approx", "exact"], default="approx")
+    parser.add_argument(
+        "--backend",
+        choices=["python", "numpy", "auto"],
+        default="auto",
+        help="kernels used by the batched runs (batch-1 included)",
+    )
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8, 16, 32, 64, 128, 256],
+    )
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test scale for CI (small dataset, batch sizes 1/4/16)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the batch-vs-sequential equivalence check",
+    )
+    args = parser.parse_args(argv)
+
+    config = DEFAULTS.with_(
+        num_objects=args.objects,
+        num_users=args.users,
+        num_locations=args.locations,
+        measure=args.measure,
+        k=args.k,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    if args.tiny:
+        config = config.with_(num_objects=300, num_users=40, num_locations=5)
+        if args.batch_sizes != parser.get_default("batch_sizes"):
+            print("note: --tiny overrides --batch-sizes with [1, 4, 16]")
+        args.batch_sizes = [1, 4, 16]
+        args.repeats = 1
+
+    print(f"dataset: {config.label()}", flush=True)
+    bench = build_workbench(config, cached=False)
+    engine = MaxBRSTkNNEngine(bench.dataset, fanout=config.fanout)
+    # The workbench query object is regenerated per query below.
+    from repro.datagen.users import generate_users
+    workload = generate_users(
+        bench.dataset.objects,
+        num_users=config.num_users,
+        keywords_per_user=config.ul,
+        unique_keywords=config.uw,
+        area_side=config.area,
+        seed=config.seed,
+    )
+    queries = make_queries(workload, config, max(args.batch_sizes))
+    backend = args.backend if HAS_NUMPY or args.backend == "python" else "python"
+
+    rows = []
+    for size in args.batch_sizes:
+        elapsed, results = time_batch(
+            engine, queries[:size], backend, args.workers, args.method, args.repeats
+        )
+        qps = size / elapsed if elapsed > 0 else float("inf")
+        rows.append((size, elapsed, qps, results))
+        print(
+            f"batch {size:>4}: {1000 * elapsed:8.1f} ms total  "
+            f"{1000 * elapsed / size:7.2f} ms/query  {qps:8.2f} queries/sec",
+            flush=True,
+        )
+
+    base_qps = rows[0][2]
+    print(f"\nspeedup vs batch size {rows[0][0]}:")
+    for size, _, qps, _ in rows:
+        print(f"batch {size:>4}: {qps / base_qps:6.2f}x")
+
+    if not args.no_verify:
+        largest = rows[-1]
+        engine.clear_topk_cache()
+        mismatches = 0
+        for q, batched in zip(queries[: largest[0]], largest[3]):
+            solo = engine.query(q, method=args.method, backend="python")
+            if (
+                solo.location != batched.location
+                or solo.keywords != batched.keywords
+                or solo.brstknn != batched.brstknn
+            ):
+                mismatches += 1
+        if mismatches:
+            print(f"EQUIVALENCE FAILURE: {mismatches} mismatching queries")
+            return 1
+        print(f"equivalence check: batch == sequential on {largest[0]} queries")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

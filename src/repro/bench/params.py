@@ -37,17 +37,22 @@ class ExperimentConfig:
     measure: str = "LM"          # LM | TF | KO
     seed: int = 0
     fanout: int = 32
+    backend: str = "python"      # scoring kernels: python | numpy | auto
+    batch_size: int = 1          # queries per query_batch call
 
     def with_(self, **kwargs) -> "ExperimentConfig":
         """Functional update (frozen dataclass)."""
         return replace(self, **kwargs)
 
     def label(self) -> str:
-        return (
+        label = (
             f"{self.dataset}-O{self.num_objects}-U{self.num_users}-k{self.k}"
             f"-a{self.alpha}-UL{self.ul}-UW{self.uw}-A{self.area}"
             f"-L{self.num_locations}-ws{self.ws}-{self.measure}-s{self.seed}"
         )
+        if self.backend != "python" or self.batch_size != 1:
+            label += f"-{self.backend}-b{self.batch_size}"
+        return label
 
 
 #: Table 5 bold column, scaled.
@@ -68,6 +73,8 @@ SWEEPS: Dict[str, List] = {
     "num_objects": [2000, 4000, 8000, 16000],
     # paper Fig 15: 500 .. 16K users -> scaled by 8
     "user_index_users": [125, 250, 500, 1000, 2000],
+    # batch query engine (no paper analogue): queries per batch
+    "batch_size": [1, 4, 16, 64, 256],
 }
 
 #: The unscaled values as the paper lists them (for report headers).
@@ -82,6 +89,7 @@ PAPER_SWEEPS: Dict[str, List] = {
     "num_users": ["100", "500", "1K", "2K", "4K"],
     "num_objects": ["1M", "2M", "4M", "8M"],
     "user_index_users": ["500", "1K", "2K", "4K", "8K"],
+    "batch_size": [1, 4, 16, 64, 256],
 }
 
 
@@ -98,6 +106,7 @@ def config_for(param: str, value, base: ExperimentConfig = DEFAULTS) -> Experime
         "num_users": "num_users",
         "num_objects": "num_objects",
         "user_index_users": "num_users",
+        "batch_size": "batch_size",
     }
     if param not in mapping:
         raise ValueError(f"unknown sweep parameter {param!r}")

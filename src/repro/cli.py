@@ -4,6 +4,8 @@ Commands
 --------
 ``demo``        run a MaxBRSTkNN query on a generated workload and print
                 the result plus per-phase stats;
+``batch``       answer a batch of queries through ``query_batch`` and
+                print throughput (queries/sec) vs sequential;
 ``report``      shortcut to :mod:`repro.bench.report`;
 ``stats``       print Table 4-style statistics of a generated dataset.
 """
@@ -51,7 +53,9 @@ def _cmd_demo(args) -> int:
         k=args.k,
     )
     t0 = time.perf_counter()
-    result = engine.query(query, method=args.method, mode=args.mode)
+    result = engine.query(
+        query, method=args.method, mode=args.mode, backend=args.backend
+    )
     elapsed = time.perf_counter() - t0
     print(result.summary())
     print(f"total runtime: {1000 * elapsed:.1f} ms "
@@ -64,6 +68,36 @@ def _cmd_demo(args) -> int:
         print(f"users pruned: {result.stats.users_pruned} / "
               f"{result.stats.users_total} "
               f"({result.stats.users_pruned_pct:.1f}%)")
+    return 0
+
+
+def _cmd_batch(args) -> int:
+    """Answer ``--batch-size`` queries as one batch and report throughput."""
+    dataset, workload = _make_workload(args)
+    engine = MaxBRSTkNNEngine(dataset)
+    queries = []
+    for i in range(args.batch_size):
+        candidate_locations(workload, num_locations=args.locations, seed=args.seed + i)
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=workload.query_object(object_id=-(i + 1)),
+                locations=list(workload.locations),
+                keywords=list(workload.candidate_keywords),
+                ws=args.ws,
+                k=args.k,
+            )
+        )
+    t0 = time.perf_counter()
+    results = engine.query_batch(
+        queries, method=args.method, backend=args.backend, workers=args.workers
+    )
+    elapsed = time.perf_counter() - t0
+    for i, result in enumerate(results[: args.show]):
+        print(f"[{i}] {result.summary()}")
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(f"batch of {len(queries)}: {1000 * elapsed:.1f} ms total, "
+          f"{qps:.1f} queries/sec (backend={args.backend}, "
+          f"workers={args.workers})")
     return 0
 
 
@@ -110,7 +144,22 @@ def main(argv=None) -> int:
     demo.add_argument("--method", choices=["approx", "exact"], default="approx")
     demo.add_argument("--mode", choices=["joint", "baseline", "indexed"],
                       default="joint")
+    demo.add_argument("--backend", choices=["python", "numpy", "auto"],
+                      default="python", help="scoring kernels")
     demo.set_defaults(func=_cmd_demo)
+
+    batch = sub.add_parser("batch", help="run a query batch via query_batch")
+    _add_workload_args(batch)
+    batch.add_argument("--k", type=int, default=10)
+    batch.add_argument("--ws", type=int, default=2)
+    batch.add_argument("--method", choices=["approx", "exact"], default="approx")
+    batch.add_argument("--backend", choices=["python", "numpy", "auto"],
+                       default="auto", help="scoring kernels")
+    batch.add_argument("--batch-size", type=int, default=16)
+    batch.add_argument("--workers", type=int, default=1)
+    batch.add_argument("--show", type=int, default=3,
+                       help="print the first N results")
+    batch.set_defaults(func=_cmd_batch)
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     _add_workload_args(stats)

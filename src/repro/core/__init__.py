@@ -1,12 +1,14 @@
 """The paper's primary contribution: MaxBRSTkNN query processing."""
 
 from .baseline import baseline_maxbrstknn, baseline_select_candidate
+from .batch import SharedTopK, query_batch
 from .bounds import BoundCalculator, augmented_document
 from .candidate_selection import select_candidate, shortlist_locations
 from .engine import MaxBRSTkNNEngine
 from .extensions import Placement, collective_placement, top_placements
 from .indexed_users import indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_topk, joint_traversal
+from .kernels import BACKENDS, HAS_NUMPY, DatasetArrays, arrays_for, resolve_backend
 from .keyword_selection import (
     compute_brstknn,
     greedy_max_coverage,
@@ -16,12 +18,17 @@ from .keyword_selection import (
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
 __all__ = [
+    "BACKENDS",
     "BoundCalculator",
+    "DatasetArrays",
+    "HAS_NUMPY",
     "MaxBRSTkNNEngine",
     "MaxBRSTkNNQuery",
     "MaxBRSTkNNResult",
     "Placement",
     "QueryStats",
+    "SharedTopK",
+    "arrays_for",
     "augmented_document",
     "baseline_maxbrstknn",
     "baseline_select_candidate",
@@ -32,6 +39,8 @@ __all__ = [
     "individual_topk",
     "joint_topk",
     "joint_traversal",
+    "query_batch",
+    "resolve_backend",
     "select_candidate",
     "select_keywords_exact",
     "select_keywords_greedy",

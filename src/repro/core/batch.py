@@ -1,0 +1,209 @@
+"""Batch MaxBRSTkNN query processing.
+
+A single :meth:`MaxBRSTkNNEngine.query` pays for two phases: the top-k
+phase (joint traversal + Algorithm 2 refinement), which depends only on
+``(dataset, k)``, and candidate selection (Algorithm 3), which depends
+on the whole query.  Serving many queries one at a time recomputes the
+expensive query-independent phase every single time — the same
+redundancy the joint traversal removed *within* one query, one level
+up.
+
+:func:`query_batch` exploits it: queries are grouped by ``k``, the
+top-k phase runs **once per distinct k** (and is memoized on the engine
+across batches — the per-dataset score cache), and only per-query
+candidate selection runs per query, optionally vectorized
+(``backend="numpy"``) and optionally fanned out over a process pool
+(``workers=N``).
+
+Result contract: every result — including its per-query
+:class:`QueryStats` I/O and pruning counters — is identical to what a
+sequential ``engine.query`` call would have produced; the traversal
+I/O recorded in each query's stats is the deterministic cost of the
+shared phase, which a cold sequential run re-pays per query.  Only the
+wall-clock timings differ (that is the point).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from .baseline import baseline_select_candidate
+from .candidate_selection import select_candidate
+from .joint_topk import individual_topk, joint_traversal
+from .kernels import arrays_for, resolve_backend
+from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import MaxBRSTkNNEngine
+
+__all__ = ["SharedTopK", "query_batch"]
+
+
+@dataclass(slots=True)
+class SharedTopK:
+    """Query-independent phase-1 state for one ``(mode, k)`` cell."""
+
+    rsk: Dict[int, float]
+    rsk_group: float
+    topk_time_s: float
+    io_node_visits: int
+    io_invfile_blocks: int
+    hits: int = 0  # queries served from this entry (introspection)
+
+
+def _compute_shared(
+    engine: "MaxBRSTkNNEngine", mode: str, k: int, backend: str
+) -> SharedTopK:
+    """Run the top-k phase once for every query sharing ``(mode, k)``."""
+    from ..topk.single import topk_all_users_individually
+
+    before = engine.io.snapshot()
+    t0 = time.perf_counter()
+    if mode == "joint":
+        traversal = joint_traversal(
+            engine.object_tree, engine.dataset, k, store=engine.store
+        )
+        per_user = individual_topk(
+            traversal, engine.dataset, k, backend=backend
+        )
+        rsk_group = traversal.rsk_group
+    else:  # baseline: per-user top-k, no group threshold
+        per_user = topk_all_users_individually(
+            engine.object_tree, engine.dataset, k, store=engine.store
+        )
+        rsk_group = 0.0
+    elapsed = time.perf_counter() - t0
+    delta = engine.io.snapshot() - before
+    return SharedTopK(
+        rsk={uid: res.kth_score for uid, res in per_user.items()},
+        rsk_group=rsk_group,
+        topk_time_s=elapsed,
+        io_node_visits=delta.node_visits,
+        io_invfile_blocks=delta.invfile_blocks,
+    )
+
+
+def _select_one(
+    dataset,
+    query: MaxBRSTkNNQuery,
+    shared: SharedTopK,
+    mode: str,
+    method: str,
+    backend: str,
+) -> MaxBRSTkNNResult:
+    """Phase 2 for one query against the shared thresholds."""
+    stats = QueryStats(
+        users_total=len(dataset.users),
+        topk_time_s=shared.topk_time_s,
+        io_node_visits=shared.io_node_visits,
+        io_invfile_blocks=shared.io_invfile_blocks,
+    )
+    t0 = time.perf_counter()
+    if mode == "baseline":
+        result = baseline_select_candidate(dataset, query, shared.rsk, stats=stats)
+    else:
+        result = select_candidate(
+            dataset,
+            query,
+            shared.rsk,
+            rsk_group=shared.rsk_group,
+            method=method,
+            stats=stats,
+            backend=backend,
+        )
+    stats.selection_time_s = time.perf_counter() - t0
+    result.stats = stats
+    return result
+
+
+# ----------------------------------------------------------------------
+# Process-pool fan-out (fork only: workers inherit the indexes for free)
+# ----------------------------------------------------------------------
+
+#: State handed to forked workers via copy-on-write memory, not pickling.
+#: Guarded by _FORK_LOCK: concurrent query_batch calls (e.g. a serving
+#: layer with one engine per thread) must not interleave set/fork/clear.
+_FORK_STATE: Optional[Tuple] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _run_forked(i: int) -> MaxBRSTkNNResult:
+    dataset, queries, shared_by_key, mode, method, backend = _FORK_STATE
+    query, key = queries[i]
+    return _select_one(dataset, query, shared_by_key[key], mode, method, backend)
+
+
+def query_batch(
+    engine: "MaxBRSTkNNEngine",
+    queries: Sequence[MaxBRSTkNNQuery],
+    method: str = "approx",
+    mode: str = "joint",
+    backend: Optional[str] = None,
+    workers: int = 1,
+) -> List[MaxBRSTkNNResult]:
+    """Answer many MaxBRSTkNN queries, sharing the top-k phase.
+
+    Parameters
+    ----------
+    queries:
+        Any number of queries (the empty batch returns ``[]``).  Queries
+        may repeat; duplicates cost only a selection pass each.
+    method / mode:
+        As in :meth:`MaxBRSTkNNEngine.query`.  ``mode="indexed"`` has no
+        shareable phase (its traversal interleaves with per-query
+        location pruning) and falls back to sequential engine calls.
+    backend:
+        ``None``/"auto" picks numpy when available; results are
+        identical across backends.
+    workers:
+        Fan candidate selection out over a fork-based process pool.
+        Falls back to in-process execution when ``fork`` is unavailable
+        or the batch is trivial.
+    """
+    if mode not in ("joint", "baseline", "indexed"):
+        raise ValueError(f"unknown mode {mode!r}")
+    backend = resolve_backend(backend)
+    queries = list(queries)
+    if not queries:
+        return []
+    if mode == "indexed":
+        return [
+            engine.query(q, method=method, mode=mode, backend=backend)
+            for q in queries
+        ]
+
+    # Phase 1, once per distinct k (memoized on the engine across calls).
+    cache = engine._shared_topk_cache
+    keyed: List[Tuple[MaxBRSTkNNQuery, Tuple[str, int]]] = []
+    for q in queries:
+        key = (mode, q.k)
+        if key not in cache:
+            cache[key] = _compute_shared(engine, mode, q.k, backend)
+        cache[key].hits += 1
+        keyed.append((q, key))
+    shared_by_key = {key: cache[key] for _, key in keyed}
+
+    if backend == "numpy":
+        arrays_for(engine.dataset)  # build before forking: shared via COW
+
+    if workers > 1 and len(queries) > 1:
+        if "fork" in multiprocessing.get_all_start_methods():
+            global _FORK_STATE
+            with _FORK_LOCK:
+                _FORK_STATE = (
+                    engine.dataset, keyed, shared_by_key, mode, method, backend,
+                )
+                try:
+                    ctx = multiprocessing.get_context("fork")
+                    with ctx.Pool(min(workers, len(queries))) as pool:
+                        return pool.map(_run_forked, range(len(keyed)))
+                finally:
+                    _FORK_STATE = None
+    return [
+        _select_one(engine.dataset, q, shared_by_key[key], mode, method, backend)
+        for q, key in keyed
+    ]

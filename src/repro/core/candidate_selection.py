@@ -36,6 +36,7 @@ from ..model.dataset import Dataset
 from ..model.objects import SuperUser, User
 from ..spatial.geometry import Point
 from .bounds import BoundCalculator
+from .kernels import arrays_for, resolve_backend
 from .keyword_selection import (
     KeywordSelection,
     compute_brstknn,
@@ -65,17 +66,22 @@ def shortlist_locations(
     super_user: Optional[SuperUser] = None,
     users: Optional[Sequence[User]] = None,
     bounds: Optional[BoundCalculator] = None,
+    backend: str = "python",
 ) -> Tuple[List[LocationShortlist], int]:
     """Build ``LU_l`` for every surviving location.
 
     Returns the shortlists plus the number of locations pruned by the
     group bound.  ``rsk_group`` is ``RSk(us)`` from the joint traversal
     (pass 0.0 to disable group pruning, e.g. when thresholds come from
-    the per-user baseline).
+    the per-user baseline).  With ``backend="numpy"`` the per-user
+    ``UBL(l, u) >= RSk(u)`` test — the hot loop of Algorithm 3 — runs
+    as one vectorized bound kernel per location; membership is
+    guaranteed identical to the scalar path (guard-banded re-check).
     """
     su = dataset.super_user if super_user is None else super_user
     users = dataset.users if users is None else users
     bounds = bounds or BoundCalculator(dataset)
+    arrays = arrays_for(dataset) if resolve_backend(backend) == "numpy" else None
     shortlists: List[LocationShortlist] = []
     pruned = 0
     for loc in query.locations:
@@ -83,12 +89,17 @@ def shortlist_locations(
         if ub_group < rsk_group:
             pruned += 1
             continue
-        lu = [
-            u
-            for u in users
-            if bounds.location_upper_user(loc, query.ox, query.keywords, query.ws, u)
-            >= rsk[u.item_id]
-        ]
+        if arrays is not None:
+            lu = arrays.shortlist(
+                loc, query.ox, query.keywords, query.ws, users, rsk, bounds=bounds
+            )
+        else:
+            lu = [
+                u
+                for u in users
+                if bounds.location_upper_user(loc, query.ox, query.keywords, query.ws, u)
+                >= rsk[u.item_id]
+            ]
         shortlists.append(
             LocationShortlist(
                 location=loc,
@@ -109,6 +120,7 @@ def select_candidate(
     super_user: Optional[SuperUser] = None,
     users: Optional[Sequence[User]] = None,
     stats: Optional[QueryStats] = None,
+    backend: str = "python",
 ) -> MaxBRSTkNNResult:
     """Algorithm 3: best-first search over candidate locations.
 
@@ -121,16 +133,27 @@ def select_candidate(
     method:
         ``"approx"`` (greedy, Section 6.2.1) or ``"exact"``
         (Algorithm 4).
+    backend:
+        ``"python"`` (scalar reference) or ``"numpy"`` (vectorized
+        kernels, identical results).
     """
     if method not in ("approx", "exact"):
         raise ValueError(f"unknown keyword-selection method {method!r}")
+    backend = resolve_backend(backend)
     stats = stats if stats is not None else QueryStats()
     su = dataset.super_user if super_user is None else super_user
     users = dataset.users if users is None else users
     bounds = BoundCalculator(dataset)
 
     shortlists, pruned = shortlist_locations(
-        dataset, query, rsk, rsk_group, super_user=su, users=users, bounds=bounds
+        dataset,
+        query,
+        rsk,
+        rsk_group,
+        super_user=su,
+        users=users,
+        bounds=bounds,
+        backend=backend,
     )
     stats.locations_pruned += pruned
 
@@ -146,6 +169,11 @@ def select_candidate(
     selector: Callable[..., KeywordSelection] = (
         select_keywords_greedy if method == "approx" else select_keywords_exact
     )
+    # Per-query scratch shared across the greedy calls (HW sets and
+    # optimistic weights are location-independent).
+    selector_kwargs = {"backend": backend}
+    if method == "approx":
+        selector_kwargs["cache"] = {}
 
     while heap:
         neg_size, _, sl = heapq.heappop(heap)
@@ -156,7 +184,8 @@ def select_candidate(
             # lower bound is conservative, so confirm per user with the
             # original description only.
             winners = compute_brstknn(
-                dataset, query.ox, sl.location, frozenset(), sl.users, rsk
+                dataset, query.ox, sl.location, frozenset(), sl.users, rsk,
+                backend=backend,
             )
             stats.keyword_combinations_scored += 1
             if len(winners) > len(best_users):
@@ -170,7 +199,8 @@ def select_candidate(
             if len(winners) == len(sl.users):
                 continue
         keywords, winners, scored = selector(
-            dataset, query.ox, sl.location, query.keywords, query.ws, sl.users, rsk
+            dataset, query.ox, sl.location, query.keywords, query.ws, sl.users, rsk,
+            **selector_kwargs,
         )
         stats.keyword_combinations_scored += scored
         if len(winners) > len(best_users):

@@ -20,7 +20,7 @@ Modes
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..index.irtree import IRTree, MIRTree
 from ..index.miurtree import MIURTree
@@ -30,9 +30,11 @@ from ..storage.iostats import IOCounter
 from ..storage.pager import LRUBuffer, PageStore
 from ..topk.single import TopKResult, topk_all_users_individually
 from .baseline import baseline_maxbrstknn
+from .batch import SharedTopK, query_batch
 from .candidate_selection import select_candidate
 from .indexed_users import indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_traversal
+from .kernels import resolve_backend
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
 __all__ = ["MaxBRSTkNNEngine"]
@@ -70,6 +72,9 @@ class MaxBRSTkNNEngine:
             if not dataset.users:
                 raise ValueError("cannot index an empty user set")
             self.user_tree = MIURTree(dataset.users, dataset.relevance, fanout=fanout)
+        #: Per-dataset score cache: (mode, k) -> shared top-k phase state,
+        #: filled and reused by :meth:`query_batch`.
+        self._shared_topk_cache: Dict[Tuple[str, int], SharedTopK] = {}
 
     # ------------------------------------------------------------------
     # Top-k entry points (benchmarked separately: Figures 5a/5b etc.)
@@ -93,12 +98,18 @@ class MaxBRSTkNNEngine:
         query: MaxBRSTkNNQuery,
         method: str = "approx",
         mode: str = "joint",
+        backend: str = "python",
     ) -> MaxBRSTkNNResult:
         """Answer one MaxBRSTkNN query.
 
         ``method`` picks the keyword selector ("approx" / "exact");
-        ``mode`` picks the pipeline ("joint" / "baseline" / "indexed").
+        ``mode`` picks the pipeline ("joint" / "baseline" / "indexed");
+        ``backend`` picks the scoring kernels ("python" scalar
+        reference, "numpy" vectorized, "auto") — results are identical
+        across backends (``mode="baseline"`` is the scalar oracle and
+        ignores the choice).
         """
+        backend = resolve_backend(backend)
         if mode == "baseline":
             return baseline_maxbrstknn(
                 self.object_tree, self.dataset, query, store=self.store
@@ -113,17 +124,22 @@ class MaxBRSTkNNEngine:
                 query,
                 method=method,
                 store=self.store,
+                backend=backend,
             )
         if mode != "joint":
             raise ValueError(f"unknown mode {mode!r}")
 
+        # Deliberately cold (no _shared_topk_cache): single-query cost
+        # and I/O accounting must match the paper's per-query setting
+        # (Figure 15 measures it).  batch._compute_shared mirrors this
+        # block — keep the stats accounting in sync when editing.
         stats = QueryStats(users_total=len(self.dataset.users))
         before = self.io.snapshot()
         t0 = time.perf_counter()
         traversal = joint_traversal(
             self.object_tree, self.dataset, query.k, store=self.store
         )
-        per_user = individual_topk(traversal, self.dataset, query.k)
+        per_user = individual_topk(traversal, self.dataset, query.k, backend=backend)
         stats.topk_time_s = time.perf_counter() - t0
         delta = self.io.snapshot() - before
         stats.io_node_visits = delta.node_visits
@@ -138,10 +154,34 @@ class MaxBRSTkNNEngine:
             rsk_group=traversal.rsk_group,
             method=method,
             stats=stats,
+            backend=backend,
         )
         stats.selection_time_s = time.perf_counter() - t1
         result.stats = stats
         return result
+
+    def query_batch(
+        self,
+        queries: Sequence[MaxBRSTkNNQuery],
+        method: str = "approx",
+        mode: str = "joint",
+        backend: Optional[str] = None,
+        workers: int = 1,
+    ) -> List[MaxBRSTkNNResult]:
+        """Answer a batch of queries, sharing the top-k phase per k.
+
+        See :func:`repro.core.batch.query_batch`; the shared phase is
+        memoized on the engine, so consecutive batches with the same k
+        skip it entirely (:meth:`clear_topk_cache` drops it).
+        """
+        return query_batch(
+            self, queries, method=method, mode=mode, backend=backend,
+            workers=workers,
+        )
+
+    def clear_topk_cache(self) -> None:
+        """Drop the shared top-k phase cache used by ``query_batch``."""
+        self._shared_topk_cache.clear()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -40,6 +40,7 @@ from ..spatial.geometry import Point, Rect
 from ..storage.pager import PageStore
 from .bounds import BoundCalculator
 from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
+from .kernels import resolve_backend
 from .keyword_selection import (
     compute_brstknn,
     select_keywords_exact,
@@ -97,10 +98,12 @@ def indexed_users_maxbrstknn(
     query: MaxBRSTkNNQuery,
     method: str = "approx",
     store: Optional[PageStore] = None,
+    backend: str = "python",
 ) -> MaxBRSTkNNResult:
     """Answer a MaxBRSTkNN query with both sets on (simulated) disk."""
     if method not in ("approx", "exact"):
         raise ValueError(f"unknown keyword-selection method {method!r}")
+    backend = resolve_backend(backend)
     stats = QueryStats(users_total=len(user_tree))
     bounds = BoundCalculator(dataset)
     root = user_tree.root
@@ -121,7 +124,9 @@ def indexed_users_maxbrstknn(
         fresh = [u for u in users if u.item_id not in rsk]
         if not fresh:
             return
-        results = individual_topk(traversal, dataset, query.k, users=fresh)
+        results = individual_topk(
+            traversal, dataset, query.k, users=fresh, backend=backend
+        )
         for u in fresh:
             rsk[u.item_id] = results[u.item_id].kth_score
             resolved_users[u.item_id] = u
@@ -168,6 +173,9 @@ def indexed_users_maxbrstknn(
     selector: Callable = (
         select_keywords_greedy if method == "approx" else select_keywords_exact
     )
+    selector_kwargs = {"backend": backend}
+    if method == "approx":
+        selector_kwargs["cache"] = {}
 
     while heap:
         neg_count, _, st = heapq.heappop(heap)
@@ -210,7 +218,8 @@ def indexed_users_maxbrstknn(
             continue
         local_rsk = {u.item_id: rsk[u.item_id] for u in users_l}
         keywords, winners, scored = selector(
-            dataset, query.ox, st.location, query.keywords, query.ws, users_l, local_rsk
+            dataset, query.ox, st.location, query.keywords, query.ws, users_l,
+            local_rsk, **selector_kwargs,
         )
         stats.keyword_combinations_scored += scored
         if len(winners) > len(best_users):

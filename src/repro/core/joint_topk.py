@@ -45,6 +45,7 @@ from ..spatial.geometry import Rect
 from ..storage.pager import PageStore
 from ..topk.single import TopKResult
 from .bounds import BoundCalculator
+from .kernels import arrays_for, resolve_backend
 
 __all__ = ["CandidateObject", "JointTraversalResult", "joint_traversal", "individual_topk", "joint_topk"]
 
@@ -156,17 +157,26 @@ def individual_topk(
     dataset: Dataset,
     k: int,
     users: Optional[Sequence[User]] = None,
+    backend: str = "python",
 ) -> Dict[int, TopKResult]:
     """Algorithm 2: refine the candidate pools into per-user top-k lists.
 
     ``LO`` objects are scored exactly for every user; ``RO`` objects are
     scanned in descending group upper bound and the scan stops per user
     as soon as ``UB(o, us) < RSk(u)`` — no later object can qualify.
+
+    ``backend="numpy"`` scores the whole user x candidate pool as one
+    matrix (see :mod:`repro.core.kernels`); the selected top-k entries
+    are re-scored through the scalar path so the returned scores — and
+    hence every downstream ``RSk(u)`` threshold — are bitwise identical
+    to the python backend.
     """
     users = dataset.users if users is None else users
     out: Dict[int, TopKResult] = {}
     if k <= 0:
         return {u.item_id: TopKResult(user_id=u.item_id, ranked=[]) for u in users}
+    if resolve_backend(backend) == "numpy":
+        return _individual_topk_numpy(traversal, dataset, k, users)
     for user in users:
         # Min-heap of the k best (score, -object_id).
         best: List[Tuple[float, int]] = []
@@ -193,12 +203,59 @@ def individual_topk(
     return out
 
 
+def _individual_topk_numpy(
+    traversal: JointTraversalResult,
+    dataset: Dataset,
+    k: int,
+    users: Sequence[User],
+) -> Dict[int, TopKResult]:
+    """Vectorized Algorithm 2: one score matrix, then per-user selection.
+
+    The early-termination scan of the python backend only skips objects
+    that provably cannot enter a top-k, so scoring the full pool yields
+    the same candidates.  Selection is guard-banded like every other
+    decision kernel: a candidate is *surely out* only when its array
+    score trails the k-th best by more than ``GUARD_EPS``; everything
+    else — a superset of the scalar top-k — is re-scored through the
+    scalar path and selected with the scalar heap's exact key, so the
+    returned lists (and the ``RSk(u)`` thresholds read from them) are
+    bitwise identical to the python backend, ties included.
+    """
+    import numpy as np
+
+    from .kernels import GUARD_EPS
+
+    cands = traversal.all_candidates()
+    if not cands:
+        return {u.item_id: TopKResult(user_id=u.item_id, ranked=[]) for u in users}
+    arrays = arrays_for(dataset)
+    rows = arrays.rows_for(users)
+    scores = arrays.candidate_score_matrix(cands, rows)
+    obj_ids = np.array([c.obj.item_id for c in cands], dtype=np.int64)
+    out: Dict[int, TopKResult] = {}
+    for row, user in enumerate(users):
+        srow = scores[row]
+        if len(cands) > k:
+            kth = -np.partition(-srow, k - 1)[k - 1]
+            contenders = np.nonzero(srow >= kth - GUARD_EPS)[0]
+        else:
+            contenders = np.arange(len(cands))
+        # Scalar re-score of the contenders, scalar selection key.
+        ranked = sorted(
+            ((dataset.sts(cands[j].obj, user), int(obj_ids[j])) for j in contenders),
+            key=lambda t: (-t[0], t[1]),
+        )[:k]
+        out[user.item_id] = TopKResult(user_id=user.item_id, ranked=ranked)
+    return out
+
+
 def joint_topk(
     tree: MIRTree | IRTree,
     dataset: Dataset,
     k: int,
     store: Optional[PageStore] = None,
+    backend: str = "python",
 ) -> Dict[int, TopKResult]:
     """Sections 5.4's full pipeline: traversal + individual refinement."""
     traversal = joint_traversal(tree, dataset, k, store=store)
-    return individual_topk(traversal, dataset, k)
+    return individual_topk(traversal, dataset, k, backend=backend)

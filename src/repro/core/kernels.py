@@ -1,0 +1,454 @@
+"""NumPy-vectorized scoring kernels for batch query processing.
+
+The scalar pipeline scores one ``(user, object/location)`` pair at a
+time through :meth:`repro.model.dataset.Dataset.sts_parts` and the
+:class:`~repro.core.bounds.BoundCalculator` methods.  Every per-query
+hot loop in the system — the per-user shortlist test ``UBL(l, u) >=
+RSk(u)`` of Algorithm 3, the BRSTkNN winner scan of the keyword
+selectors, and the Algorithm 2 refinement of the candidate pools — is a
+dense "one location/document against *all* users" computation, which
+this module evaluates as array arithmetic instead of Python loops.
+
+Exactness contract
+------------------
+``backend="numpy"`` must return *identical results* to the scalar
+``backend="python"`` reference (the equivalence tests enforce it).
+Floating-point sums evaluated in a different association order can
+differ in the last ulp, so every kernel that feeds a *decision*
+(``score >= threshold``) uses a **guard band**: comparisons decided by
+a margin wider than ``GUARD_EPS`` are trusted, while pairs inside the
+band are re-checked with the scalar code path.  Accumulated rounding
+error across the handful of ``[0, 1]``-bounded terms a score sums is
+orders of magnitude below ``GUARD_EPS``, so the band only ever catches
+genuine ties — which the scalar re-check resolves exactly as the
+python backend does.
+
+Array layout
+------------
+:class:`DatasetArrays` caches, per dataset (stored on the dataset
+itself, so clones from ``with_alpha``/``with_users`` get their own):
+
+* user locations ``(M, 2)`` and user-side normalizers ``Z(u.d)``;
+* a dense user/term incidence matrix over the *union of user keywords*
+  (terms no user holds can never contribute to any text score).
+
+Documents then become weight vectors over those term columns and text
+sums become one mat-vec per location/document.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..model.objects import STObject, User
+from ..spatial.geometry import Point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..model.dataset import Dataset
+
+try:  # numpy is an optional accelerator; everything gates on HAS_NUMPY
+    import numpy as np
+
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    np = None  # type: ignore[assignment]
+    HAS_NUMPY = False
+
+__all__ = [
+    "HAS_NUMPY",
+    "BACKENDS",
+    "GUARD_EPS",
+    "DatasetArrays",
+    "arrays_for",
+    "resolve_backend",
+]
+
+#: Recognized backend names; "auto" resolves to numpy when available.
+BACKENDS = ("python", "numpy", "auto")
+
+#: Width of the guard band around decision thresholds.  Must exceed the
+#: worst-case association-order rounding difference between a numpy
+#: reduction and the scalar sum of the same values (scores sum tens of
+#: values bounded by 1, so the true difference is ~1e-15).
+GUARD_EPS = 1e-9
+
+
+def resolve_backend(backend: Optional[str]) -> str:
+    """Map a user-facing backend choice to "python" or "numpy".
+
+    ``None`` and ``"auto"`` pick numpy when it is importable.  Asking
+    for ``"numpy"`` explicitly without numpy installed is an error.
+    """
+    if backend is None:
+        backend = "auto"
+    if backend not in BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    if backend == "auto":
+        return "numpy" if HAS_NUMPY else "python"
+    if backend == "numpy" and not HAS_NUMPY:
+        raise RuntimeError("backend='numpy' requested but numpy is not installed")
+    return backend
+
+
+def _pairwise_norm(dx, dy, p: float):
+    """Vectorized Lp norm mirroring ``LpMetric._norm`` op for op."""
+    dx = np.abs(dx)
+    dy = np.abs(dy)
+    if p == float("inf"):
+        return np.maximum(dx, dy)
+    if p == 1:
+        return dx + dy
+    if p == 2:
+        # np.hypot is the same C hypot() used by math.hypot, keeping the
+        # numpy distances bitwise-equal to the scalar metric.
+        return np.hypot(dx, dy)
+    return (dx**p + dy**p) ** (1.0 / p)
+
+
+class DatasetArrays:
+    """Array mirror of a :class:`Dataset`'s users for vectorized scoring.
+
+    Built once per dataset and cached (see :func:`arrays_for`); all
+    kernels are methods so the term-column mapping stays private.
+    """
+
+    def __init__(self, dataset: "Dataset") -> None:
+        if not HAS_NUMPY:  # pragma: no cover - guarded by resolve_backend
+            raise RuntimeError("DatasetArrays requires numpy")
+        self.dataset = dataset
+        users = dataset.users
+        self.num_users = len(users)
+        self.user_ids = np.array([u.item_id for u in users], dtype=np.int64)
+        self.user_row: Dict[int, int] = {
+            u.item_id: i for i, u in enumerate(users)
+        }
+        self.user_xy = np.array(
+            [(u.location.x, u.location.y) for u in users], dtype=np.float64
+        ).reshape(self.num_users, 2)
+
+        rel = dataset.relevance
+        self.user_z = np.array(
+            [rel.user_normalizer(u.keyword_set) for u in users], dtype=np.float64
+        )
+        # Term columns: union of all user keywords, ascending for
+        # deterministic summation order inside reductions.
+        union: set = set()
+        for u in users:
+            union |= u.keyword_set
+        self.term_col: Dict[int, int] = {t: j for j, t in enumerate(sorted(union))}
+        self.num_terms = len(self.term_col)
+        self.user_terms = np.zeros((self.num_users, self.num_terms), dtype=np.float64)
+        for i, u in enumerate(users):
+            for t in u.keyword_set:
+                self.user_terms[i, self.term_col[t]] = 1.0
+        self._doc_vec_cache: Dict[frozenset, "np.ndarray"] = {}
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def rows_for(self, users: Optional[Sequence[User]]):
+        """Row-index array for a user subset (None = all users)."""
+        if users is None:
+            return np.arange(self.num_users)
+        return np.array([self.user_row[u.item_id] for u in users], dtype=np.intp)
+
+    def _doc_weight_vector(self, doc: Mapping[int, int]):
+        """Document term weights as a vector over the user-term columns.
+
+        Memoized per document content: candidate selection scores the
+        same handful of augmented documents at every candidate location.
+        """
+        key = frozenset(doc.items())
+        w = self._doc_vec_cache.get(key)
+        if w is not None:
+            return w
+        w = np.zeros(self.num_terms, dtype=np.float64)
+        if doc:
+            for tid, wt in self.dataset.relevance.document_weights(doc).items():
+                col = self.term_col.get(tid)
+                if col is not None:
+                    w[col] = wt
+        if len(self._doc_vec_cache) >= 4096:  # bound memory across queries
+            self._doc_vec_cache.clear()
+        self._doc_vec_cache[key] = w
+        return w
+
+    # ------------------------------------------------------------------
+    # Score kernels (vectorized over users)
+    # ------------------------------------------------------------------
+    def spatial_scores(self, location: Point, rows=None):
+        """``SS(location, u)`` for every selected user."""
+        xy = self.user_xy if rows is None else self.user_xy[rows]
+        d = _pairwise_norm(
+            xy[:, 0] - location.x, xy[:, 1] - location.y, self.dataset.metric.p
+        )
+        return np.clip(1.0 - d / self.dataset.dmax, 0.0, 1.0)
+
+    def text_scores(self, doc: Mapping[int, int], rows=None):
+        """``TS(doc, u.d)`` for every selected user."""
+        w = self._doc_weight_vector(doc)
+        terms = self.user_terms if rows is None else self.user_terms[rows]
+        z = self.user_z if rows is None else self.user_z[rows]
+        sums = terms @ w
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ts = np.where(z > 0.0, np.minimum(1.0, sums / np.where(z > 0.0, z, 1.0)), 0.0)
+        return ts
+
+    def sts(self, location: Point, doc: Mapping[int, int], rows=None):
+        """``STS`` of a (location, document) pair against every user."""
+        alpha = self.dataset.alpha
+        return alpha * self.spatial_scores(location, rows) + (
+            1.0 - alpha
+        ) * self.text_scores(doc, rows)
+
+    # ------------------------------------------------------------------
+    # Bound kernels (Section 6.1, vectorized over users)
+    # ------------------------------------------------------------------
+    def _augmentation_gains(
+        self, ox: STObject, candidate_terms: Iterable[int]
+    ) -> Tuple["np.ndarray", "np.ndarray"]:
+        """Per-candidate optimistic gains (Lemma 3), user-independent.
+
+        Returns (column indices, gains) for the candidates some user
+        holds and whose gain is positive — the only ones
+        ``best_augmentation_weights`` ever sums.
+        """
+        from .bounds import candidate_term_weight
+
+        rel = self.dataset.relevance
+        cols: List[int] = []
+        gains: List[float] = []
+        for t in sorted(set(candidate_terms)):
+            col = self.term_col.get(t)
+            if col is None:
+                continue
+            optimistic = candidate_term_weight(rel, ox.terms, t)
+            gain = (
+                optimistic - rel.term_weight(t, ox.terms)
+                if t in ox.terms
+                else optimistic
+            )
+            if gain > 0.0:
+                cols.append(col)
+                gains.append(gain)
+        return np.array(cols, dtype=np.intp), np.array(gains, dtype=np.float64)
+
+    def location_upper(
+        self,
+        location: Point,
+        ox: STObject,
+        candidate_terms: Iterable[int],
+        ws: int,
+        rows=None,
+    ):
+        """``UBL(l, u)`` for every selected user (Lemma 3, per-user)."""
+        alpha = self.dataset.alpha
+        ss = self.spatial_scores(location, rows)
+        z = self.user_z if rows is None else self.user_z[rows]
+        terms = self.user_terms if rows is None else self.user_terms[rows]
+
+        base = terms @ self._doc_weight_vector(ox.terms)
+        extra = np.zeros(len(base))
+        if ws > 0:
+            cols, gains = self._augmentation_gains(ox, candidate_terms)
+            if len(cols):
+                per_user = terms[:, cols] * gains
+                if len(cols) > ws:
+                    per_user = -np.sort(-per_user, axis=1)[:, :ws]
+                extra = per_user.sum(axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ts = np.where(
+                z > 0.0,
+                np.minimum(1.0, (base + extra) / np.where(z > 0.0, z, 1.0)),
+                0.0,
+            )
+        out = alpha * ss + (1.0 - alpha) * ts
+        # z <= 0 users score alpha * ss exactly (scalar short-circuit).
+        return np.where(z > 0.0, out, alpha * ss)
+
+    def location_lower(self, location: Point, ox: STObject, rows=None):
+        """``LBL(l, u)``: exact STS of the un-augmented ``ox`` at ``l``."""
+        return self.sts(location, ox.terms, rows)
+
+    # ------------------------------------------------------------------
+    # Decision kernels (guard-banded; results match the scalar backend)
+    # ------------------------------------------------------------------
+    def threshold_mask(
+        self,
+        location: Point,
+        doc: Mapping[int, int],
+        users: Sequence[User],
+        rsk: Mapping[int, float],
+    ) -> List[bool]:
+        """Guard-banded ``STS(location, doc, u) >= RSk(u)`` per user.
+
+        Pairs whose vectorized score lands within ``GUARD_EPS`` of the
+        threshold are re-scored with the scalar path, so the decisions
+        match the scalar scan exactly, ties included.
+        """
+        rows = self.rows_for(users)
+        scores = self.sts(location, doc, rows)
+        thresholds = np.array([rsk[u.item_id] for u in users], dtype=np.float64)
+        passed = scores >= thresholds + GUARD_EPS
+        for i in np.nonzero(np.abs(scores - thresholds) < GUARD_EPS)[0]:
+            u = users[i]
+            passed[i] = (
+                self.dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
+            )
+        return passed.tolist()
+
+    def threshold_mask_many(
+        self,
+        location: Point,
+        evals: Sequence[Tuple[Mapping[int, int], Sequence[User]]],
+        rsk: Mapping[int, float],
+    ) -> List[List[bool]]:
+        """:meth:`threshold_mask` for many (document, users) groups at one
+        location in a single kernel dispatch.
+
+        All (user, document) pairs share one spatial-score vector and
+        one gathered text reduction, which matters when the groups are
+        small (the greedy selector's HW evaluations: tens of documents
+        with a handful of users each per location).
+        """
+        if not evals:
+            return []
+        ss_full = self.spatial_scores(location)
+        w_mat = np.stack([self._doc_weight_vector(doc) for doc, _ in evals])
+        pair_rows: List[int] = []
+        pair_docs: List[int] = []
+        thresholds: List[float] = []
+        for d, (_doc, members) in enumerate(evals):
+            for u in members:
+                pair_rows.append(self.user_row[u.item_id])
+                pair_docs.append(d)
+                thresholds.append(rsk[u.item_id])
+        rows = np.array(pair_rows, dtype=np.intp)
+        docs = np.array(pair_docs, dtype=np.intp)
+        thr = np.array(thresholds, dtype=np.float64)
+        sums = np.einsum("ij,ij->i", self.user_terms[rows], w_mat[docs])
+        z = self.user_z[rows]
+        ts = np.where(z > 0.0, np.minimum(1.0, sums / np.where(z > 0.0, z, 1.0)), 0.0)
+        alpha = self.dataset.alpha
+        scores = alpha * ss_full[rows] + (1.0 - alpha) * ts
+        passed = scores >= thr + GUARD_EPS
+        banded = np.nonzero(np.abs(scores - thr) < GUARD_EPS)[0]
+        out: List[List[bool]] = []
+        i = 0
+        flat = passed.tolist()
+        banded_set = set(banded.tolist())
+        for d, (doc, members) in enumerate(evals):
+            group: List[bool] = []
+            for u in members:
+                ok = flat[i]
+                if i in banded_set:
+                    ok = self.dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
+                group.append(ok)
+                i += 1
+            out.append(group)
+        return out
+
+    def brstknn(
+        self,
+        ox: STObject,
+        location: Point,
+        keywords: Iterable[int],
+        users: Sequence[User],
+        rsk: Mapping[int, float],
+    ) -> frozenset:
+        """Vectorized :func:`~repro.core.keyword_selection.compute_brstknn`.
+
+        Winner membership is ``STS >= RSk(u)`` via :meth:`threshold_mask`.
+        """
+        from .bounds import augmented_document
+
+        if not users:
+            return frozenset()
+        doc = augmented_document(ox.terms, keywords)
+        passed = self.threshold_mask(location, doc, users, rsk)
+        return frozenset(u.item_id for u, ok in zip(users, passed) if ok)
+
+    def shortlist(
+        self,
+        location: Point,
+        ox: STObject,
+        candidate_terms: Sequence[int],
+        ws: int,
+        users: Sequence[User],
+        rsk: Mapping[int, float],
+        bounds=None,
+    ) -> List[User]:
+        """``LU_l``: users with ``UBL(l, u) >= RSk(u)``, scalar-exact.
+
+        Membership identical to the python backend: the guard band sends
+        near-threshold users through ``BoundCalculator.location_upper_user``.
+        """
+        from .bounds import BoundCalculator
+
+        if not users:
+            return []
+        rows = self.rows_for(users)
+        ub = self.location_upper(location, ox, candidate_terms, ws, rows)
+        thresholds = np.array([rsk[u.item_id] for u in users], dtype=np.float64)
+        keep = ub >= thresholds + GUARD_EPS
+        banded = np.abs(ub - thresholds) < GUARD_EPS
+        if banded.any():
+            bounds = bounds or BoundCalculator(self.dataset)
+            for i in np.nonzero(banded)[0]:
+                u = users[i]
+                keep[i] = (
+                    bounds.location_upper_user(location, ox, candidate_terms, ws, u)
+                    >= rsk[u.item_id]
+                )
+        return [u for i, u in enumerate(users) if keep[i]]
+
+    # ------------------------------------------------------------------
+    # Candidate-pool scoring (Algorithm 2 refinement)
+    # ------------------------------------------------------------------
+    def candidate_score_matrix(self, candidates: Sequence, rows=None) -> "np.ndarray":
+        """``STS(o, u)`` for selected users x candidate objects.
+
+        ``candidates`` is a sequence of
+        :class:`~repro.core.joint_topk.CandidateObject`; text weights
+        are recomputed from the full object documents (the traversal's
+        ``weights`` are restricted to the group union, but so are user
+        keyword sets, which is all the text score ever reads).
+        """
+        alpha = self.dataset.alpha
+        n = len(candidates)
+        user_xy = self.user_xy if rows is None else self.user_xy[rows]
+        user_terms = self.user_terms if rows is None else self.user_terms[rows]
+        user_z = self.user_z if rows is None else self.user_z[rows]
+        cand_xy = np.array(
+            [(c.obj.location.x, c.obj.location.y) for c in candidates],
+            dtype=np.float64,
+        ).reshape(n, 2)
+        d = _pairwise_norm(
+            user_xy[:, 0:1] - cand_xy[:, 0][None, :],
+            user_xy[:, 1:2] - cand_xy[:, 1][None, :],
+            self.dataset.metric.p,
+        )
+        ss = np.clip(1.0 - d / self.dataset.dmax, 0.0, 1.0)
+        w = np.zeros((self.num_terms, n), dtype=np.float64)
+        for j, c in enumerate(candidates):
+            w[:, j] = self._doc_weight_vector(c.obj.terms)
+        sums = user_terms @ w
+        z = user_z[:, None]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ts = np.where(z > 0.0, np.minimum(1.0, sums / np.where(z > 0.0, z, 1.0)), 0.0)
+        return alpha * ss + (1.0 - alpha) * ts
+
+
+def arrays_for(dataset: "Dataset") -> DatasetArrays:
+    """The cached :class:`DatasetArrays` of ``dataset`` (built lazily).
+
+    The arrays hang off the dataset itself, so their lifetime is the
+    dataset's own: clones from ``with_alpha``/``with_users`` build
+    fresh arrays, and a collected dataset takes its arrays with it (the
+    dataset<->arrays reference cycle is ordinary gc fodder).
+    """
+    arrays = getattr(dataset, "_kernel_arrays", None)
+    if arrays is None:
+        arrays = DatasetArrays(dataset)
+        dataset._kernel_arrays = arrays  # type: ignore[attr-defined]
+    return arrays

@@ -19,11 +19,16 @@ approximation (``1 − 1/e``) unless P = NP.
 size up to ``ws`` (see DESIGN.md §3.5 on why "up to" rather than the
 paper's "exactly") of the *useful* candidates (``W ∩ Wu`` where ``Wu``
 is the union of the shortlisted users' keywords) with the paper's
-prunings — users outside ``LU_l`` are never touched; users whose
-location-only lower bound already meets ``RSk(u)`` count for every
-combination; a combination is scored against a user only when it
-shares a keyword with them — plus a memoized per-user won/lost table
-(DESIGN.md §3.8) that turns the scan into set intersections.
+prunings — users outside ``LU_l`` are never touched; a combination
+is scored against a user only through a memoized per-user won/lost
+table (DESIGN.md §3.8) keyed by ``(combo ∩ u.d, |combo|)``, which
+turns the scan into set intersections.  The paper's further shortcut
+(users won by location alone count for every combination, lines
+4.6–4.7) is applied *per combination size* instead of globally: under
+length-normalized measures a bare-document win can be lost again once
+unmatched keywords dilute the document, so the global version
+over-counts (the cross-method equivalence tests caught it against the
+exhaustive baseline).
 """
 
 from __future__ import annotations
@@ -34,7 +39,8 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 from ..model.dataset import Dataset
 from ..model.objects import STObject, User
 from ..spatial.geometry import Point
-from .bounds import BoundCalculator, augmented_document, candidate_term_weight
+from .bounds import augmented_document, candidate_term_weight
+from .kernels import arrays_for, resolve_backend
 
 __all__ = [
     "KeywordSelection",
@@ -58,9 +64,16 @@ def compute_brstknn(
     keywords: Iterable[int],
     users: Sequence[User],
     rsk: Mapping[int, float],
+    backend: str = "python",
 ) -> FrozenSet[int]:
     """Users for whom ``ox`` at ``location`` with ``ox.d ∪ keywords``
-    enters the top-k (``STS >= RSk(u)``, ties admit as in the paper)."""
+    enters the top-k (``STS >= RSk(u)``, ties admit as in the paper).
+
+    ``backend="numpy"`` scores all users as one kernel call; the winner
+    set is guaranteed identical to the scalar scan (guard-banded).
+    """
+    if resolve_backend(backend) == "numpy":
+        return arrays_for(dataset).brstknn(ox, location, keywords, users, rsk)
     doc = augmented_document(ox.terms, keywords)
     winners = {
         u.item_id
@@ -104,41 +117,89 @@ def select_keywords_greedy(
     ws: int,
     users: Sequence[User],
     rsk: Mapping[int, float],
+    backend: str = "python",
+    cache: Optional[Dict] = None,
 ) -> KeywordSelection:
     """Section 6.2.1: greedy approximate keyword selection at ``location``.
 
     ``users`` is the shortlist ``LU_l`` of Algorithm 3 (only they can be
     BRSTkNNs by the location upper bound); ``rsk`` maps user id to
-    ``RSk(u)``.
+    ``RSk(u)``.  ``cache`` is an optional per-query scratch dict
+    (Algorithm 3 calls this once per candidate location): the optimistic
+    keyword weights and each user's HW sets depend only on
+    ``(ox, candidate_keywords, ws)``, so they are computed for the first
+    location and replayed for the rest.
     """
     rel = dataset.relevance
-    cand_set = set(candidate_keywords)
+    cache = cache if cache is not None else {}
+    cand_set = cache.get("cand_set")
+    if cand_set is None:
+        cand_set = cache["cand_set"] = set(candidate_keywords)
     # Optimistic per-keyword weight (Lemma 3 style): candidate added to
     # ox.d alone.  Used to rank candidates inside HW_{w,u}.
-    opt_weight = {t: candidate_term_weight(rel, ox.terms, t) for t in cand_set}
+    opt_weight = cache.get("opt_weight")
+    if opt_weight is None:
+        opt_weight = cache["opt_weight"] = {
+            t: candidate_term_weight(rel, ox.terms, t) for t in cand_set
+        }
 
-    luw: Dict[int, Set[int]] = {}
+    # HW_{w,u} evaluations, grouped by the augmented document they
+    # score: distinct HW sets are few (subsets of the candidate pool of
+    # size <= ws), so the numpy backend scores each document once
+    # against all the users that need it instead of one scalar STS per
+    # (user, w) pair — the hot loop of the greedy selector.
+    hw_by_user: Dict[int, List[Tuple[FrozenSet[int], int]]] = cache.setdefault(
+        "hw_by_user", {}
+    )
+    hw_evals: Dict[FrozenSet[int], List[Tuple[User, int]]] = {}
     scored = 0
     for user in users:
-        useful = sorted(
-            cand_set & user.keyword_set, key=lambda t: (-opt_weight[t], t)
-        )
-        if not useful:
-            continue
-        top = useful[: max(ws, 1)]
-        for w in useful:
-            # HW_{w,u}: ws highest-weight useful candidates, forced to
-            # contain w.
-            hw = list(top[: max(ws - 1, 0)]) if w not in top[: max(ws, 1)] else list(top[:ws])
-            if w not in hw:
-                hw = hw[: max(ws - 1, 0)] + [w]
-            doc = augmented_document(ox.terms, hw)
+        entries = hw_by_user.get(user.item_id)
+        if entries is None:
+            entries = []
+            useful = sorted(
+                cand_set & user.keyword_set, key=lambda t: (-opt_weight[t], t)
+            )
+            top = useful[: max(ws, 1)]
+            for w in useful:
+                # HW_{w,u}: ws highest-weight useful candidates, forced
+                # to contain w.
+                hw = list(top[: max(ws - 1, 0)]) if w not in top[: max(ws, 1)] else list(top[:ws])
+                if w not in hw:
+                    hw = hw[: max(ws - 1, 0)] + [w]
+                entries.append((frozenset(hw), w))
+            hw_by_user[user.item_id] = entries
+        for hw_set, w in entries:
+            hw_evals.setdefault(hw_set, []).append((user, w))
             scored += 1
-            if dataset.sts_parts(location, doc, user) >= rsk[user.item_id]:
-                luw.setdefault(w, set()).add(user.item_id)
+
+    luw: Dict[int, Set[int]] = {}
+    if resolve_backend(backend) == "numpy" and hw_evals:
+        arrays = arrays_for(dataset)
+        groups = [
+            (augmented_document(ox.terms, hw_set), members)
+            for hw_set, members in hw_evals.items()
+        ]
+        masks = arrays.threshold_mask_many(
+            location,
+            [(doc, [u for u, _ in members]) for doc, members in groups],
+            rsk,
+        )
+        for (_doc, members), passed in zip(groups, masks):
+            for ok, (user, w) in zip(passed, members):
+                if ok:
+                    luw.setdefault(w, set()).add(user.item_id)
+    else:
+        for hw_set, members in hw_evals.items():
+            doc = augmented_document(ox.terms, hw_set)
+            for user, w in members:
+                if dataset.sts_parts(location, doc, user) >= rsk[user.item_id]:
+                    luw.setdefault(w, set()).add(user.item_id)
 
     best_set: FrozenSet[int] = frozenset()
-    best_users = compute_brstknn(dataset, ox, location, best_set, users, rsk)
+    best_users = compute_brstknn(
+        dataset, ox, location, best_set, users, rsk, backend=backend
+    )
 
     coverage_estimate = 0
     if luw:
@@ -150,7 +211,9 @@ def select_keywords_greedy(
         # improves the answer (the full set remains a candidate).
         for end in range(1, len(chosen) + 1):
             prefix = frozenset(chosen[:end])
-            actual = compute_brstknn(dataset, ox, location, prefix, users, rsk)
+            actual = compute_brstknn(
+                dataset, ox, location, prefix, users, rsk, backend=backend
+            )
             scored += 1
             if len(actual) > len(best_users):
                 best_set, best_users = prefix, actual
@@ -170,14 +233,18 @@ def select_keywords_greedy(
         key=lambda t: (-len(luw.get(t, ())), t),
     )[: 2 * ws + 6]
     current: FrozenSet[int] = frozenset()
-    current_users = compute_brstknn(dataset, ox, location, current, users, rsk)
+    current_users = compute_brstknn(
+        dataset, ox, location, current, users, rsk, backend=backend
+    )
     for _ in range(ws):
         step_set, step_users = None, current_users
         for w in ranked_pool:
             if w in current:
                 continue
             trial = current | {w}
-            winners = compute_brstknn(dataset, ox, location, trial, users, rsk)
+            winners = compute_brstknn(
+                dataset, ox, location, trial, users, rsk, backend=backend
+            )
             scored += 1
             if len(winners) > len(step_users):
                 step_set, step_users = trial, winners
@@ -197,27 +264,15 @@ def select_keywords_exact(
     ws: int,
     users: Sequence[User],
     rsk: Mapping[int, float],
-    bounds: Optional[BoundCalculator] = None,
+    backend: str = "python",
 ) -> KeywordSelection:
     """Algorithm 4: exact keyword selection with pruning at ``location``."""
-    bounds = bounds or BoundCalculator(dataset)
-
     # Pruning 1+2: only shortlisted users; only candidates some
     # shortlisted user actually has.
     wu: Set[int] = set()
     for u in users:
         wu |= u.keyword_set
     useful = sorted(set(candidate_keywords) & wu)
-
-    # Users already won by location alone count for every combination
-    # (Algorithm 4 lines 4.6–4.7).
-    always_in: Set[int] = set()
-    contested: List[User] = []
-    for u in users:
-        if bounds.location_lower_user(location, ox, u) >= rsk[u.item_id]:
-            always_in.add(u.item_id)
-        else:
-            contested.append(u)
 
     # Definition 1 asks for |W'| <= ws, and under length-normalized
     # measures (LM) adding a keyword can *lower* other term weights, so
@@ -228,48 +283,82 @@ def select_keywords_exact(
     #
     # Scoring is memoized: for a fixed location and combo size s, a
     # user's STS depends only on (combo ∩ u.d, s) — the other combo
-    # keywords contribute nothing but document length.  Each user has
-    # at most 2^|W ∩ u.d| * ws reachable states, precomputed once, so
-    # the combinatorial loop reduces to set intersections and lookups.
+    # keywords contribute nothing but document length, which filler
+    # terms outside every u.d simulate exactly.  Each user has at most
+    # 2^|W ∩ u.d| * ws reachable states, precomputed once, so the
+    # combinatorial loop reduces to set intersections and lookups.
+    #
+    # NB: Algorithm 4's lines 4.6–4.7 count users whose location-only
+    # lower bound meets RSk(u) for *every* combination.  That shortcut
+    # is unsound for length-normalized measures: a user won by the bare
+    # ``ox.d`` can lose it again once unmatched keywords dilute the
+    # document.  The memo therefore also carries the *empty* matched
+    # subset per size — the user's fate under a combination sharing
+    # nothing with them — and per-size base counts replace the
+    # "always in" set.
     best_set: FrozenSet[int] = frozenset()
     best_users: FrozenSet[int] = frozenset(
-        compute_brstknn(dataset, ox, location, frozenset(), users, rsk)
+        compute_brstknn(dataset, ox, location, frozenset(), users, rsk, backend=backend)
     )
     scored = 1
     max_size = min(ws, len(useful))
 
-    # won[user_index][(matched_subset, size)] -> bool
-    won: List[Dict[Tuple[FrozenSet[int], int], bool]] = []
+    # won[user_index][(matched_subset, size)] -> bool.  Entries are
+    # grouped by their (subset, size) document first: the numpy backend
+    # scores each distinct padded document once against every user that
+    # reaches that state, the scalar backend evaluates the same groups
+    # pair by pair.
+    won: List[Dict[Tuple[FrozenSet[int], int], bool]] = [{} for _ in users]
     user_useful: List[FrozenSet[int]] = []
     by_keyword: Dict[int, List[int]] = {t: [] for t in useful}
     fillers = [-(i + 1) for i in range(max_size)]  # pad terms outside any u.d
-    for idx, u in enumerate(contested):
+    states: Dict[Tuple[FrozenSet[int], int], List[int]] = {}
+    for idx, u in enumerate(users):
         ku = frozenset(set(useful) & u.keyword_set)
         user_useful.append(ku)
-        table: Dict[Tuple[FrozenSet[int], int], bool] = {}
-        threshold = rsk[u.item_id]
         subsets: List[Tuple[int, ...]] = [()]
         for t in sorted(ku):
             subsets += [s + (t,) for s in subsets]
         for sub in subsets:
-            if not sub:
-                continue
-            for size in range(len(sub), max_size + 1):
-                doc = augmented_document(ox.terms, sub)
-                for f in fillers[: size - len(sub)]:
-                    doc[f] = 1
-                table[(frozenset(sub), size)] = (
-                    dataset.sts_parts(location, doc, u) >= threshold
-                )
-        won.append(table)
+            for size in range(max(len(sub), 1), max_size + 1):
+                states.setdefault((frozenset(sub), size), []).append(idx)
         for t in ku:
             by_keyword[t].append(idx)
 
-    base_count = len(always_in)
+    state_docs = []
+    for (sub, size), indices in states.items():
+        doc = augmented_document(ox.terms, sub)
+        for f in fillers[: size - len(sub)]:
+            doc[f] = 1
+        state_docs.append(((sub, size), doc, indices))
+    if resolve_backend(backend) == "numpy" and state_docs:
+        arrays = arrays_for(dataset)
+        masks = arrays.threshold_mask_many(
+            location,
+            [(doc, [users[idx] for idx in indices]) for _, doc, indices in state_docs],
+            rsk,
+        )
+        for (key, _doc, indices), passed in zip(state_docs, masks):
+            for idx, ok in zip(indices, passed):
+                won[idx][key] = ok
+    else:
+        for key, doc, indices in state_docs:
+            for idx in indices:
+                u = users[idx]
+                won[idx][key] = (
+                    dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
+                )
+
+    # Users winning a size-s combination they share no keyword with.
+    empty = frozenset()
+    base_wins = [0] * (max_size + 1)
+    for size in range(1, max_size + 1):
+        base_wins[size] = sum(1 for table in won if table[(empty, size)])
+
     for size in range(1, max_size + 1):
         for combo in combinations(useful, size):
             combo_set = frozenset(combo)
-            count = base_count
+            count = base_wins[size]
             touched: Set[int] = set()
             for t in combo:
                 for idx in by_keyword[t]:
@@ -277,16 +366,19 @@ def select_keywords_exact(
                         continue
                     touched.add(idx)
                     matched = combo_set & user_useful[idx]
-                    if won[idx][(matched, size)]:
-                        count += 1
+                    count += won[idx][(matched, size)] - won[idx][(empty, size)]
             scored += 1
             if count > len(best_users):
-                winners = set(always_in)
+                winners = set()
                 doc = augmented_document(ox.terms, combo_set)
-                for u in contested:
-                    if combo_set & u.keyword_set and (
-                        dataset.sts_parts(location, doc, u) >= rsk[u.item_id]
-                    ):
+                for idx, u in enumerate(users):
+                    if combo_set & u.keyword_set:
+                        if dataset.sts_parts(location, doc, u) >= rsk[u.item_id]:
+                            winners.add(u.item_id)
+                    elif won[idx][(empty, size)]:
+                        # Sharing nothing with the combo, the padded
+                        # memo document scores term-for-term identically
+                        # to the real augmented one.
                         winners.add(u.item_id)
                 best_set = combo_set
                 best_users = frozenset(winners)

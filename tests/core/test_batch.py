@@ -1,0 +1,155 @@
+"""``query_batch``: a batch of N queries == N sequential ``query`` calls.
+
+The contract under test: batching is purely an execution strategy.
+Results — location, keyword set, BRSTkNN user set — and every
+deterministic ``QueryStats`` counter (I/O, pruning, combinations
+scored) must be exactly what sequential cold queries produce; only
+wall-clock timings may differ.
+"""
+
+import random
+
+import pytest
+
+from repro import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from repro.core.kernels import HAS_NUMPY
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+BACKENDS = ["python"] + (["numpy"] if HAS_NUMPY else [])
+
+
+def build_engine(seed=0, n_obj=70, n_users=14, vocab=18, index_users=False):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    dataset = Dataset(objects, users, relevance="LM", alpha=0.5)
+    return MaxBRSTkNNEngine(dataset, fanout=4, index_users=index_users), rng, vocab
+
+
+def make_queries(rng, vocab, count, ks=(3,)):
+    queries = []
+    for i in range(count):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3)
+                ],
+                keywords=sorted(rng.sample(range(vocab), 5)),
+                ws=2,
+                k=ks[i % len(ks)],
+            )
+        )
+    return queries
+
+
+def assert_result_equal(a, b):
+    assert a.location == b.location
+    assert a.keywords == b.keywords
+    assert a.brstknn == b.brstknn
+
+
+def assert_stats_equal(a, b):
+    """Deterministic stats counters only — timings legitimately differ."""
+    assert a.users_total == b.users_total
+    assert a.io_node_visits == b.io_node_visits
+    assert a.io_invfile_blocks == b.io_invfile_blocks
+    assert a.locations_pruned == b.locations_pruned
+    assert a.keyword_combinations_scored == b.keyword_combinations_scored
+    assert a.users_pruned == b.users_pruned
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("mode", ["joint", "baseline"])
+def test_batch_equals_sequential(backend, mode):
+    engine, rng, vocab = build_engine()
+    queries = make_queries(rng, vocab, 6, ks=(3, 5))  # mixed k values
+    sequential = [engine.query(q, mode=mode, backend="python") for q in queries]
+    batched = engine.query_batch(queries, mode=mode, backend=backend)
+    assert len(batched) == len(sequential)
+    for solo, bat in zip(sequential, batched):
+        assert_result_equal(solo, bat)
+        assert_stats_equal(solo.stats, bat.stats)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_equals_sequential_indexed(backend):
+    engine, rng, vocab = build_engine(index_users=True)
+    queries = make_queries(rng, vocab, 3)
+    sequential = [
+        engine.query(q, mode="indexed", backend="python") for q in queries
+    ]
+    batched = engine.query_batch(queries, mode="indexed", backend=backend)
+    for solo, bat in zip(sequential, batched):
+        assert_result_equal(solo, bat)
+        assert_stats_equal(solo.stats, bat.stats)
+
+
+def test_empty_batch():
+    engine, _, _ = build_engine()
+    assert engine.query_batch([]) == []
+
+
+def test_duplicate_queries_get_identical_results():
+    engine, rng, vocab = build_engine(seed=5)
+    query = make_queries(rng, vocab, 1)[0]
+    batched = engine.query_batch([query, query, query], backend="python")
+    assert len(batched) == 3
+    for other in batched[1:]:
+        assert_result_equal(batched[0], other)
+        assert_stats_equal(batched[0].stats, other.stats)
+    # ...and they match a sequential call too.
+    solo = engine.query(query, backend="python")
+    assert_result_equal(solo, batched[0])
+
+
+def test_shared_topk_cache_reused_across_batches():
+    engine, rng, vocab = build_engine(seed=7)
+    queries = make_queries(rng, vocab, 4, ks=(2, 4))
+    engine.query_batch(queries)
+    cache = engine._shared_topk_cache
+    assert set(cache) == {("joint", 2), ("joint", 4)}
+    hits = {key: entry.hits for key, entry in cache.items()}
+    engine.query_batch(queries)  # same ks: phase 1 must not recompute
+    assert set(cache) == {("joint", 2), ("joint", 4)}
+    for key, entry in cache.items():
+        assert entry.hits == hits[key] + 2
+    engine.clear_topk_cache()
+    assert engine._shared_topk_cache == {}
+
+
+def test_batch_workers_match_inprocess():
+    engine, rng, vocab = build_engine(seed=9)
+    queries = make_queries(rng, vocab, 5)
+    inprocess = engine.query_batch(queries, workers=1)
+    fanned = engine.query_batch(queries, workers=2)
+    for a, b in zip(inprocess, fanned):
+        assert_result_equal(a, b)
+        assert_stats_equal(a.stats, b.stats)
+
+
+def test_batch_rejects_unknown_mode():
+    engine, rng, vocab = build_engine()
+    queries = make_queries(rng, vocab, 1)
+    with pytest.raises(ValueError):
+        engine.query_batch(queries, mode="warp")
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_batch_method_exact_matches_sequential():
+    engine, rng, vocab = build_engine(seed=11)
+    queries = make_queries(rng, vocab, 3)
+    sequential = [
+        engine.query(q, method="exact", backend="python") for q in queries
+    ]
+    batched = engine.query_batch(queries, method="exact", backend="numpy")
+    for solo, bat in zip(sequential, batched):
+        assert_result_equal(solo, bat)
+        assert_stats_equal(solo.stats, bat.stats)

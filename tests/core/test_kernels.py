@@ -1,0 +1,190 @@
+"""Vectorized kernels vs the scalar reference, value for value.
+
+The equivalence suite (``test_backend_equivalence``) checks whole-query
+results; these tests pin the kernel layer itself: every array a
+:class:`DatasetArrays` kernel returns must match the scalar code path
+element-wise, and every guard-banded *decision* kernel must match the
+scalar decision exactly.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import Dataset
+from repro.core.bounds import BoundCalculator
+from repro.core.joint_topk import individual_topk, joint_traversal
+from repro.core.kernels import GUARD_EPS, HAS_NUMPY, arrays_for, resolve_backend
+from repro.core.keyword_selection import compute_brstknn
+from repro.index.irtree import MIRTree
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+from repro.spatial.metrics import CHEBYSHEV, EUCLIDEAN, MANHATTAN
+
+from ..conftest import make_random_objects, make_random_users
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+#: Element-wise kernels may differ from the scalar reference only far
+#: below the guard band that protects decisions.
+TOL = GUARD_EPS * 1e-3
+
+
+def build(seed, measure="LM", alpha=0.5, vocab=20, n_obj=50, n_users=14, metric=EUCLIDEAN):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    ds = Dataset(objects, users, relevance=measure, alpha=alpha, metric=metric)
+    return ds, rng
+
+
+@pytest.mark.parametrize("measure", ["LM", "TF", "KO"])
+@pytest.mark.parametrize("alpha", [0.1, 0.5, 0.9])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_sts_kernel_matches_scalar(measure, alpha, seed):
+    ds, rng = build(seed, measure=measure, alpha=alpha)
+    arrays = arrays_for(ds)
+    for _ in range(5):
+        loc = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+        doc = {t: rng.randint(1, 3) for t in rng.sample(range(20), rng.randint(0, 5))}
+        scores = arrays.sts(loc, doc)
+        for i, u in enumerate(ds.users):
+            assert math.isclose(
+                scores[i], ds.sts_parts(loc, doc, u), rel_tol=0.0, abs_tol=TOL
+            )
+
+
+@pytest.mark.parametrize("metric", [EUCLIDEAN, MANHATTAN, CHEBYSHEV])
+def test_spatial_kernel_matches_all_metrics(metric):
+    ds, rng = build(3, metric=metric)
+    arrays = arrays_for(ds)
+    loc = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+    ss = arrays.spatial_scores(loc)
+    for i, u in enumerate(ds.users):
+        assert math.isclose(
+            ss[i], ds.spatial_score(loc, u.location), rel_tol=0.0, abs_tol=TOL
+        )
+
+
+@pytest.mark.parametrize("measure", ["LM", "TF", "KO"])
+@pytest.mark.parametrize("vocab", [8, 40])
+@pytest.mark.parametrize("ws", [0, 1, 3])
+def test_location_bounds_match_scalar(measure, vocab, ws):
+    ds, rng = build(7, measure=measure, vocab=vocab)
+    arrays = arrays_for(ds)
+    bounds = BoundCalculator(ds)
+    ox = STObject(
+        item_id=-1,
+        location=Point(5, 5),
+        terms={t: 1 for t in rng.sample(range(vocab), 3)},
+    )
+    candidates = sorted(rng.sample(range(vocab), min(6, vocab)))
+    for _ in range(4):
+        loc = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+        ub = arrays.location_upper(loc, ox, candidates, ws)
+        lb = arrays.location_lower(loc, ox)
+        for i, u in enumerate(ds.users):
+            assert math.isclose(
+                ub[i],
+                bounds.location_upper_user(loc, ox, candidates, ws, u),
+                rel_tol=0.0,
+                abs_tol=TOL,
+            )
+            assert math.isclose(
+                lb[i],
+                bounds.location_lower_user(loc, ox, u),
+                rel_tol=0.0,
+                abs_tol=TOL,
+            )
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_brstknn_kernel_exact_membership(seed):
+    """The decision kernel must agree with the scalar scan *exactly*,
+    including RSk thresholds of 0.0 (everyone ties at score >= 0)."""
+    ds, rng = build(seed)
+    ox = STObject(item_id=-1, location=Point(5, 5), terms={})
+    loc = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+    keywords = frozenset(rng.sample(range(20), 2))
+    for rsk_value in (0.0, 0.3, 0.7):
+        rsk = {u.item_id: rsk_value for u in ds.users}
+        scalar = compute_brstknn(ds, ox, loc, keywords, ds.users, rsk, backend="python")
+        vectorized = compute_brstknn(
+            ds, ox, loc, keywords, ds.users, rsk, backend="numpy"
+        )
+        assert scalar == vectorized
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_shortlist_kernel_exact_membership(seed):
+    ds, rng = build(seed, n_users=20)
+    arrays = arrays_for(ds)
+    bounds = BoundCalculator(ds)
+    ox = STObject(item_id=-1, location=Point(5, 5), terms={0: 1})
+    candidates = sorted(rng.sample(range(20), 5))
+    loc = Point(rng.uniform(0, 10), rng.uniform(0, 10))
+    rsk = {u.item_id: rng.uniform(0.0, 1.0) for u in ds.users}
+    scalar = [
+        u.item_id
+        for u in ds.users
+        if bounds.location_upper_user(loc, ox, candidates, 2, u) >= rsk[u.item_id]
+    ]
+    vectorized = [
+        u.item_id for u in arrays.shortlist(loc, ox, candidates, 2, ds.users, rsk)
+    ]
+    assert scalar == vectorized
+
+
+def test_individual_topk_backends_identical():
+    """Vectorized Algorithm 2 returns bitwise-identical TopKResults."""
+    ds, _ = build(11, n_obj=80, n_users=16)
+    tree = MIRTree(ds.objects, ds.relevance, fanout=4)
+    for k in (1, 4, 10):
+        traversal = joint_traversal(tree, ds, k)
+        py = individual_topk(traversal, ds, k, backend="python")
+        np_ = individual_topk(traversal, ds, k, backend="numpy")
+        assert py.keys() == np_.keys()
+        for uid in py:
+            assert py[uid].ranked == np_[uid].ranked
+
+
+def test_user_subset_rows():
+    ds, rng = build(13)
+    arrays = arrays_for(ds)
+    subset = rng.sample(ds.users, 5)
+    loc = Point(2, 2)
+    ss = arrays.spatial_scores(loc, arrays.rows_for(subset))
+    for i, u in enumerate(subset):
+        assert math.isclose(
+            ss[i], ds.spatial_score(loc, u.location), rel_tol=0.0, abs_tol=TOL
+        )
+
+
+def test_arrays_cache_per_dataset():
+    ds, _ = build(17)
+    assert arrays_for(ds) is arrays_for(ds)
+    clone = ds.with_alpha(0.9)
+    assert arrays_for(clone) is not arrays_for(ds)
+
+
+def test_arrays_cache_does_not_leak_datasets():
+    """Datasets (and their dense array mirrors) must be collectable
+    once the caller drops them — a serving sweep builds many."""
+    import gc
+    import weakref
+
+    ds, _ = build(19)
+    arrays_for(ds)
+    ref = weakref.ref(ds)
+    del ds
+    gc.collect()
+    assert ref() is None
+
+
+def test_resolve_backend():
+    assert resolve_backend(None) == "numpy"
+    assert resolve_backend("auto") == "numpy"
+    assert resolve_backend("python") == "python"
+    with pytest.raises(ValueError):
+        resolve_backend("fortran")
