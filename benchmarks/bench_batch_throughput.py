@@ -29,30 +29,19 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 )
 
-from repro import MaxBRSTkNNEngine, MaxBRSTkNNQuery  # noqa: E402
+from repro import MaxBRSTkNNEngine, QueryOptions  # noqa: E402
 from repro.bench.harness import build_workbench  # noqa: E402
 from repro.bench.params import DEFAULTS  # noqa: E402
 from repro.core.kernels import HAS_NUMPY  # noqa: E402
-from repro.datagen.users import candidate_locations  # noqa: E402
+from repro.datagen.users import query_pool  # noqa: E402
 
 
 def make_queries(workload, config, count: int):
     """A pool of distinct queries (fresh candidate locations each)."""
-    queries = []
-    for i in range(count):
-        candidate_locations(
-            workload, num_locations=config.num_locations, seed=config.seed + 101 * i
-        )
-        queries.append(
-            MaxBRSTkNNQuery(
-                ox=workload.query_object(object_id=-(i + 1)),
-                locations=list(workload.locations),
-                keywords=list(workload.candidate_keywords),
-                ws=config.ws,
-                k=config.k,
-            )
-        )
-    return queries
+    return query_pool(
+        workload, count, num_locations=config.num_locations, ws=config.ws,
+        k=config.k, seed=config.seed, seed_stride=101,
+    )
 
 
 def time_batch(engine, queries, backend, workers, method, repeats):
@@ -63,7 +52,8 @@ def time_batch(engine, queries, backend, workers, method, repeats):
         engine.clear_topk_cache()
         t0 = time.perf_counter()
         results = engine.query_batch(
-            queries, method=method, backend=backend, workers=workers
+            queries,
+            QueryOptions(method=method, backend=backend, workers=workers),
         )
         best = min(best, time.perf_counter() - t0)
     return best, results
@@ -159,7 +149,7 @@ def main(argv=None) -> int:
         engine.clear_topk_cache()
         mismatches = 0
         for q, batched in zip(queries[: largest[0]], largest[3]):
-            solo = engine.query(q, method=args.method, backend="python")
+            solo = engine.query(q, QueryOptions(method=args.method, backend="python"))
             if (
                 solo.location != batched.location
                 or solo.keywords != batched.keywords

@@ -15,7 +15,7 @@ Run:  python examples/ad_placement.py
 
 import time
 
-from repro import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from repro import Dataset, EngineConfig, MaxBRSTkNNEngine, MaxBRSTkNNQuery, QueryOptions
 from repro.datagen import candidate_locations, flickr_like, generate_users
 
 
@@ -38,7 +38,7 @@ def main() -> None:
     # each user sees their top-5 ads.
     dataset = Dataset(ads, workload.users, relevance="LM", alpha=0.9,
                       vocabulary=vocab)
-    engine = MaxBRSTkNNEngine(dataset, fanout=8, index_users=True)
+    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=8, index_users=True))
 
     query = MaxBRSTkNNQuery(
         ox=workload.query_object(),
@@ -49,11 +49,11 @@ def main() -> None:
     )
 
     t0 = time.perf_counter()
-    flat = engine.query(query, method="approx", mode="joint")
+    flat = engine.query(query, QueryOptions(method="approx", mode="joint"))
     t_flat = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    indexed = engine.query(query, method="approx", mode="indexed")
+    indexed = engine.query(query, QueryOptions(method="approx", mode="indexed"))
     t_indexed = time.perf_counter() - t0
 
     print(f"Users on platform: {len(dataset.users)}, competing ads: {len(ads)}")

@@ -18,7 +18,6 @@ from repro import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
 from repro.core.extensions import collective_placement, top_placements
 from repro.core.joint_topk import joint_topk, joint_traversal
 from repro.datagen import candidate_locations, flickr_like, generate_users
-from repro.index.irtree import MIRTree
 from repro.storage.serde import deserialize_irtree, serialize_irtree
 
 

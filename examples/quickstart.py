@@ -8,7 +8,7 @@ carry, to enter the spatial-textual top-10 of the most users?
 Run:  python examples/quickstart.py
 """
 
-from repro import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from repro import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery, QueryOptions
 from repro.datagen import candidate_locations, flickr_like, generate_users
 
 
@@ -37,8 +37,8 @@ def main() -> None:
         k=10,
     )
 
-    approx = engine.query(query, method="approx")
-    exact = engine.query(query, method="exact")
+    approx = engine.query(query, QueryOptions(method="approx"))
+    exact = engine.query(query, QueryOptions(method="exact"))
 
     print("Approximate:", approx.summary())
     print("Exact:      ", exact.summary())

@@ -12,9 +12,11 @@ Run:  python examples/restaurant_menu.py
 
 from repro import (
     Dataset,
+    EngineConfig,
     MaxBRSTkNNEngine,
     MaxBRSTkNNQuery,
     Point,
+    QueryOptions,
     STObject,
     User,
 )
@@ -41,7 +43,7 @@ def main() -> None:
 
     dataset = Dataset(competitors, customers, relevance="KO", alpha=0.5,
                       vocabulary=vocab)
-    engine = MaxBRSTkNNEngine(dataset, fanout=4)
+    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
 
     # Three lots are available; one menu item may be advertised (ws=1);
     # the goal is to be some customer's *top-1* restaurant (k=1).
@@ -54,7 +56,7 @@ def main() -> None:
         k=1,
     )
 
-    result = engine.query(query, method="exact")
+    result = engine.query(query, QueryOptions(method="exact"))
 
     print("Candidate lots:", [(p.x, p.y) for p in lots])
     print("Menu choices:  ", vocab.decode([sushi, seafood, noodles]))

@@ -18,20 +18,28 @@ Quickstart
 >>> engine = MaxBRSTkNNEngine(ds)
 """
 
+from .core.config import Backend, EngineConfig, Method, Mode, QueryOptions
 from .core.engine import MaxBRSTkNNEngine
+from .core.planner import QueryPlan
 from .core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 from .model.dataset import Dataset, DatasetStats
 from .model.objects import STObject, SuperUser, User
 from .spatial.geometry import Point, Rect
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "Backend",
     "Dataset",
     "DatasetStats",
+    "EngineConfig",
     "MaxBRSTkNNEngine",
     "MaxBRSTkNNQuery",
     "MaxBRSTkNNResult",
+    "Method",
+    "Mode",
+    "QueryOptions",
+    "QueryPlan",
     "QueryStats",
     "Point",
     "Rect",

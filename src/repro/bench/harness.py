@@ -22,6 +22,7 @@ from typing import Dict, Tuple
 
 from ..core.baseline import baseline_select_candidate
 from ..core.candidate_selection import select_candidate
+from ..core.config import QueryOptions
 from ..core.engine import MaxBRSTkNNEngine
 from ..core.indexed_users import indexed_users_maxbrstknn
 from ..core.joint_topk import joint_traversal, individual_topk
@@ -235,7 +236,7 @@ def measure_batch_throughput(bench: Workbench, workers: int = 1) -> TopKMetrics:
     engine.clear_topk_cache()
     engine.reset_io()
     t0 = time.perf_counter()
-    engine.query_batch(queries, backend=config.backend, workers=workers)
+    engine.query_batch(queries, config.query_options(workers=workers))
     elapsed = time.perf_counter() - t0
     io = engine.io.total
     n = len(queries)
@@ -269,7 +270,7 @@ def measure_user_index(bench: Workbench) -> Tuple[int, int, float]:
     engine = bench.engine
     engine.reset_io()
     engine.store.counter.load_bytes(_user_file_bytes(bench.dataset))
-    engine.query(bench.query, method="approx", mode="joint")
+    engine.query(bench.query, QueryOptions(method="approx", mode="joint"))
     unindexed_io = engine.io.total
 
     engine.reset_io()

@@ -1,0 +1,15 @@
+"""Small statistics helpers shared by the CLI and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sequence."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty sequence")
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]

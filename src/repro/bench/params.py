@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List
 
+from ..core.config import QueryOptions
+
 __all__ = ["ExperimentConfig", "DEFAULTS", "SWEEPS", "PAPER_SWEEPS", "config_for"]
 
 
@@ -43,6 +45,10 @@ class ExperimentConfig:
     def with_(self, **kwargs) -> "ExperimentConfig":
         """Functional update (frozen dataclass)."""
         return replace(self, **kwargs)
+
+    def query_options(self, workers: int = 1) -> QueryOptions:
+        """The typed :class:`QueryOptions` this experiment cell runs with."""
+        return QueryOptions(backend=self.backend, workers=workers)
 
     def label(self) -> str:
         label = (

@@ -6,17 +6,34 @@ Commands
                 the result plus per-phase stats;
 ``batch``       answer a batch of queries through ``query_batch`` and
                 print throughput (queries/sec) vs sequential;
+``serve``       start a :class:`MaxBRSTkNNServer`, submit concurrent
+                queries through the async micro-batching front-end, and
+                print latency percentiles plus server stats;
 ``report``      shortcut to :mod:`repro.bench.report`;
 ``stats``       print Table 4-style statistics of a generated dataset.
+
+All query commands build one :class:`repro.core.config.QueryOptions`
+from their flags — the CLI is a consumer of the typed API, not of the
+legacy string kwargs.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import sys
 import time
+from typing import List
 
 from . import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
-from .datagen import candidate_locations, flickr_like, generate_users, yelp_like
+from .core.config import EngineConfig, QueryOptions
+from .datagen import (
+    candidate_locations,
+    flickr_like,
+    generate_users,
+    query_pool,
+    yelp_like,
+)
 
 __all__ = ["main"]
 
@@ -42,9 +59,30 @@ def _make_workload(args):
     return dataset, workload
 
 
+def _query_options(args, workers: int = 1) -> QueryOptions:
+    """One QueryOptions from the shared CLI flags."""
+    return QueryOptions(
+        method=args.method,
+        mode=getattr(args, "mode", "joint"),
+        backend=args.backend,
+        workers=workers,
+    )
+
+
+def _make_query_pool(workload, args, count: int) -> List[MaxBRSTkNNQuery]:
+    """Distinct queries (fresh candidate locations each)."""
+    return query_pool(
+        workload, count, num_locations=args.locations, ws=args.ws, k=args.k,
+        seed=args.seed,
+    )
+
+
 def _cmd_demo(args) -> int:
     dataset, workload = _make_workload(args)
-    engine = MaxBRSTkNNEngine(dataset, index_users=(args.mode == "indexed"))
+    engine = MaxBRSTkNNEngine(
+        dataset, EngineConfig(index_users=(args.mode == "indexed"))
+    )
+    options = _query_options(args)
     query = MaxBRSTkNNQuery(
         ox=workload.query_object(),
         locations=workload.locations,
@@ -52,10 +90,10 @@ def _cmd_demo(args) -> int:
         ws=args.ws,
         k=args.k,
     )
+    if args.explain:
+        print(engine.plan(options).explain())
     t0 = time.perf_counter()
-    result = engine.query(
-        query, method=args.method, mode=args.mode, backend=args.backend
-    )
+    result = engine.query(query, options)
     elapsed = time.perf_counter() - t0
     print(result.summary())
     print(f"total runtime: {1000 * elapsed:.1f} ms "
@@ -75,29 +113,87 @@ def _cmd_batch(args) -> int:
     """Answer ``--batch-size`` queries as one batch and report throughput."""
     dataset, workload = _make_workload(args)
     engine = MaxBRSTkNNEngine(dataset)
-    queries = []
-    for i in range(args.batch_size):
-        candidate_locations(workload, num_locations=args.locations, seed=args.seed + i)
-        queries.append(
-            MaxBRSTkNNQuery(
-                ox=workload.query_object(object_id=-(i + 1)),
-                locations=list(workload.locations),
-                keywords=list(workload.candidate_keywords),
-                ws=args.ws,
-                k=args.k,
-            )
-        )
+    options = _query_options(args, workers=args.workers)
+    queries = _make_query_pool(workload, args, args.batch_size)
+    if args.explain:
+        print(engine.plan(options, ks=[q.k for q in queries]).explain())
     t0 = time.perf_counter()
-    results = engine.query_batch(
-        queries, method=args.method, backend=args.backend, workers=args.workers
-    )
+    results = engine.query_batch(queries, options)
     elapsed = time.perf_counter() - t0
     for i, result in enumerate(results[: args.show]):
         print(f"[{i}] {result.summary()}")
     qps = len(queries) / elapsed if elapsed > 0 else float("inf")
     print(f"batch of {len(queries)}: {1000 * elapsed:.1f} ms total, "
-          f"{qps:.1f} queries/sec (backend={args.backend}, "
-          f"workers={args.workers})")
+          f"{qps:.1f} queries/sec (backend={options.backend}, "
+          f"workers={options.workers})")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve concurrent queries through the async micro-batching server."""
+    from .bench.metrics import percentile
+    from .serve import MaxBRSTkNNServer, ServerConfig
+
+    if args.queries < 1:
+        print("serve: --queries must be >= 1", file=sys.stderr)
+        return 2
+    dataset, workload = _make_workload(args)
+    engine = MaxBRSTkNNEngine(
+        dataset, EngineConfig(index_users=(args.mode == "indexed"))
+    )
+    options = _query_options(args)
+    config = ServerConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        pool_workers=args.pool_workers,
+        options=options,
+    )
+    queries = _make_query_pool(workload, args, args.queries)
+    if args.explain:
+        print(engine.plan(options, ks=[q.k for q in queries]).explain())
+
+    latencies: List[float] = []
+
+    async def run():
+        async with MaxBRSTkNNServer(engine, config) as server:
+            async def timed(q):
+                t0 = time.perf_counter()
+                result = await server.submit(q)
+                latencies.append(time.perf_counter() - t0)
+                return result
+
+            t0 = time.perf_counter()
+            results = await asyncio.gather(*(timed(q) for q in queries))
+            return list(results), time.perf_counter() - t0, server.stats
+
+    results, elapsed, stats = asyncio.run(run())
+    latencies.sort()
+    qps = len(queries) / elapsed if elapsed > 0 else float("inf")
+    print(f"served {len(queries)} concurrent queries in {1000 * elapsed:.1f} ms "
+          f"({qps:.1f} queries/sec)")
+    print(f"latency: p50 {1000 * percentile(latencies, 0.50):.1f} ms, "
+          f"p95 {1000 * percentile(latencies, 0.95):.1f} ms "
+          f"(max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms}, "
+          f"pool_workers={config.pool_workers})")
+    for name, value in stats.snapshot().items():
+        print(f"  {name}: {value}")
+    if args.verify:
+        mismatches = 0
+        reference = QueryOptions(
+            method=options.method, mode=options.mode, backend="python"
+        )
+        for query, served in zip(queries, results):
+            solo = engine.query(query, reference)
+            if (
+                solo.location != served.location
+                or solo.keywords != served.keywords
+                or solo.brstknn != served.brstknn
+            ):
+                mismatches += 1
+        if mismatches:
+            print(f"VERIFY FAILURE: {mismatches} served results != sequential")
+            return 1
+        print(f"verify: served results == sequential on {len(queries)} queries")
     return 0
 
 
@@ -132,6 +228,17 @@ def _add_workload_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=0)
 
 
+def _add_query_args(p: argparse.ArgumentParser, modes=("joint", "baseline", "indexed")) -> None:
+    p.add_argument("--k", type=int, default=10)
+    p.add_argument("--ws", type=int, default=2)
+    p.add_argument("--method", choices=["approx", "exact"], default="approx")
+    p.add_argument("--mode", choices=list(modes), default="joint")
+    p.add_argument("--backend", choices=["python", "numpy", "auto"],
+                   default="auto", help="scoring kernels")
+    p.add_argument("--explain", action="store_true",
+                   help="print the resolved QueryPlan before running")
+
+
 def main(argv=None) -> int:
     """CLI entry point (``python -m repro``)."""
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
@@ -139,27 +246,32 @@ def main(argv=None) -> int:
 
     demo = sub.add_parser("demo", help="run one MaxBRSTkNN query")
     _add_workload_args(demo)
-    demo.add_argument("--k", type=int, default=10)
-    demo.add_argument("--ws", type=int, default=2)
-    demo.add_argument("--method", choices=["approx", "exact"], default="approx")
-    demo.add_argument("--mode", choices=["joint", "baseline", "indexed"],
-                      default="joint")
-    demo.add_argument("--backend", choices=["python", "numpy", "auto"],
-                      default="python", help="scoring kernels")
+    _add_query_args(demo)
     demo.set_defaults(func=_cmd_demo)
 
     batch = sub.add_parser("batch", help="run a query batch via query_batch")
     _add_workload_args(batch)
-    batch.add_argument("--k", type=int, default=10)
-    batch.add_argument("--ws", type=int, default=2)
-    batch.add_argument("--method", choices=["approx", "exact"], default="approx")
-    batch.add_argument("--backend", choices=["python", "numpy", "auto"],
-                       default="auto", help="scoring kernels")
+    _add_query_args(batch)
     batch.add_argument("--batch-size", type=int, default=16)
     batch.add_argument("--workers", type=int, default=1)
     batch.add_argument("--show", type=int, default=3,
                        help="print the first N results")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="serve concurrent queries via the micro-batching server"
+    )
+    _add_workload_args(serve)
+    _add_query_args(serve)
+    serve.add_argument("--queries", type=int, default=32,
+                       help="concurrent queries to submit")
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--pool-workers", type=int, default=0,
+                       help="persistent selection pool size (0 = in-process)")
+    serve.add_argument("--verify", action="store_true",
+                       help="compare served results against sequential queries")
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     _add_workload_args(stats)

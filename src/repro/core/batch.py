@@ -12,8 +12,14 @@ up.
 top-k phase runs **once per distinct k** (and is memoized on the engine
 across batches — the per-dataset score cache), and only per-query
 candidate selection runs per query, optionally vectorized
-(``backend="numpy"``) and optionally fanned out over a process pool
-(``workers=N``).
+(``Backend.NUMPY``) and optionally fanned out over a process pool
+(``QueryOptions.workers``).  ``Mode.INDEXED`` batches share the
+MIUR-root joint traversal per distinct k the same way (see
+:class:`repro.core.indexed_users.RootTraversal`); their best-first
+search stays per query and in-process.
+
+Execution strategy is decided by :func:`repro.core.planner.plan_batch`;
+this module only carries the plan out.
 
 Result contract: every result — including its per-query
 :class:`QueryStats` I/O and pruning counters — is identical to what a
@@ -29,18 +35,22 @@ import multiprocessing
 import threading
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from .baseline import baseline_select_candidate
 from .candidate_selection import select_candidate
+from .config import QueryOptions, coerce_options
+from .indexed_users import RootTraversal, compute_root_traversal, indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_traversal
-from .kernels import arrays_for, resolve_backend
+from .kernels import arrays_for
+from .planner import EngineCapabilities, QueryPlan, plan_batch
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..serve.pool import PersistentWorkerPool
     from .engine import MaxBRSTkNNEngine
 
-__all__ = ["SharedTopK", "query_batch"]
+__all__ = ["SharedTopK", "query_batch", "execute_batch"]
 
 
 @dataclass(slots=True)
@@ -140,69 +150,134 @@ def _run_forked(i: int) -> MaxBRSTkNNResult:
 def query_batch(
     engine: "MaxBRSTkNNEngine",
     queries: Sequence[MaxBRSTkNNQuery],
-    method: str = "approx",
-    mode: str = "joint",
+    options: Union[QueryOptions, str, None] = None,
+    *,
+    method: Optional[str] = None,
+    mode: Optional[str] = None,
     backend: Optional[str] = None,
-    workers: int = 1,
+    workers: Optional[int] = None,
+    pool: Optional["PersistentWorkerPool"] = None,
 ) -> List[MaxBRSTkNNResult]:
-    """Answer many MaxBRSTkNN queries, sharing the top-k phase.
+    """Answer many MaxBRSTkNN queries, sharing phase 1 per distinct k.
 
     Parameters
     ----------
     queries:
         Any number of queries (the empty batch returns ``[]``).  Queries
         may repeat; duplicates cost only a selection pass each.
-    method / mode:
-        As in :meth:`MaxBRSTkNNEngine.query`.  ``mode="indexed"`` has no
-        shareable phase (its traversal interleaves with per-query
-        location pruning) and falls back to sequential engine calls.
-    backend:
-        ``None``/"auto" picks numpy when available; results are
-        identical across backends.
-    workers:
-        Fan candidate selection out over a fork-based process pool.
-        Falls back to in-process execution when ``fork`` is unavailable
-        or the batch is trivial.
+    options:
+        A :class:`QueryOptions`; the legacy ``method=`` / ``mode=`` /
+        ``backend=`` / ``workers=`` kwargs keep working through the
+        deprecation shim.  Results are identical across backends.
+    pool:
+        Optional persistent worker pool (``repro.serve.pool``) used for
+        phase 2 instead of a per-call fork pool; amortizes worker
+        startup across batches (the serving layer passes one).
     """
-    if mode not in ("joint", "baseline", "indexed"):
-        raise ValueError(f"unknown mode {mode!r}")
-    backend = resolve_backend(backend)
+    opts = coerce_options(
+        options, method=method, mode=mode, backend=backend, workers=workers,
+        api="query_batch",
+    )
     queries = list(queries)
     if not queries:
         return []
-    if mode == "indexed":
-        return [
-            engine.query(q, method=method, mode=mode, backend=backend)
-            for q in queries
-        ]
+    plan = plan_batch(opts, EngineCapabilities.of(engine), [q.k for q in queries])
+    return execute_batch(engine, queries, plan, pool=pool)
+
+
+def execute_batch(
+    engine: "MaxBRSTkNNEngine",
+    queries: Sequence[MaxBRSTkNNQuery],
+    plan: QueryPlan,
+    pool: Optional["PersistentWorkerPool"] = None,
+) -> List[MaxBRSTkNNResult]:
+    """Carry out a planned batch (see :func:`repro.core.planner.plan_batch`)."""
+    mode, method, backend = plan.mode.value, plan.method.value, plan.backend
+    cache = engine._shared_topk_cache
+
+    if plan.shared_traversal:
+        # Indexed batches: share the MIUR-root joint traversal per
+        # distinct k; the per-query best-first search starts from fresh
+        # caches so results and stats match sequential queries exactly.
+        assert engine.user_tree is not None  # planner validated
+        results: List[MaxBRSTkNNResult] = []
+        for q in queries:
+            key = (mode, q.k)
+            entry = cache.get(key)
+            if entry is None:
+                entry = compute_root_traversal(
+                    engine.object_tree, engine.user_tree, engine.dataset,
+                    q.k, store=engine.store,
+                )
+                cache[key] = entry
+            assert isinstance(entry, RootTraversal)
+            entry.hits += 1
+            results.append(
+                indexed_users_maxbrstknn(
+                    engine.object_tree,
+                    engine.user_tree,
+                    engine.dataset,
+                    q,
+                    method=method,
+                    store=engine.store,
+                    backend=backend,
+                    shared=entry,
+                )
+            )
+        return results
 
     # Phase 1, once per distinct k (memoized on the engine across calls).
-    cache = engine._shared_topk_cache
     keyed: List[Tuple[MaxBRSTkNNQuery, Tuple[str, int]]] = []
     for q in queries:
         key = (mode, q.k)
         if key not in cache:
             cache[key] = _compute_shared(engine, mode, q.k, backend)
-        cache[key].hits += 1
+        entry = cache[key]
+        assert isinstance(entry, SharedTopK)
+        entry.hits += 1
         keyed.append((q, key))
-    shared_by_key = {key: cache[key] for _, key in keyed}
+    shared_by_key: Dict[Tuple[str, int], SharedTopK] = {
+        key: cache[key] for _, key in keyed  # type: ignore[misc]
+    }
 
     if backend == "numpy":
         arrays_for(engine.dataset)  # build before forking: shared via COW
 
-    if workers > 1 and len(queries) > 1:
-        if "fork" in multiprocessing.get_all_start_methods():
-            global _FORK_STATE
-            with _FORK_LOCK:
-                _FORK_STATE = (
-                    engine.dataset, keyed, shared_by_key, mode, method, backend,
+    if pool is not None and len(keyed) > 1:
+        # Chunk per (mode, k) group so each SharedTopK — O(num_users)
+        # of thresholds — is pickled once per chunk, not per query,
+        # while every worker still gets work for single-k batches.
+        by_key: Dict[Tuple[str, int], List[int]] = {}
+        for i, (_, key) in enumerate(keyed):
+            by_key.setdefault(key, []).append(i)
+        payloads, index_groups = [], []
+        for key, indices in by_key.items():
+            n_chunks = min(pool.workers, len(indices))
+            for c in range(n_chunks):
+                chunk = indices[c::n_chunks]
+                payloads.append(
+                    ([keyed[i][0] for i in chunk], shared_by_key[key],
+                     mode, method, backend)
                 )
-                try:
-                    ctx = multiprocessing.get_context("fork")
-                    with ctx.Pool(min(workers, len(queries))) as pool:
-                        return pool.map(_run_forked, range(len(keyed)))
-                finally:
-                    _FORK_STATE = None
+                index_groups.append(chunk)
+        results: List[Optional[MaxBRSTkNNResult]] = [None] * len(keyed)
+        for indices, group in zip(index_groups, pool.run_selection(payloads)):
+            for i, result in zip(indices, group):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    if plan.workers > 1:
+        global _FORK_STATE
+        with _FORK_LOCK:
+            _FORK_STATE = (
+                engine.dataset, keyed, shared_by_key, mode, method, backend,
+            )
+            try:
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(min(plan.workers, len(keyed))) as fork_pool:
+                    return fork_pool.map(_run_forked, range(len(keyed)))
+            finally:
+                _FORK_STATE = None
     return [
         _select_one(engine.dataset, q, shared_by_key[key], mode, method, backend)
         for q, key in keyed

@@ -1,0 +1,226 @@
+"""Typed configuration for the layered query API.
+
+The public query surface used to be stringly-typed: ``method=`` /
+``mode=`` / ``backend=`` / ``workers=`` strings threaded separately
+through :meth:`MaxBRSTkNNEngine.query`, :func:`query_batch`, the CLI
+and the bench harness — with *different defaults per entry point*
+(``query`` defaulted ``backend="python"`` while ``query_batch``
+defaulted ``None``).  This module replaces the kwarg soup with two
+frozen dataclasses:
+
+* :class:`EngineConfig` — how indexes are built (fanout, MIUR-tree,
+  buffer pages); one value per engine lifetime.
+* :class:`QueryOptions` — how one query (or batch) is answered
+  (method / mode / backend as :class:`enum.Enum`\\ s, selection
+  fan-out ``workers``); validated on construction, shared by every
+  entry point, with **one** default: :meth:`QueryOptions.default`.
+
+Legacy string kwargs keep working through :func:`coerce_options`,
+which maps them onto a :class:`QueryOptions` and emits a single
+:class:`DeprecationWarning` per call.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..spatial.rtree import DEFAULT_FANOUT
+from .kernels import resolve_backend
+
+__all__ = [
+    "Method",
+    "Mode",
+    "Backend",
+    "EngineConfig",
+    "QueryOptions",
+    "coerce_options",
+]
+
+
+class _CoercingEnum(str, enum.Enum):
+    """String-valued enum that accepts its own values case-insensitively."""
+
+    @classmethod
+    def coerce(cls, value: Union[str, "_CoercingEnum"]) -> "_CoercingEnum":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                pass
+        valid = ", ".join(repr(m.value) for m in cls)
+        raise ValueError(
+            f"unknown {cls.__name__.lower()} {value!r}; expected one of {valid}"
+        )
+
+    def __str__(self) -> str:  # "joint", not "Mode.JOINT", in messages
+        return self.value
+
+
+class Method(_CoercingEnum):
+    """Keyword-selection method (Section 6)."""
+
+    APPROX = "approx"  # Algorithm 4, greedy with guarantee
+    EXACT = "exact"    # pruned exhaustive subset scan
+
+
+class Mode(_CoercingEnum):
+    """Query pipeline."""
+
+    JOINT = "joint"        # Section 5: joint top-k + Algorithm 3
+    BASELINE = "baseline"  # Section 4: per-user top-k + exhaustive scan
+    INDEXED = "indexed"    # Section 7: users on disk under the MIUR-tree
+
+
+class Backend(_CoercingEnum):
+    """Scoring-kernel implementation (results are backend-identical)."""
+
+    PYTHON = "python"  # scalar reference
+    NUMPY = "numpy"    # vectorized kernels (repro.core.kernels)
+    AUTO = "auto"      # numpy when importable, python otherwise
+
+    def resolve(self) -> str:
+        """Concrete backend name ("python" / "numpy") for the kernels."""
+        return resolve_backend(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class EngineConfig:
+    """How a :class:`MaxBRSTkNNEngine` builds its indexes.
+
+    Attributes
+    ----------
+    fanout:
+        R-tree fanout for every tree (objects and users).
+    index_users:
+        Also build the MIUR-tree so ``Mode.INDEXED`` is available.
+    buffer_pages:
+        LRU buffer capacity in pages; 0 = cold queries (paper setting).
+    """
+
+    fanout: int = DEFAULT_FANOUT
+    index_users: bool = False
+    buffer_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fanout, int) or self.fanout < 2:
+            raise ValueError(f"fanout must be an int >= 2, got {self.fanout!r}")
+        if not isinstance(self.buffer_pages, int) or self.buffer_pages < 0:
+            raise ValueError(
+                f"buffer_pages must be a non-negative int, got {self.buffer_pages!r}"
+            )
+
+    def with_(self, **kwargs) -> "EngineConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryOptions:
+    """How one query (or one batch of queries) is answered.
+
+    Attributes
+    ----------
+    method:
+        Keyword selector; strings are coerced (``"exact"`` works).
+    mode:
+        Pipeline; strings are coerced.
+    backend:
+        Scoring kernels; strings are coerced.  The single shared
+        default is :attr:`Backend.AUTO` — ``query`` and ``query_batch``
+        used to disagree ("python" vs ``None``); both now resolve
+        through :meth:`default`.
+    workers:
+        Fan candidate selection out over a process pool (batches only;
+        a single query always runs in-process).
+    """
+
+    method: Method = Method.APPROX
+    mode: Mode = Mode.JOINT
+    backend: Backend = Backend.AUTO
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "method", Method.coerce(self.method))
+        object.__setattr__(self, "mode", Mode.coerce(self.mode))
+        object.__setattr__(self, "backend", Backend.coerce(self.backend))
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ValueError(f"workers must be an int, got {self.workers!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+
+    @classmethod
+    def default(cls) -> "QueryOptions":
+        """The one shared default for every entry point."""
+        return _DEFAULT_OPTIONS
+
+    def with_(self, **kwargs) -> "QueryOptions":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+
+_DEFAULT_OPTIONS = QueryOptions()
+
+
+def coerce_options(
+    options: Union[QueryOptions, str, None] = None,
+    *,
+    method: Optional[str] = None,
+    mode: Optional[str] = None,
+    backend: Optional[str] = None,
+    workers: Optional[int] = None,
+    api: str = "query",
+) -> QueryOptions:
+    """Resolve the (options | legacy kwargs) surface to a QueryOptions.
+
+    The deprecation shim for the pre-typed API: legacy string kwargs
+    (and the legacy positional ``method`` string in the ``options``
+    slot) are mapped onto a validated :class:`QueryOptions` with
+    exactly one :class:`DeprecationWarning` per call.  ``None`` kwargs
+    mean "not passed" and fall through to the shared default — this is
+    what unifies ``query``'s old ``backend="python"`` default with
+    ``query_batch``'s old ``backend=None``.
+    """
+    if isinstance(options, str):
+        # Legacy positional call: engine.query(q, "exact").
+        if method is not None:
+            raise TypeError(f"{api}() got two values for 'method'")
+        method, options = options, None
+    legacy = {
+        name: value
+        for name, value in (
+            ("method", method),
+            ("mode", mode),
+            ("backend", backend),
+            ("workers", workers),
+        )
+        if value is not None
+    }
+    if options is not None:
+        if legacy:
+            raise TypeError(
+                f"{api}() takes either options=QueryOptions(...) or legacy "
+                f"kwargs, not both (got {sorted(legacy)})"
+            )
+        if not isinstance(options, QueryOptions):
+            raise TypeError(
+                f"{api}() options must be a QueryOptions, got {type(options).__name__}"
+            )
+        return options
+    if not legacy:
+        return QueryOptions.default()
+    if legacy.get("workers") == 0:
+        # PR-1 query_batch treated workers=0 like 1 (in-process); keep
+        # that call form working.  QueryOptions itself stays strict.
+        legacy["workers"] = 1
+    warnings.warn(
+        f"passing {'/'.join(sorted(legacy))} to {api}() as loose kwargs is "
+        f"deprecated; pass options=QueryOptions(...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return QueryOptions(**legacy)

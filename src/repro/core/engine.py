@@ -3,38 +3,47 @@
 ``MaxBRSTkNNEngine`` wires together everything the paper's pipeline
 needs — the MIR-tree over objects, optionally an MIUR-tree over users,
 the simulated page store, the joint top-k, and the candidate selection
-— behind a small API:
+— behind the layered typed API:
 
->>> engine = MaxBRSTkNNEngine(dataset)
->>> result = engine.query(q, method="approx")
+>>> engine = MaxBRSTkNNEngine(dataset, EngineConfig(index_users=True))
+>>> result = engine.query(q, options=QueryOptions(method=Method.EXACT))
 >>> result.cardinality, sorted(result.keywords)
+
+The three layers (see also ``repro/serve`` for the one above):
+
+* :class:`~repro.core.config.QueryOptions` / ``EngineConfig`` — typed,
+  validated configuration (strings coerce; legacy kwargs map through a
+  deprecation shim);
+* :mod:`repro.core.planner` — resolves options against the engine's
+  capabilities into an executable :class:`QueryPlan`;
+* execution — this facade plus :mod:`repro.core.batch`.
 
 Modes
 -----
-* ``mode="joint"`` (default): users in memory, joint top-k (Section 5)
+* ``Mode.JOINT`` (default): users in memory, joint top-k (Section 5)
   then Algorithm 3 candidate selection.
-* ``mode="baseline"``: Section 4's per-user top-k + exhaustive scan.
-* ``mode="indexed"``: users on disk under the MIUR-tree (Section 7).
+* ``Mode.BASELINE``: Section 4's per-user top-k + exhaustive scan.
+* ``Mode.INDEXED``: users on disk under the MIUR-tree (Section 7).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..index.irtree import IRTree, MIRTree
+from ..index.irtree import MIRTree
 from ..index.miurtree import MIURTree
 from ..model.dataset import Dataset
-from ..spatial.rtree import DEFAULT_FANOUT
 from ..storage.iostats import IOCounter
 from ..storage.pager import LRUBuffer, PageStore
 from ..topk.single import TopKResult, topk_all_users_individually
 from .baseline import baseline_maxbrstknn
-from .batch import SharedTopK, query_batch
+from .batch import query_batch
 from .candidate_selection import select_candidate
+from .config import EngineConfig, Mode, QueryOptions, coerce_options
 from .indexed_users import indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_traversal
-from .kernels import resolve_backend
+from .planner import EngineCapabilities, QueryPlan, plan_batch, plan_query
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
 __all__ = ["MaxBRSTkNNEngine"]
@@ -47,34 +56,90 @@ class MaxBRSTkNNEngine:
     ----------
     dataset:
         The bichromatic dataset (objects, users, relevance, alpha).
-    fanout:
-        R-tree fanout for all trees.
-    index_users:
-        Also build the MIUR-tree so ``mode="indexed"`` is available.
-    buffer_pages:
-        LRU buffer capacity in pages; 0 = cold queries (paper setting).
+    config:
+        Typed build configuration (:class:`EngineConfig`).  The legacy
+        ``fanout`` / ``index_users`` / ``buffer_pages`` kwargs still
+        work and map onto an :class:`EngineConfig`; passing both is an
+        error.
     """
 
     def __init__(
         self,
         dataset: Dataset,
-        fanout: int = DEFAULT_FANOUT,
-        index_users: bool = False,
-        buffer_pages: int = 0,
+        config: Optional[EngineConfig] = None,
+        *,
+        fanout: Optional[int] = None,
+        index_users: Optional[bool] = None,
+        buffer_pages: Optional[int] = None,
     ) -> None:
+        legacy = {
+            name: value
+            for name, value in (
+                ("fanout", fanout),
+                ("index_users", index_users),
+                ("buffer_pages", buffer_pages),
+            )
+            if value is not None
+        }
+        if isinstance(config, int):
+            # Legacy positional fanout: MaxBRSTkNNEngine(ds, 8).
+            if "fanout" in legacy:
+                raise TypeError("MaxBRSTkNNEngine() got two values for 'fanout'")
+            legacy["fanout"] = config
+            config = None
+        if config is None:
+            config = EngineConfig(**legacy)
+        elif not isinstance(config, EngineConfig):
+            raise TypeError(
+                f"config must be an EngineConfig, got {type(config).__name__}"
+            )
+        elif legacy:
+            raise TypeError(
+                "pass either config=EngineConfig(...) or legacy kwargs, "
+                f"not both (got {sorted(legacy)})"
+            )
+        self.config = config
         self.dataset = dataset
         self.io = IOCounter()
-        buffer = LRUBuffer(buffer_pages) if buffer_pages > 0 else None
+        buffer = LRUBuffer(config.buffer_pages) if config.buffer_pages > 0 else None
         self.store = PageStore(counter=self.io, buffer=buffer)
-        self.object_tree = MIRTree(dataset.objects, dataset.relevance, fanout=fanout)
+        self.object_tree = MIRTree(
+            dataset.objects, dataset.relevance, fanout=config.fanout
+        )
         self.user_tree: Optional[MIURTree] = None
-        if index_users:
+        if config.index_users:
             if not dataset.users:
                 raise ValueError("cannot index an empty user set")
-            self.user_tree = MIURTree(dataset.users, dataset.relevance, fanout=fanout)
-        #: Per-dataset score cache: (mode, k) -> shared top-k phase state,
-        #: filled and reused by :meth:`query_batch`.
-        self._shared_topk_cache: Dict[Tuple[str, int], SharedTopK] = {}
+            self.user_tree = MIURTree(
+                dataset.users, dataset.relevance, fanout=config.fanout
+            )
+        #: Per-dataset phase-1 cache: (mode, k) -> shared top-k state
+        #: (joint/baseline) or shared root traversal (indexed), filled
+        #: and reused by :meth:`query_batch`.
+        self._shared_topk_cache: Dict[Tuple[str, int], object] = {}
+
+    # ------------------------------------------------------------------
+    # Planning / introspection
+    # ------------------------------------------------------------------
+    def capabilities(self) -> EngineCapabilities:
+        """What this engine can execute (feeds the planner)."""
+        return EngineCapabilities.of(self)
+
+    def plan(
+        self,
+        options: Optional[QueryOptions] = None,
+        ks: Sequence[int] = (),
+    ) -> QueryPlan:
+        """Resolve ``options`` against this engine without executing.
+
+        ``ks`` are the ``k`` values of a prospective batch; empty means
+        a single query.  ``plan(...).explain()`` describes the decision.
+        """
+        options = options if options is not None else QueryOptions.default()
+        caps = self.capabilities()
+        if ks:
+            return plan_batch(options, caps, list(ks))
+        return plan_query(options, caps)
 
     # ------------------------------------------------------------------
     # Top-k entry points (benchmarked separately: Figures 5a/5b etc.)
@@ -96,38 +161,46 @@ class MaxBRSTkNNEngine:
     def query(
         self,
         query: MaxBRSTkNNQuery,
-        method: str = "approx",
-        mode: str = "joint",
-        backend: str = "python",
+        options: Union[QueryOptions, str, None] = None,
+        *,
+        method: Optional[str] = None,
+        mode: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> MaxBRSTkNNResult:
         """Answer one MaxBRSTkNN query.
 
-        ``method`` picks the keyword selector ("approx" / "exact");
-        ``mode`` picks the pipeline ("joint" / "baseline" / "indexed");
-        ``backend`` picks the scoring kernels ("python" scalar
-        reference, "numpy" vectorized, "auto") — results are identical
-        across backends (``mode="baseline"`` is the scalar oracle and
-        ignores the choice).
+        ``options`` is a :class:`QueryOptions`; the legacy string
+        kwargs (``method=`` / ``mode=`` / ``backend=``) keep working
+        through the deprecation shim.  Results are identical across
+        backends (``Mode.BASELINE`` is the scalar oracle and ignores
+        the choice).
         """
-        backend = resolve_backend(backend)
-        if mode == "baseline":
+        opts = coerce_options(
+            options, method=method, mode=mode, backend=backend,
+            api="MaxBRSTkNNEngine.query",
+        )
+        plan = plan_query(opts, self.capabilities(), k=query.k)
+        return self._execute_single(query, plan)
+
+    def _execute_single(
+        self, query: MaxBRSTkNNQuery, plan: QueryPlan
+    ) -> MaxBRSTkNNResult:
+        """Run one planned query (always cold: no shared-phase cache)."""
+        if plan.mode is Mode.BASELINE:
             return baseline_maxbrstknn(
                 self.object_tree, self.dataset, query, store=self.store
             )
-        if mode == "indexed":
-            if self.user_tree is None:
-                raise ValueError("engine built without index_users=True")
+        if plan.mode is Mode.INDEXED:
+            assert self.user_tree is not None  # planner validated
             return indexed_users_maxbrstknn(
                 self.object_tree,
                 self.user_tree,
                 self.dataset,
                 query,
-                method=method,
+                method=plan.method.value,
                 store=self.store,
-                backend=backend,
+                backend=plan.backend,
             )
-        if mode != "joint":
-            raise ValueError(f"unknown mode {mode!r}")
 
         # Deliberately cold (no _shared_topk_cache): single-query cost
         # and I/O accounting must match the paper's per-query setting
@@ -139,7 +212,9 @@ class MaxBRSTkNNEngine:
         traversal = joint_traversal(
             self.object_tree, self.dataset, query.k, store=self.store
         )
-        per_user = individual_topk(traversal, self.dataset, query.k, backend=backend)
+        per_user = individual_topk(
+            traversal, self.dataset, query.k, backend=plan.backend
+        )
         stats.topk_time_s = time.perf_counter() - t0
         delta = self.io.snapshot() - before
         stats.io_node_visits = delta.node_visits
@@ -152,9 +227,9 @@ class MaxBRSTkNNEngine:
             query,
             rsk,
             rsk_group=traversal.rsk_group,
-            method=method,
+            method=plan.method.value,
             stats=stats,
-            backend=backend,
+            backend=plan.backend,
         )
         stats.selection_time_s = time.perf_counter() - t1
         result.stats = stats
@@ -163,24 +238,32 @@ class MaxBRSTkNNEngine:
     def query_batch(
         self,
         queries: Sequence[MaxBRSTkNNQuery],
-        method: str = "approx",
-        mode: str = "joint",
+        options: Union[QueryOptions, str, None] = None,
+        *,
+        method: Optional[str] = None,
+        mode: Optional[str] = None,
         backend: Optional[str] = None,
-        workers: int = 1,
+        workers: Optional[int] = None,
+        pool=None,
     ) -> List[MaxBRSTkNNResult]:
-        """Answer a batch of queries, sharing the top-k phase per k.
+        """Answer a batch of queries, sharing phase 1 per distinct k.
 
         See :func:`repro.core.batch.query_batch`; the shared phase is
         memoized on the engine, so consecutive batches with the same k
-        skip it entirely (:meth:`clear_topk_cache` drops it).
+        skip it entirely (:meth:`clear_topk_cache` drops it).  ``pool``
+        optionally injects a persistent
+        :class:`repro.serve.pool.PersistentWorkerPool` for phase 2.
         """
-        return query_batch(
-            self, queries, method=method, mode=mode, backend=backend,
-            workers=workers,
+        # Coerce here (not in batch.query_batch) so the deprecation
+        # warning's stacklevel lands on the user's call site.
+        opts = coerce_options(
+            options, method=method, mode=mode, backend=backend, workers=workers,
+            api="MaxBRSTkNNEngine.query_batch",
         )
+        return query_batch(self, queries, opts, pool=pool)
 
     def clear_topk_cache(self) -> None:
-        """Drop the shared top-k phase cache used by ``query_batch``."""
+        """Drop the shared phase-1 cache used by ``query_batch``."""
         self._shared_topk_cache.clear()
 
     # ------------------------------------------------------------------

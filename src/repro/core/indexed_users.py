@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..index.irtree import MIRTree
 from ..index.miurtree import MIURTree, UserNodeView
@@ -41,14 +42,10 @@ from ..storage.pager import PageStore
 from .bounds import BoundCalculator
 from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
 from .kernels import resolve_backend
-from .keyword_selection import (
-    compute_brstknn,
-    select_keywords_exact,
-    select_keywords_greedy,
-)
+from .keyword_selection import select_keywords_exact, select_keywords_greedy
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
-__all__ = ["indexed_users_maxbrstknn"]
+__all__ = ["RootTraversal", "compute_root_traversal", "indexed_users_maxbrstknn"]
 
 #: A shortlist entry: either a resolved user or a whole user node.
 _Entry = Union[User, UserNodeView]
@@ -91,6 +88,53 @@ def _node_rsk(
     return lows[k - 1]
 
 
+@dataclass(slots=True)
+class RootTraversal:
+    """Query-independent phase-1 state for indexed queries at one ``k``.
+
+    The joint traversal of the object tree against the MIUR-tree root
+    summary depends only on ``(dataset, k)`` — the root's summary *is*
+    the super-user of all users — so batched indexed queries share one
+    per distinct ``k`` (planned by :func:`repro.core.planner.plan_batch`
+    and memoized on the engine, exactly like the joint-mode
+    :class:`~repro.core.batch.SharedTopK`).
+    """
+
+    traversal: JointTraversalResult
+    topk_time_s: float
+    io_node_visits: int
+    io_invfile_blocks: int
+    hits: int = 0  # queries served from this entry (introspection)
+
+
+def compute_root_traversal(
+    object_tree: MIRTree,
+    user_tree: MIURTree,
+    dataset: Dataset,
+    k: int,
+    store: Optional[PageStore] = None,
+) -> RootTraversal:
+    """Run the shared phase once: joint traversal vs the root summary."""
+    counter = store.counter if store is not None else None
+    before = counter.snapshot() if counter is not None else None
+    t0 = time.perf_counter()
+    traversal = joint_traversal(
+        object_tree, dataset, k, super_user=user_tree.root.summary, store=store
+    )
+    elapsed = time.perf_counter() - t0
+    if counter is not None:
+        delta = counter.snapshot() - before
+        node_visits, invfile_blocks = delta.node_visits, delta.invfile_blocks
+    else:
+        node_visits = invfile_blocks = 0
+    return RootTraversal(
+        traversal=traversal,
+        topk_time_s=elapsed,
+        io_node_visits=node_visits,
+        io_invfile_blocks=invfile_blocks,
+    )
+
+
 def indexed_users_maxbrstknn(
     object_tree: MIRTree,
     user_tree: MIURTree,
@@ -99,20 +143,35 @@ def indexed_users_maxbrstknn(
     method: str = "approx",
     store: Optional[PageStore] = None,
     backend: str = "python",
+    shared: Optional[RootTraversal] = None,
 ) -> MaxBRSTkNNResult:
-    """Answer a MaxBRSTkNN query with both sets on (simulated) disk."""
+    """Answer a MaxBRSTkNN query with both sets on (simulated) disk.
+
+    ``shared`` injects a precomputed phase-1 :class:`RootTraversal`
+    (batch execution); when omitted the traversal runs here, cold.  The
+    per-query best-first search always starts from fresh caches so
+    results *and stats* are identical either way.
+    """
     if method not in ("approx", "exact"):
         raise ValueError(f"unknown keyword-selection method {method!r}")
     backend = resolve_backend(backend)
-    stats = QueryStats(users_total=len(user_tree))
+    if shared is None:
+        shared = compute_root_traversal(
+            object_tree, user_tree, dataset, query.k, store=store
+        )
+    stats = QueryStats(
+        users_total=len(user_tree),
+        topk_time_s=shared.topk_time_s,
+        io_node_visits=shared.io_node_visits,
+        io_invfile_blocks=shared.io_invfile_blocks,
+    )
     bounds = BoundCalculator(dataset)
     root = user_tree.root
+    io_counter = store.counter if store is not None else None
+    search_before = io_counter.snapshot() if io_counter is not None else None
+    search_t0 = time.perf_counter()
 
-    # Step 1: one joint traversal of the object tree for the root (the
-    # root's summary *is* the super-user of all users).
-    traversal = joint_traversal(
-        object_tree, dataset, query.k, super_user=root.summary, store=store
-    )
+    traversal = shared.traversal
     rsk_group = traversal.rsk_group
 
     # Per-resolved-user exact thresholds, filled lazily per leaf group.
@@ -226,6 +285,11 @@ def indexed_users_maxbrstknn(
             best_location, best_keywords, best_users = st.location, keywords, winners
 
     stats.users_pruned = stats.users_total - len(rsk)
+    stats.selection_time_s = time.perf_counter() - search_t0
+    if io_counter is not None:
+        search_delta = io_counter.snapshot() - search_before
+        stats.io_node_visits += search_delta.node_visits
+        stats.io_invfile_blocks += search_delta.invfile_blocks
     if best_location is None and query.locations:
         best_location = query.locations[0]
     return MaxBRSTkNNResult(

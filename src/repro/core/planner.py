@@ -1,0 +1,194 @@
+"""Query planner: resolve (QueryOptions, engine capabilities) to a plan.
+
+The middle layer of the typed API.  :class:`QueryOptions` says what the
+caller *wants*; :class:`EngineCapabilities` says what the engine *has*
+(an MIUR-tree? numpy? a ``fork`` start method?); the planner resolves
+the pair into an executable :class:`QueryPlan` — which pipeline runs,
+which kernels score, whether the shared top-k cache applies, and how
+phase 2 fans out — and rejects impossible combinations up front
+(``Mode.INDEXED`` without a user tree, ``Backend.NUMPY`` without
+numpy) before any work is done.
+
+Planning is also where batch execution strategies are chosen.  In
+particular, ``Mode.INDEXED`` batches used to fall back silently to
+sequential per-query engine calls; the planner now routes them through
+a **shared root traversal** per distinct ``k`` (the joint traversal of
+the object tree against the MIUR-tree root summary depends only on
+``(dataset, k)``), so batched indexed queries amortize the same phase
+batched joint queries always did.
+
+``QueryPlan.explain()`` renders the decisions as text — the serving
+layer and the CLI surface it for observability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence, Tuple
+
+from .config import Method, Mode, QueryOptions
+from .kernels import HAS_NUMPY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import MaxBRSTkNNEngine
+
+__all__ = ["EngineCapabilities", "QueryPlan", "plan_query", "plan_batch"]
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass(frozen=True, slots=True)
+class EngineCapabilities:
+    """What one engine instance can execute."""
+
+    has_user_tree: bool
+    numpy_available: bool = HAS_NUMPY
+    fork_available: bool = True
+    num_users: int = 0
+    num_objects: int = 0
+
+    @classmethod
+    def of(cls, engine: "MaxBRSTkNNEngine") -> "EngineCapabilities":
+        return cls(
+            has_user_tree=engine.user_tree is not None,
+            numpy_available=HAS_NUMPY,
+            fork_available=_fork_available(),
+            num_users=len(engine.dataset.users),
+            num_objects=len(engine.dataset.objects),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class QueryPlan:
+    """Executable resolution of one query (or batch) request.
+
+    Attributes
+    ----------
+    mode / method:
+        The validated pipeline and keyword selector.
+    backend:
+        Concrete kernel backend ("python" or "numpy") — ``Backend.AUTO``
+        is resolved here, once, instead of at every call site.
+    batch_size:
+        Number of queries this plan covers (1 = single query).
+    distinct_ks:
+        Sorted distinct ``k`` values across the batch; the shared phase
+        runs once per entry.
+    shared_topk:
+        Phase 1 (top-k thresholds) is shared per distinct ``k`` and
+        memoized on the engine (joint / baseline batches).
+    shared_traversal:
+        Phase 1 is a shared MIUR-root joint traversal per distinct
+        ``k`` (indexed batches) instead of a per-query one.
+    workers:
+        Resolved phase-2 fan-out width; 1 means in-process.
+    """
+
+    mode: Mode
+    method: Method
+    backend: str
+    batch_size: int
+    distinct_ks: Tuple[int, ...]
+    shared_topk: bool
+    shared_traversal: bool
+    workers: int
+
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """Human-readable description of what will execute and why."""
+        scope = (
+            "single query"
+            if self.batch_size == 1
+            else f"batch of {self.batch_size}"
+        )
+        lines = [
+            f"plan: {scope} -> mode={self.mode} method={self.method} "
+            f"backend={self.backend}"
+        ]
+        ks = ",".join(str(k) for k in self.distinct_ks) or "?"
+        if self.shared_topk:
+            lines.append(
+                f"  phase 1 (top-k thresholds): shared once per distinct k "
+                f"(k={ks}), memoized on the engine across batches"
+            )
+        elif self.shared_traversal:
+            lines.append(
+                f"  phase 1 (MIUR-root joint traversal): shared once per "
+                f"distinct k (k={ks}), memoized on the engine across batches"
+            )
+        else:
+            lines.append(
+                "  phase 1 (top-k): cold per query (single-query cost matches "
+                "the paper's per-query setting)"
+            )
+        if self.mode is Mode.INDEXED:
+            lines.append(
+                "  phase 2 (best-first MIUR search): in-process per query "
+                "(the simulated page store stays local)"
+            )
+        elif self.workers > 1:
+            lines.append(
+                f"  phase 2 (candidate selection): fork pool x{self.workers}"
+            )
+        else:
+            lines.append("  phase 2 (candidate selection): in-process")
+        return "\n".join(lines)
+
+
+def _validate(options: QueryOptions, caps: EngineCapabilities) -> str:
+    """Shared option/capability checks; returns the concrete backend."""
+    if options.mode is Mode.INDEXED and not caps.has_user_tree:
+        raise ValueError("engine built without index_users=True")
+    # Backend.NUMPY without numpy raises resolve()'s canonical RuntimeError.
+    return options.backend.resolve()
+
+
+def plan_query(
+    options: QueryOptions, caps: EngineCapabilities, k: int = 0
+) -> QueryPlan:
+    """Plan one query.  Single queries never share or fan out."""
+    backend = _validate(options, caps)
+    return QueryPlan(
+        mode=options.mode,
+        method=options.method,
+        backend=backend,
+        batch_size=1,
+        distinct_ks=(k,) if k else (),
+        shared_topk=False,
+        shared_traversal=False,
+        workers=1,
+    )
+
+
+def plan_batch(
+    options: QueryOptions, caps: EngineCapabilities, ks: Sequence[int]
+) -> QueryPlan:
+    """Plan a batch: share phase 1 per distinct k, fan out phase 2.
+
+    ``ks`` are the queries' ``k`` values (one per query, duplicates
+    expected).  Indexed batches share the root traversal but keep the
+    best-first search in-process — its MIUR-tree page reads must hit
+    the engine's page store, which a forked worker could not report
+    back.
+    """
+    backend = _validate(options, caps)
+    indexed = options.mode is Mode.INDEXED
+    fan_out = (
+        options.workers > 1
+        and len(ks) > 1
+        and not indexed
+        and caps.fork_available
+    )
+    return QueryPlan(
+        mode=options.mode,
+        method=options.method,
+        backend=backend,
+        batch_size=len(ks),
+        distinct_ks=tuple(sorted(set(ks))),
+        shared_topk=not indexed,
+        shared_traversal=indexed,
+        workers=options.workers if fan_out else 1,
+    )

@@ -1,7 +1,7 @@
 """Synthetic workload generation (stand-ins for Flickr and Yelp)."""
 
 from .synthetic import SpaceConfig, flickr_like, yelp_like, zipf_term_sampler
-from .users import UserWorkload, candidate_locations, generate_users
+from .users import UserWorkload, candidate_locations, generate_users, query_pool
 
 __all__ = [
     "SpaceConfig",
@@ -9,6 +9,7 @@ __all__ = [
     "candidate_locations",
     "flickr_like",
     "generate_users",
+    "query_pool",
     "yelp_like",
     "zipf_term_sampler",
 ]

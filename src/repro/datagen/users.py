@@ -24,7 +24,7 @@ import numpy as np
 from ..model.objects import STObject, User
 from ..spatial.geometry import Point, Rect
 
-__all__ = ["UserWorkload", "generate_users", "candidate_locations"]
+__all__ = ["UserWorkload", "generate_users", "candidate_locations", "query_pool"]
 
 
 @dataclass(slots=True)
@@ -142,3 +142,40 @@ def candidate_locations(
     locs = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
     workload.locations = locs
     return locs
+
+
+def query_pool(
+    workload: UserWorkload,
+    count: int,
+    *,
+    num_locations: int = 20,
+    ws: int = 2,
+    k: int = 10,
+    seed: int = 0,
+    seed_stride: int = 1,
+):
+    """``count`` distinct MaxBRSTkNN queries over one workload.
+
+    Each query gets fresh candidate locations (re-seeded with
+    ``seed + seed_stride * i``, mutating ``workload.locations`` like
+    :func:`candidate_locations` does) and a fresh negative-id query
+    object.  The CLI, the serving benchmarks, and the examples all
+    build their pools here.
+    """
+    from ..core.query import MaxBRSTkNNQuery
+
+    queries = []
+    for i in range(count):
+        candidate_locations(
+            workload, num_locations=num_locations, seed=seed + seed_stride * i
+        )
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=workload.query_object(object_id=-(i + 1)),
+                locations=list(workload.locations),
+                keywords=list(workload.candidate_keywords),
+                ws=ws,
+                k=k,
+            )
+        )
+    return queries

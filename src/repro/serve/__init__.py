@@ -1,0 +1,31 @@
+"""Async micro-batching serving layer on top of the batch query engine.
+
+The top layer of the typed API (see ``repro/core/config.py`` and
+``repro/core/planner.py`` for the two below):
+
+* :class:`ServerConfig` — micro-batch window (``max_batch`` /
+  ``max_wait_ms``), persistent pool size, and the
+  :class:`~repro.core.config.QueryOptions` every request runs with;
+* :class:`PersistentWorkerPool` — fork-once worker pool whose workers
+  inherit the dataset (and pre-built ``DatasetArrays``) at startup,
+  amortizing the per-call fork cost of ``query_batch(workers=N)``;
+* :class:`MaxBRSTkNNServer` — asyncio front-end: ``await
+  server.submit(query)`` futures are collected into micro-batches
+  (flush on ``max_batch`` or ``max_wait_ms``) and executed through
+  ``query_batch``, so concurrent callers share the top-k phase without
+  coordinating.
+
+>>> async with MaxBRSTkNNServer(engine) as server:
+...     results = await asyncio.gather(*(server.submit(q) for q in qs))
+"""
+
+from .config import ServerConfig, ServerStats
+from .pool import PersistentWorkerPool
+from .server import MaxBRSTkNNServer
+
+__all__ = [
+    "MaxBRSTkNNServer",
+    "PersistentWorkerPool",
+    "ServerConfig",
+    "ServerStats",
+]

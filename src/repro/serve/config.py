@@ -1,0 +1,92 @@
+"""Typed configuration and stats counters for the serving layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.config import QueryOptions
+
+__all__ = ["ServerConfig", "ServerStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServerConfig:
+    """How a :class:`~repro.serve.server.MaxBRSTkNNServer` batches.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many queries are pending.
+    max_wait_ms:
+        Flush at most this long after the first query of a batch
+        arrived; ``0`` flushes immediately (micro-batching still picks
+        up everything already pending, so concurrent bursts batch).
+    pool_workers:
+        Size of the persistent fork pool answering selection; ``0``
+        (default) runs phase 2 in-process — right for CPU-starved
+        hosts; the pool pays off once real cores are available.
+    options:
+        The :class:`QueryOptions` every submitted query is answered
+        with (one server = one contract; run several servers for mixed
+        workloads).
+    """
+
+    max_batch: int = 32
+    max_wait_ms: float = 2.0
+    pool_workers: int = 0
+    options: QueryOptions = field(default_factory=QueryOptions.default)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_batch, int) or self.max_batch < 1:
+            raise ValueError(f"max_batch must be an int >= 1, got {self.max_batch!r}")
+        if self.max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms!r}")
+        if not isinstance(self.pool_workers, int) or self.pool_workers < 0:
+            raise ValueError(
+                f"pool_workers must be a non-negative int, got {self.pool_workers!r}"
+            )
+        if not isinstance(self.options, QueryOptions):
+            raise ValueError("options must be a QueryOptions")
+
+    def with_(self, **kwargs) -> "ServerConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(slots=True)
+class ServerStats:
+    """Mutable per-server counters (reset with a fresh server)."""
+
+    queries_submitted: int = 0
+    queries_completed: int = 0
+    queries_failed: int = 0
+    batches_executed: int = 0
+    batch_queries_sum: int = 0
+    largest_batch: int = 0
+    full_flushes: int = 0      # batch reached max_batch
+    timeout_flushes: int = 0   # max_wait_ms elapsed first
+    drain_flushes: int = 0     # flushed during shutdown drain
+
+    @property
+    def avg_batch_size(self) -> float:
+        if self.batches_executed == 0:
+            return 0.0
+        return self.batch_queries_sum / self.batches_executed
+
+    @property
+    def in_flight(self) -> int:
+        return self.queries_submitted - self.queries_completed - self.queries_failed
+
+    def snapshot(self) -> dict:
+        """Plain-dict view (CLI / logging friendly)."""
+        return {
+            "queries_submitted": self.queries_submitted,
+            "queries_completed": self.queries_completed,
+            "queries_failed": self.queries_failed,
+            "batches_executed": self.batches_executed,
+            "avg_batch_size": round(self.avg_batch_size, 2),
+            "largest_batch": self.largest_batch,
+            "full_flushes": self.full_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "drain_flushes": self.drain_flushes,
+        }

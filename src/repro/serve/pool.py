@@ -1,0 +1,106 @@
+"""Persistent fork pool for phase-2 candidate selection.
+
+``query_batch(workers=N)`` forks a fresh pool on every call — workers
+inherit the indexes through copy-on-write for free, but the fork +
+teardown cost is paid per batch, which PR 1 left on the table.  A
+serving layer answers many batches over one immutable dataset, so this
+module forks **once at startup**: workers inherit the dataset and the
+pre-built :class:`~repro.core.kernels.DatasetArrays` (built *before*
+the fork so the arrays live in shared copy-on-write pages), and each
+batch ships only small per-chunk payloads through the pool's queues —
+queries plus the shared phase-1 thresholds, which the batch executor
+groups so each :class:`SharedTopK` is pickled once per worker chunk,
+not once per query.
+
+Requires the ``fork`` start method (Linux/macOS).  Construction raises
+:class:`RuntimeError` where unavailable — callers fall back to
+in-process execution (``ServerConfig.pool_workers=0``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from ..core.batch import SharedTopK, _select_one
+from ..core.kernels import HAS_NUMPY, arrays_for
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
+    from ..model.dataset import Dataset
+
+__all__ = ["PersistentWorkerPool"]
+
+#: One phase-2 work chunk: several queries sharing one phase-1 state,
+#: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
+Payload = Tuple[List["MaxBRSTkNNQuery"], SharedTopK, str, str, str]
+
+#: Set by the initializer in each worker process (inherited via fork,
+#: so the dataset and its cached DatasetArrays are never pickled).
+_WORKER_DATASET = None
+
+
+def _init_worker(dataset: "Dataset") -> None:
+    global _WORKER_DATASET
+    _WORKER_DATASET = dataset
+
+
+def _run_payload(payload: Payload) -> List["MaxBRSTkNNResult"]:
+    queries, shared, mode, method, backend = payload
+    return [
+        _select_one(_WORKER_DATASET, query, shared, mode, method, backend)
+        for query in queries
+    ]
+
+
+class PersistentWorkerPool:
+    """Long-lived fork pool bound to one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset every payload is answered against.  Must not be
+        mutated after the pool is built (workers hold the pre-fork
+        snapshot).
+    workers:
+        Number of worker processes (>= 1).
+    """
+
+    def __init__(self, dataset: "Dataset", workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "PersistentWorkerPool requires the 'fork' start method"
+            )
+        if HAS_NUMPY:
+            arrays_for(dataset)  # build before forking: shared via COW
+        self.dataset = dataset
+        self.workers = workers
+        ctx = multiprocessing.get_context("fork")
+        self._pool = ctx.Pool(
+            workers, initializer=_init_worker, initargs=(dataset,)
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run_selection(
+        self, payloads: Sequence[Payload]
+    ) -> List[List["MaxBRSTkNNResult"]]:
+        """Run phase 2 for every chunk, preserving chunk and query order."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        return self._pool.map(_run_payload, list(payloads))
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

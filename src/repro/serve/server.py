@@ -1,0 +1,195 @@
+"""Asyncio micro-batching front-end over the batch query engine.
+
+Serving MaxBRSTkNN traffic one query at a time re-pays the expensive
+query-independent top-k phase per request — exactly the redundancy
+``query_batch`` removes, but a network front-end receives queries one
+at a time, not in batches.  :class:`MaxBRSTkNNServer` bridges the gap
+with **micro-batching**: ``await server.submit(query)`` parks the
+caller on a future, a single flusher task collects everything pending
+(flushing when ``max_batch`` queries are waiting or ``max_wait_ms``
+has elapsed since the batch opened, whichever comes first), executes
+the micro-batch through ``engine.query_batch`` in a worker thread, and
+resolves the futures.  Concurrent callers therefore share the top-k
+phase — and the persistent fork pool, if configured — without knowing
+about each other.
+
+Results are identical to sequential ``engine.query`` calls (that is
+``query_batch``'s contract); only latency and throughput change.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from functools import partial
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from ..core.engine import MaxBRSTkNNEngine
+from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
+from .config import ServerConfig, ServerStats
+from .pool import PersistentWorkerPool
+
+__all__ = ["MaxBRSTkNNServer"]
+
+_PendingItem = Tuple[MaxBRSTkNNQuery, "asyncio.Future[MaxBRSTkNNResult]"]
+
+
+class MaxBRSTkNNServer:
+    """Async micro-batching server over one engine.
+
+    Use as an async context manager (or ``await start()`` / ``await
+    stop()`` explicitly)::
+
+        async with MaxBRSTkNNServer(engine, ServerConfig(max_wait_ms=2)) as srv:
+            results = await asyncio.gather(*(srv.submit(q) for q in queries))
+
+    One server owns one engine and one :class:`ServerConfig`; every
+    submitted query runs with ``config.options``.  All ``submit`` calls
+    must come from the event loop the server was started on.
+    """
+
+    def __init__(
+        self, engine: MaxBRSTkNNEngine, config: Optional[ServerConfig] = None
+    ) -> None:
+        self.engine = engine
+        self.config = config if config is not None else ServerConfig()
+        self.stats = ServerStats()
+        self._pending: Deque[_PendingItem] = deque()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._wakeup: Optional[asyncio.Event] = None
+        self._flusher: Optional["asyncio.Task[None]"] = None
+        self._pool: Optional[PersistentWorkerPool] = None
+        self._stopping = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "MaxBRSTkNNServer":
+        """Start the flusher task (and the persistent pool, if sized)."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self._stopping = False
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        if self.config.pool_workers > 0:
+            self._pool = PersistentWorkerPool(
+                self.engine.dataset, self.config.pool_workers
+            )
+        self._flusher = asyncio.create_task(self._flush_loop())
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: drain pending queries, then stop workers."""
+        if not self._started:
+            return
+        self._stopping = True
+        assert self._wakeup is not None
+        self._wakeup.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._started = False
+
+    async def __aenter__(self) -> "MaxBRSTkNNServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, query: MaxBRSTkNNQuery) -> MaxBRSTkNNResult:
+        """Answer one query; batches transparently with concurrent calls."""
+        if not self._started:
+            raise RuntimeError("server not started (use 'async with' or start())")
+        if self._stopping:
+            raise RuntimeError("server is stopping; no new queries accepted")
+        assert self._loop is not None and self._wakeup is not None
+        future: "asyncio.Future[MaxBRSTkNNResult]" = self._loop.create_future()
+        self._pending.append((query, future))
+        self.stats.queries_submitted += 1
+        self._wakeup.set()
+        return await future
+
+    async def submit_many(
+        self, queries: Sequence[MaxBRSTkNNQuery]
+    ) -> List[MaxBRSTkNNResult]:
+        """Submit concurrently; results come back in submission order."""
+        return list(await asyncio.gather(*(self.submit(q) for q in queries)))
+
+    # ------------------------------------------------------------------
+    # Flusher
+    # ------------------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        assert self._loop is not None and self._wakeup is not None
+        cfg = self.config
+        while True:
+            if not self._pending:
+                if self._stopping:
+                    return
+                self._wakeup.clear()
+                if self._pending or self._stopping:
+                    continue  # raced with a submit between check and clear
+                await self._wakeup.wait()
+                continue
+            # A batch is open: hold it for up to max_wait_ms while more
+            # queries trickle in, unless it fills or we are draining.
+            timed_out = False
+            if cfg.max_wait_ms > 0:
+                deadline = self._loop.time() + cfg.max_wait_ms / 1000.0
+                while len(self._pending) < cfg.max_batch and not self._stopping:
+                    remaining = deadline - self._loop.time()
+                    if remaining <= 0:
+                        timed_out = True
+                        break
+                    self._wakeup.clear()
+                    try:
+                        await asyncio.wait_for(self._wakeup.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        timed_out = True
+                        break
+            size = min(cfg.max_batch, len(self._pending))
+            batch = [self._pending.popleft() for _ in range(size)]
+            if size >= cfg.max_batch:
+                self.stats.full_flushes += 1
+            elif self._stopping:
+                self.stats.drain_flushes += 1
+            elif timed_out:
+                self.stats.timeout_flushes += 1
+            else:  # max_wait_ms == 0: immediate flush of whatever burst arrived
+                self.stats.timeout_flushes += 1
+            await self._execute(batch)
+
+    async def _execute(self, batch: List[_PendingItem]) -> None:
+        """Run one micro-batch in a worker thread and resolve futures."""
+        assert self._loop is not None
+        queries = [query for query, _ in batch]
+        self.stats.batches_executed += 1
+        self.stats.batch_queries_sum += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        try:
+            results = await self._loop.run_in_executor(
+                None,
+                partial(
+                    self.engine.query_batch,
+                    queries,
+                    self.config.options,
+                    pool=self._pool,
+                ),
+            )
+        except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
+            self.stats.queries_failed += len(batch)
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        self.stats.queries_completed += len(batch)
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro import Dataset
 from repro.core.baseline import baseline_maxbrstknn, baseline_select_candidate

@@ -142,6 +142,55 @@ def test_batch_rejects_unknown_mode():
         engine.query_batch(queries, mode="warp")
 
 
+def test_indexed_batch_shares_root_traversal():
+    """mode="indexed" batches share the MIUR-root traversal per distinct k."""
+    from repro import QueryOptions
+    from repro.core.indexed_users import RootTraversal
+
+    engine, rng, vocab = build_engine(seed=13, index_users=True)
+    queries = make_queries(rng, vocab, 4, ks=(3, 5))
+    before_first = engine.io.snapshot()
+    engine.query_batch(queries, QueryOptions(mode="indexed"))
+    first_io = (engine.io.snapshot() - before_first).total
+    cache = engine._shared_topk_cache
+    assert set(cache) == {("indexed", 3), ("indexed", 5)}
+    assert all(isinstance(entry, RootTraversal) for entry in cache.values())
+    assert {key: entry.hits for key, entry in cache.items()} == {
+        ("indexed", 3): 2,
+        ("indexed", 5): 2,
+    }
+    # A second identical batch reuses phase 1 entirely (hits double) and
+    # pays strictly less real I/O: only the per-query search remains.
+    before_second = engine.io.snapshot()
+    engine.query_batch(queries, QueryOptions(mode="indexed"))
+    second_io = (engine.io.snapshot() - before_second).total
+    assert sum(entry.hits for entry in cache.values()) == 8
+    traversal_io = sum(
+        entry.io_node_visits + entry.io_invfile_blocks for entry in cache.values()
+    )
+    assert traversal_io > 0
+    assert second_io == first_io - traversal_io
+    engine.clear_topk_cache()
+    assert engine._shared_topk_cache == {}
+
+
+def test_indexed_batch_stats_match_sequential_per_phase():
+    """Indexed stats now carry top-k I/O + per-phase timings, batch == solo."""
+    from repro import QueryOptions
+
+    engine, rng, vocab = build_engine(seed=15, index_users=True)
+    queries = make_queries(rng, vocab, 3)
+    sequential = [
+        engine.query(q, QueryOptions(mode="indexed", backend="python"))
+        for q in queries
+    ]
+    batched = engine.query_batch(queries, QueryOptions(mode="indexed"))
+    for solo, bat in zip(sequential, batched):
+        assert solo.stats.io_total > 0
+        assert bat.stats.io_node_visits == solo.stats.io_node_visits
+        assert bat.stats.io_invfile_blocks == solo.stats.io_invfile_blocks
+
+
 @pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
 def test_batch_method_exact_matches_sequential():
     engine, rng, vocab = build_engine(seed=11)

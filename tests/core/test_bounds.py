@@ -17,7 +17,7 @@ from repro.core.bounds import (
     candidate_term_weight,
 )
 from repro.index.irtree import MIRTree
-from repro.model.objects import STObject, SuperUser
+from repro.model.objects import STObject
 from repro.spatial.geometry import Point, Rect
 
 from ..conftest import make_random_objects, make_random_users

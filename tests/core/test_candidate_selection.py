@@ -41,7 +41,6 @@ class TestShortlist:
     def test_shortlist_is_superset_of_true_winners(self, seed):
         """No user who can actually be won may be shortlisted away."""
         from repro.core.keyword_selection import compute_brstknn
-        from repro.core.bounds import augmented_document
         from itertools import combinations
 
         ds, query, rsk, rsk_group = build_problem(seed)

@@ -1,0 +1,209 @@
+"""Typed configuration layer: enums, QueryOptions, EngineConfig."""
+
+import pytest
+
+from repro import Backend, EngineConfig, Method, Mode, QueryOptions
+from repro.core.config import coerce_options
+from repro.core.kernels import HAS_NUMPY
+
+
+class TestEnums:
+    def test_string_coercion(self):
+        assert Method.coerce("exact") is Method.EXACT
+        assert Mode.coerce("indexed") is Mode.INDEXED
+        assert Backend.coerce("numpy") is Backend.NUMPY
+
+    def test_coercion_is_case_insensitive(self):
+        assert Method.coerce("EXACT") is Method.EXACT
+        assert Mode.coerce("Joint") is Mode.JOINT
+
+    def test_enum_passthrough(self):
+        assert Method.coerce(Method.APPROX) is Method.APPROX
+
+    def test_unknown_values_rejected(self):
+        with pytest.raises(ValueError):
+            Method.coerce("fuzzy")
+        with pytest.raises(ValueError):
+            Mode.coerce("turbo")
+        with pytest.raises(ValueError):
+            Backend.coerce("cuda")
+
+    def test_str_mixin(self):
+        # Enums render as their value (log/CLI friendly) and compare to it.
+        assert str(Mode.JOINT) == "joint"
+        assert Backend.PYTHON == "python"
+
+    def test_backend_resolve(self):
+        assert Backend.PYTHON.resolve() == "python"
+        expected = "numpy" if HAS_NUMPY else "python"
+        assert Backend.AUTO.resolve() == expected
+
+
+class TestQueryOptions:
+    def test_defaults(self):
+        opts = QueryOptions()
+        assert opts.method is Method.APPROX
+        assert opts.mode is Mode.JOINT
+        assert opts.backend is Backend.AUTO
+        assert opts.workers == 1
+
+    def test_strings_coerce_in_constructor(self):
+        opts = QueryOptions(method="exact", mode="baseline", backend="python")
+        assert opts.method is Method.EXACT
+        assert opts.mode is Mode.BASELINE
+        assert opts.backend is Backend.PYTHON
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            QueryOptions(method="fuzzy")
+        with pytest.raises(ValueError):
+            QueryOptions(mode="turbo")
+        with pytest.raises(ValueError):
+            QueryOptions(backend="cuda")
+
+    @pytest.mark.parametrize("workers", [0, -1, 1.5, "2", True])
+    def test_invalid_workers_rejected(self, workers):
+        with pytest.raises(ValueError):
+            QueryOptions(workers=workers)
+
+    def test_frozen(self):
+        opts = QueryOptions()
+        with pytest.raises(AttributeError):
+            opts.workers = 4
+
+    def test_with_(self):
+        opts = QueryOptions().with_(method="exact", workers=3)
+        assert opts.method is Method.EXACT
+        assert opts.workers == 3
+        assert QueryOptions().workers == 1  # original untouched
+
+    def test_shared_default_is_auto_backend(self):
+        """Regression: query defaulted "python", query_batch None.
+
+        Both entry points now resolve through this one default; pinning
+        it here keeps them from drifting apart again.
+        """
+        default = QueryOptions.default()
+        assert default == QueryOptions()
+        assert default.backend is Backend.AUTO
+
+
+class TestSharedDefaultAcrossEntryPoints:
+    def test_query_and_query_batch_use_the_same_default(self, monkeypatch):
+        """Both kwarg-less entry points must plan with QueryOptions.default()."""
+        import random
+
+        import repro.core.batch as batch_mod
+        import repro.core.engine as engine_mod
+        from repro import Dataset, MaxBRSTkNNEngine
+
+        from ..conftest import make_random_objects, make_random_users
+
+        rng = random.Random(3)
+        dataset = Dataset(
+            make_random_objects(40, 12, rng),
+            make_random_users(8, 12, rng),
+            relevance="LM",
+            alpha=0.5,
+        )
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        from repro.core.query import MaxBRSTkNNQuery
+        from repro.model.objects import STObject
+        from repro.spatial.geometry import Point
+
+        query = MaxBRSTkNNQuery(
+            ox=STObject(item_id=-1, location=Point(1.0, 1.0), terms={}),
+            locations=[Point(2.0, 2.0)],
+            keywords=[0, 1, 2],
+            ws=1,
+            k=2,
+        )
+
+        seen = []
+        real_plan_query = engine_mod.plan_query
+        real_plan_batch = batch_mod.plan_batch
+        monkeypatch.setattr(
+            engine_mod, "plan_query",
+            lambda opts, caps, k=0: seen.append(opts) or real_plan_query(opts, caps, k),
+        )
+        monkeypatch.setattr(
+            batch_mod, "plan_batch",
+            lambda opts, caps, ks: seen.append(opts) or real_plan_batch(opts, caps, ks),
+        )
+        engine.query(query)
+        engine.query_batch([query])
+        assert seen == [QueryOptions.default(), QueryOptions.default()]
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = EngineConfig()
+        assert config.index_users is False
+        assert config.buffer_pages == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(fanout=1)
+        with pytest.raises(ValueError):
+            EngineConfig(buffer_pages=-1)
+
+    def test_engine_accepts_config(self, tiny_dataset):
+        from repro import MaxBRSTkNNEngine
+
+        engine = MaxBRSTkNNEngine(
+            tiny_dataset, EngineConfig(fanout=4, index_users=True)
+        )
+        assert engine.config.fanout == 4
+        assert engine.user_tree is not None
+
+    def test_engine_rejects_config_plus_legacy_kwargs(self, tiny_dataset):
+        from repro import MaxBRSTkNNEngine
+
+        with pytest.raises(TypeError):
+            MaxBRSTkNNEngine(tiny_dataset, EngineConfig(), fanout=8)
+
+    def test_engine_legacy_kwargs_map_to_config(self, tiny_dataset):
+        from repro import MaxBRSTkNNEngine
+
+        engine = MaxBRSTkNNEngine(tiny_dataset, fanout=4, index_users=True)
+        assert engine.config == EngineConfig(fanout=4, index_users=True)
+
+    def test_engine_legacy_positional_fanout(self, tiny_dataset):
+        from repro import MaxBRSTkNNEngine
+
+        engine = MaxBRSTkNNEngine(tiny_dataset, 4)
+        assert engine.config == EngineConfig(fanout=4)
+        with pytest.raises(TypeError):
+            MaxBRSTkNNEngine(tiny_dataset, 4, fanout=8)
+
+    def test_engine_rejects_wrong_config_type(self, tiny_dataset):
+        from repro import MaxBRSTkNNEngine
+
+        with pytest.raises(TypeError):
+            MaxBRSTkNNEngine(tiny_dataset, "fast")
+
+
+class TestCoerceOptions:
+    def test_none_yields_default(self):
+        assert coerce_options(None) == QueryOptions.default()
+
+    def test_options_passthrough(self):
+        opts = QueryOptions(method="exact")
+        assert coerce_options(opts) is opts
+
+    def test_options_plus_legacy_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_options(QueryOptions(), backend="python")
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_options(42)
+
+    def test_legacy_positional_method_string(self):
+        with pytest.warns(DeprecationWarning):
+            opts = coerce_options("exact")
+        assert opts.method is Method.EXACT
+
+    def test_positional_string_plus_method_kwarg_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_options("exact", method="approx")

@@ -1,0 +1,171 @@
+"""Deprecation shim: every legacy string-kwarg call form still works.
+
+Contract (ISSUE 2 satellite): each legacy form returns results
+identical to the typed-options call and emits *exactly one*
+DeprecationWarning per call.
+"""
+
+import random
+import warnings
+
+import pytest
+
+from repro import Dataset, EngineConfig, MaxBRSTkNNEngine, MaxBRSTkNNQuery, QueryOptions
+from repro.model.objects import STObject
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = random.Random(17)
+    dataset = Dataset(
+        make_random_objects(60, 16, rng),
+        make_random_users(12, 16, rng),
+        relevance="LM",
+        alpha=0.5,
+    )
+    engine = MaxBRSTkNNEngine(
+        dataset, EngineConfig(fanout=4, index_users=True)
+    )
+    queries = []
+    for i in range(3):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3)
+                ],
+                keywords=sorted(rng.sample(range(16), 5)),
+                ws=2,
+                k=3,
+            )
+        )
+    return engine, queries
+
+
+def call_and_capture(fn, *args, **kwargs):
+    """Run fn and return (result, list of DeprecationWarnings raised)."""
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    return result, [w for w in record if issubclass(w.category, DeprecationWarning)]
+
+
+def assert_result_equal(a, b):
+    assert a.location == b.location
+    assert a.keywords == b.keywords
+    assert a.brstknn == b.brstknn
+
+
+#: Legacy engine.query call forms -> the equivalent QueryOptions.
+QUERY_FORMS = [
+    (dict(method="exact"), QueryOptions(method="exact")),
+    (dict(mode="baseline"), QueryOptions(mode="baseline")),
+    (dict(mode="indexed"), QueryOptions(mode="indexed")),
+    (dict(backend="python"), QueryOptions(backend="python")),
+    (
+        dict(method="exact", mode="joint", backend="auto"),
+        QueryOptions(method="exact", mode="joint", backend="auto"),
+    ),
+]
+
+
+class TestQueryShim:
+    @pytest.mark.parametrize("legacy, options", QUERY_FORMS)
+    def test_legacy_kwargs_warn_once_and_match(self, setup, legacy, options):
+        engine, queries = setup
+        query = queries[0]
+        reference = engine.query(query, options)
+        result, deprecations = call_and_capture(engine.query, query, **legacy)
+        assert len(deprecations) == 1, [str(w.message) for w in deprecations]
+        assert "QueryOptions" in str(deprecations[0].message)
+        assert_result_equal(reference, result)
+
+    def test_legacy_positional_method_string(self, setup):
+        engine, queries = setup
+        reference = engine.query(queries[0], QueryOptions(method="exact"))
+        result, deprecations = call_and_capture(engine.query, queries[0], "exact")
+        assert len(deprecations) == 1
+        assert_result_equal(reference, result)
+
+    def test_typed_options_do_not_warn(self, setup):
+        engine, queries = setup
+        _, deprecations = call_and_capture(
+            engine.query, queries[0], QueryOptions(method="exact")
+        )
+        assert deprecations == []
+
+    def test_no_kwargs_do_not_warn(self, setup):
+        engine, queries = setup
+        _, deprecations = call_and_capture(engine.query, queries[0])
+        assert deprecations == []
+
+    def test_options_plus_legacy_is_an_error(self, setup):
+        engine, queries = setup
+        with pytest.raises(TypeError):
+            engine.query(queries[0], QueryOptions(), backend="python")
+
+
+#: Legacy query_batch call forms -> the equivalent QueryOptions.
+BATCH_FORMS = [
+    (dict(method="exact"), QueryOptions(method="exact")),
+    (dict(mode="baseline"), QueryOptions(mode="baseline")),
+    (dict(mode="indexed"), QueryOptions(mode="indexed")),
+    (dict(backend="python"), QueryOptions(backend="python")),
+    (dict(workers=2), QueryOptions(workers=2)),
+    (
+        dict(method="approx", backend="auto", workers=2),
+        QueryOptions(method="approx", backend="auto", workers=2),
+    ),
+]
+
+
+class TestQueryBatchShim:
+    @pytest.mark.parametrize("legacy, options", BATCH_FORMS)
+    def test_legacy_kwargs_warn_once_and_match(self, setup, legacy, options):
+        engine, queries = setup
+        engine.clear_topk_cache()
+        reference = engine.query_batch(queries, options)
+        engine.clear_topk_cache()
+        results, deprecations = call_and_capture(
+            engine.query_batch, queries, **legacy
+        )
+        assert len(deprecations) == 1, [str(w.message) for w in deprecations]
+        for ref, res in zip(reference, results):
+            assert_result_equal(ref, res)
+
+    def test_typed_options_do_not_warn(self, setup):
+        engine, queries = setup
+        _, deprecations = call_and_capture(
+            engine.query_batch, queries, QueryOptions(backend="python")
+        )
+        assert deprecations == []
+
+    def test_legacy_workers_zero_still_works(self, setup):
+        """PR-1 treated workers=0 as in-process; the shim keeps that."""
+        engine, queries = setup
+        engine.clear_topk_cache()
+        reference = engine.query_batch(queries, QueryOptions(workers=1))
+        engine.clear_topk_cache()
+        results, deprecations = call_and_capture(
+            engine.query_batch, queries, workers=0
+        )
+        assert len(deprecations) == 1
+        for ref, res in zip(reference, results):
+            assert_result_equal(ref, res)
+
+    def test_warning_points_at_the_call_site(self, setup):
+        """stacklevel must attribute the warning to this test file."""
+        engine, queries = setup
+        _, deprecations = call_and_capture(engine.query, queries[0], mode="joint")
+        assert deprecations[0].filename == __file__
+        _, deprecations = call_and_capture(
+            engine.query_batch, queries, backend="python"
+        )
+        assert deprecations[0].filename == __file__

@@ -8,7 +8,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import Dataset
-from repro.core.bounds import augmented_document
 from repro.core.joint_topk import joint_topk
 from repro.core.keyword_selection import (
     compute_brstknn,

@@ -1,0 +1,121 @@
+"""Query planner: options x capabilities -> executable QueryPlan."""
+
+import pytest
+
+from repro import Backend, EngineConfig, MaxBRSTkNNEngine, Method, Mode, QueryOptions
+from repro.core.kernels import HAS_NUMPY
+from repro.core.planner import EngineCapabilities, plan_batch, plan_query
+
+CAPS = EngineCapabilities(
+    has_user_tree=True, numpy_available=HAS_NUMPY, fork_available=True
+)
+CAPS_NO_TREE = EngineCapabilities(
+    has_user_tree=False, numpy_available=HAS_NUMPY, fork_available=True
+)
+
+
+class TestPlanQuery:
+    def test_resolves_auto_backend(self):
+        plan = plan_query(QueryOptions(backend="auto"), CAPS)
+        assert plan.backend == ("numpy" if HAS_NUMPY else "python")
+
+    def test_single_query_never_shares_or_fans_out(self):
+        plan = plan_query(QueryOptions(workers=8), CAPS, k=5)
+        assert plan.batch_size == 1
+        assert plan.shared_topk is False
+        assert plan.shared_traversal is False
+        assert plan.workers == 1
+
+    def test_indexed_requires_user_tree(self):
+        with pytest.raises(ValueError, match="index_users"):
+            plan_query(QueryOptions(mode="indexed"), CAPS_NO_TREE)
+        plan = plan_query(QueryOptions(mode="indexed"), CAPS)
+        assert plan.mode is Mode.INDEXED
+
+    @pytest.mark.skipif(HAS_NUMPY, reason="needs numpy to be absent")
+    def test_numpy_backend_without_numpy_raises(self):  # pragma: no cover
+        with pytest.raises(RuntimeError):
+            plan_query(QueryOptions(backend="numpy"), CAPS)
+
+
+class TestPlanBatch:
+    def test_shares_topk_per_distinct_k(self):
+        plan = plan_batch(QueryOptions(), CAPS, ks=[3, 5, 3, 5, 3])
+        assert plan.batch_size == 5
+        assert plan.distinct_ks == (3, 5)
+        assert plan.shared_topk is True
+        assert plan.shared_traversal is False
+
+    def test_indexed_batch_shares_root_traversal(self):
+        plan = plan_batch(QueryOptions(mode="indexed"), CAPS, ks=[3, 3, 7])
+        assert plan.shared_traversal is True
+        assert plan.shared_topk is False
+        assert plan.distinct_ks == (3, 7)
+
+    def test_indexed_batch_keeps_selection_in_process(self):
+        plan = plan_batch(QueryOptions(mode="indexed", workers=4), CAPS, ks=[3, 3])
+        assert plan.workers == 1
+
+    def test_workers_fan_out_when_possible(self):
+        plan = plan_batch(QueryOptions(workers=4), CAPS, ks=[3, 3])
+        assert plan.workers == 4
+
+    def test_no_fan_out_without_fork(self):
+        caps = EngineCapabilities(
+            has_user_tree=False, numpy_available=HAS_NUMPY, fork_available=False
+        )
+        plan = plan_batch(QueryOptions(workers=4), caps, ks=[3, 3])
+        assert plan.workers == 1
+
+    def test_no_fan_out_for_single_query_batch(self):
+        plan = plan_batch(QueryOptions(workers=4), CAPS, ks=[3])
+        assert plan.workers == 1
+
+
+class TestExplain:
+    def test_single_query_explain(self):
+        text = plan_query(QueryOptions(backend="python"), CAPS, k=7).explain()
+        assert "single query" in text
+        assert "backend=python" in text
+        assert "cold per query" in text
+
+    def test_batch_explain_mentions_sharing_and_fanout(self):
+        text = plan_batch(
+            QueryOptions(backend="python", workers=3), CAPS, ks=[3, 5, 3]
+        ).explain()
+        assert "batch of 3" in text
+        assert "k=3,5" in text
+        assert "fork pool x3" in text
+
+    def test_indexed_batch_explain(self):
+        text = plan_batch(
+            QueryOptions(mode="indexed"), CAPS, ks=[4, 4]
+        ).explain()
+        assert "MIUR-root joint traversal" in text
+        assert "in-process per query" in text
+
+
+class TestEnginePlan:
+    def test_engine_plan_wrapper(self, tiny_dataset):
+        engine = MaxBRSTkNNEngine(tiny_dataset, EngineConfig(fanout=4))
+        single = engine.plan(QueryOptions(backend="python"))
+        assert single.batch_size == 1
+        batch = engine.plan(QueryOptions(backend="python"), ks=[2, 2, 4])
+        assert batch.batch_size == 3
+        assert batch.distinct_ks == (2, 4)
+
+    def test_engine_capabilities(self, tiny_dataset):
+        engine = MaxBRSTkNNEngine(tiny_dataset, EngineConfig(fanout=4))
+        caps = engine.capabilities()
+        assert caps.has_user_tree is False
+        assert caps.num_users == len(tiny_dataset.users)
+        indexed = MaxBRSTkNNEngine(
+            tiny_dataset, EngineConfig(fanout=4, index_users=True)
+        )
+        assert indexed.capabilities().has_user_tree is True
+
+    def test_default_plan_uses_default_options(self, tiny_dataset):
+        engine = MaxBRSTkNNEngine(tiny_dataset, EngineConfig(fanout=4))
+        plan = engine.plan()
+        assert plan.method is Method.APPROX
+        assert plan.backend == Backend.AUTO.resolve()

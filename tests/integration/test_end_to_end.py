@@ -81,8 +81,7 @@ class TestPerformanceShape:
         engine = MaxBRSTkNNEngine(ds)
 
         def combos(method, ws):
-            import dataclasses
-
+            
             q = MaxBRSTkNNQuery(
                 ox=query.ox,
                 locations=list(query.locations),

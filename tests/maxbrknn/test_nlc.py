@@ -12,7 +12,7 @@ from repro.maxbrknn import (
     count_brknn,
     grid_maxbrknn,
 )
-from repro.spatial.geometry import Point, Rect
+from repro.spatial.geometry import Point
 
 from ..conftest import make_random_objects, make_random_users
 

@@ -1,6 +1,5 @@
 """Tests for the Dataset scoring context."""
 
-import math
 import random
 
 import pytest

@@ -1,0 +1,261 @@
+"""MaxBRSTkNNServer: micro-batching, equivalence, lifecycle, stats."""
+
+import asyncio
+import multiprocessing
+import random
+
+import pytest
+
+from repro import Dataset, EngineConfig, MaxBRSTkNNEngine, MaxBRSTkNNQuery, QueryOptions
+from repro.model.objects import STObject
+from repro.serve import MaxBRSTkNNServer, PersistentWorkerPool, ServerConfig
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def build_engine(seed=0, n_obj=60, n_users=12, vocab=16):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    dataset = Dataset(objects, users, relevance="LM", alpha=0.5)
+    return MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4)), rng, vocab
+
+
+def make_queries(rng, vocab, count, ks=(3,)):
+    queries = []
+    for i in range(count):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3)
+                ],
+                keywords=sorted(rng.sample(range(vocab), 5)),
+                ws=2,
+                k=ks[i % len(ks)],
+            )
+        )
+    return queries
+
+
+def assert_result_equal(a, b):
+    assert a.location == b.location
+    assert a.keywords == b.keywords
+    assert a.brstknn == b.brstknn
+
+
+def serve_all(engine, queries, config):
+    """Start a server, submit everything concurrently, return results+stats."""
+
+    async def run():
+        async with MaxBRSTkNNServer(engine, config) as server:
+            results = await server.submit_many(queries)
+        return results, server.stats
+
+    return asyncio.run(run())
+
+
+class TestEquivalence:
+    def test_concurrent_submissions_match_sequential(self):
+        engine, rng, vocab = build_engine()
+        queries = make_queries(rng, vocab, 8, ks=(3, 5))
+        results, stats = serve_all(
+            engine, queries, ServerConfig(max_batch=4, max_wait_ms=2.0)
+        )
+        reference = QueryOptions(backend="python")
+        for query, served in zip(queries, results):
+            assert_result_equal(engine.query(query, reference), served)
+        assert stats.queries_submitted == 8
+        assert stats.queries_completed == 8
+        assert stats.queries_failed == 0
+        assert stats.in_flight == 0
+
+    def test_interleaved_waves_match_sequential(self):
+        engine, rng, vocab = build_engine(seed=4)
+        queries = make_queries(rng, vocab, 9, ks=(2, 4, 6))
+
+        async def run():
+            async with MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=4, max_wait_ms=1.0)
+            ) as server:
+                first = await server.submit_many(queries[:3])
+                second = await server.submit_many(queries[3:])
+            return first + second
+
+        results = asyncio.run(run())
+        reference = QueryOptions(backend="python")
+        for query, served in zip(queries, results):
+            assert_result_equal(engine.query(query, reference), served)
+
+
+class TestMicroBatching:
+    def test_burst_collapses_into_one_batch(self):
+        engine, rng, vocab = build_engine(seed=1)
+        queries = make_queries(rng, vocab, 16)
+        _, stats = serve_all(
+            engine, queries, ServerConfig(max_batch=32, max_wait_ms=50.0)
+        )
+        assert stats.batches_executed == 1
+        assert stats.largest_batch == 16
+
+    def test_flush_on_max_batch(self):
+        engine, rng, vocab = build_engine(seed=2)
+        queries = make_queries(rng, vocab, 8)
+        _, stats = serve_all(
+            engine, queries, ServerConfig(max_batch=1, max_wait_ms=50.0)
+        )
+        assert stats.batches_executed == 8
+        assert stats.full_flushes == 8
+        assert stats.avg_batch_size == 1.0
+
+    def test_flush_on_timeout(self):
+        engine, rng, vocab = build_engine(seed=3)
+        queries = make_queries(rng, vocab, 3)
+        _, stats = serve_all(
+            engine, queries, ServerConfig(max_batch=100, max_wait_ms=5.0)
+        )
+        assert stats.batches_executed >= 1
+        assert stats.timeout_flushes >= 1
+        assert stats.full_flushes == 0
+
+    def test_zero_wait_still_batches_the_pending_burst(self):
+        engine, rng, vocab = build_engine(seed=5)
+        queries = make_queries(rng, vocab, 6)
+        results, stats = serve_all(
+            engine, queries, ServerConfig(max_batch=32, max_wait_ms=0.0)
+        )
+        assert len(results) == 6
+        assert stats.queries_completed == 6
+        # The gather enqueues all six before the flusher wakes: one batch.
+        assert stats.batches_executed == 1
+
+
+class TestLifecycle:
+    def test_submit_before_start_raises(self):
+        engine, rng, vocab = build_engine()
+        server = MaxBRSTkNNServer(engine)
+        query = make_queries(rng, vocab, 1)[0]
+        with pytest.raises(RuntimeError):
+            asyncio.run(server.submit(query))
+
+    def test_double_start_raises(self):
+        engine, _, _ = build_engine()
+
+        async def run():
+            async with MaxBRSTkNNServer(engine) as server:
+                with pytest.raises(RuntimeError):
+                    await server.start()
+
+        asyncio.run(run())
+
+    def test_stop_drains_pending_queries(self):
+        engine, rng, vocab = build_engine(seed=6)
+        queries = make_queries(rng, vocab, 4)
+
+        async def run():
+            # A huge window: only the shutdown drain can flush in time.
+            server = await MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=100, max_wait_ms=10_000.0)
+            ).start()
+            tasks = [asyncio.create_task(server.submit(q)) for q in queries]
+            await asyncio.sleep(0.01)  # let submissions enqueue
+            await server.stop()
+            return await asyncio.gather(*tasks), server.stats
+
+        results, stats = asyncio.run(run())
+        assert len(results) == 4
+        assert stats.drain_flushes >= 1
+        assert stats.queries_completed == 4
+        reference = QueryOptions(backend="python")
+        for query, served in zip(queries, results):
+            assert_result_equal(engine.query(query, reference), served)
+
+    def test_submit_after_stop_raises(self):
+        engine, rng, vocab = build_engine()
+        query = make_queries(rng, vocab, 1)[0]
+
+        async def run():
+            server = await MaxBRSTkNNServer(engine).start()
+            await server.stop()
+            with pytest.raises(RuntimeError):
+                await server.submit(query)
+
+        asyncio.run(run())
+
+    def test_stop_without_start_is_a_noop(self):
+        engine, _, _ = build_engine()
+        asyncio.run(MaxBRSTkNNServer(engine).stop())
+
+
+class TestErrors:
+    def test_failing_batch_fails_the_futures_and_keeps_serving(self):
+        engine, rng, vocab = build_engine(seed=7)  # no user tree
+        queries = make_queries(rng, vocab, 2)
+        bad = ServerConfig(
+            max_batch=4, max_wait_ms=1.0, options=QueryOptions(mode="indexed")
+        )
+
+        async def run():
+            async with MaxBRSTkNNServer(engine, bad) as server:
+                with pytest.raises(ValueError, match="index_users"):
+                    await asyncio.gather(*(server.submit(q) for q in queries))
+                return server.stats
+
+        stats = asyncio.run(run())
+        assert stats.queries_failed >= 1
+        assert stats.in_flight == 0
+
+    def test_invalid_server_config(self):
+        with pytest.raises(ValueError):
+            ServerConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            ServerConfig(pool_workers=-1)
+        with pytest.raises(ValueError):
+            ServerConfig(options="approx")
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="persistent pool requires fork")
+class TestPersistentPool:
+    def test_server_with_pool_matches_sequential(self):
+        engine, rng, vocab = build_engine(seed=8)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        results, stats = serve_all(
+            engine,
+            queries,
+            ServerConfig(max_batch=6, max_wait_ms=2.0, pool_workers=2),
+        )
+        reference = QueryOptions(backend="python")
+        for query, served in zip(queries, results):
+            assert_result_equal(engine.query(query, reference), served)
+        assert stats.queries_completed == 6
+
+    def test_pool_direct_usage_and_close(self):
+        engine, rng, vocab = build_engine(seed=9)
+        pool = PersistentWorkerPool(engine.dataset, workers=2)
+        try:
+            queries = make_queries(rng, vocab, 4)
+            batched = engine.query_batch(
+                queries, QueryOptions(backend="python"), pool=pool
+            )
+            engine.clear_topk_cache()
+            inprocess = engine.query_batch(queries, QueryOptions(backend="python"))
+            for a, b in zip(inprocess, batched):
+                assert_result_equal(a, b)
+        finally:
+            pool.close()
+        with pytest.raises(RuntimeError):
+            pool.run_selection([])
+
+    def test_pool_rejects_bad_worker_count(self):
+        engine, _, _ = build_engine()
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(engine.dataset, workers=0)

@@ -1,6 +1,5 @@
 """Tests for the Lp metric extension."""
 
-import math
 import random
 
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the simulated I/O model (the paper's Section 8 accounting)."""
 
-import pytest
 
 from repro.storage.iostats import IOCounter, IOSnapshot, PAGE_SIZE_BYTES
 

@@ -37,6 +37,26 @@ class TestCLI:
         ])
         assert rc == 0
 
+    def test_batch_command_with_explain(self, capsys):
+        rc = main([
+            "batch", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--batch-size", "4", "--explain",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "plan: batch of 4" in out
+        assert "queries/sec" in out
+
+    def test_serve_command_verifies_against_sequential(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--queries", "6", "--max-batch", "4", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "served 6 concurrent queries" in out
+        assert "verify: served results == sequential" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

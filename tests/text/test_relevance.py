@@ -1,7 +1,6 @@
 """Tests for the three text relevance measures and their shared contract."""
 
 import math
-import random
 
 import pytest
 from hypothesis import given, settings
