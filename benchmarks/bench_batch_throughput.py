@@ -21,6 +21,7 @@ from sequential python-backend queries (a built-in equivalence check).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -92,6 +93,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the batch-vs-sequential equivalence check",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable results to PATH (CI uploads these "
+        "as artifacts to track the perf trajectory across PRs)",
+    )
     args = parser.parse_args(argv)
 
     config = DEFAULTS.with_(
@@ -143,6 +151,27 @@ def main(argv=None) -> int:
     print(f"\nspeedup vs batch size {rows[0][0]}:")
     for size, _, qps, _ in rows:
         print(f"batch {size:>4}: {qps / base_qps:6.2f}x")
+
+    if args.json:
+        payload = {
+            "benchmark": "batch_throughput",
+            "dataset": config.label(),
+            "backend": backend,
+            "method": args.method,
+            "workers": args.workers,
+            "rows": [
+                {
+                    "batch_size": size,
+                    "total_s": elapsed,
+                    "queries_per_sec": qps,
+                    "speedup_vs_batch_1": qps / base_qps,
+                }
+                for size, elapsed, qps, _ in rows
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
 
     if not args.no_verify:
         largest = rows[-1]

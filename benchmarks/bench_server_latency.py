@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import sys
 import time
@@ -100,6 +101,9 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true",
                         help="smoke-test scale for CI")
     parser.add_argument("--no-verify", action="store_true")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH "
+                             "(CI uploads these as artifacts)")
     args = parser.parse_args(argv)
 
     config = DEFAULTS.with_(
@@ -157,6 +161,7 @@ def main(argv=None) -> int:
     # The sweep: micro-batching with increasing windows.
     best_qps = 0.0
     served = None
+    sweep_rows = []
     for wait_ms in args.max_wait_sweep:
         elapsed, lats, stats, results = run_server(
             engine, queries, options, args.concurrency, wait_ms, args.concurrency
@@ -164,6 +169,15 @@ def main(argv=None) -> int:
         qps = len(queries) / elapsed
         best_qps = max(best_qps, qps)
         served = results
+        sweep_rows.append(
+            {
+                "max_wait_ms": wait_ms,
+                "queries_per_sec": qps,
+                "p50_ms": 1000 * percentile(lats, 0.5),
+                "p95_ms": 1000 * percentile(lats, 0.95),
+                "avg_batch_size": stats.avg_batch_size,
+            }
+        )
         label = f"micro-batch max_wait_ms={wait_ms:g}"
         print(f"{label:<38} {qps:>8.1f} "
               f"{1000 * percentile(lats, 0.5):>8.1f} "
@@ -172,6 +186,20 @@ def main(argv=None) -> int:
 
     speedup = best_qps / seq_qps
     print(f"\nmicro-batching vs per-query sequential: {speedup:.2f}x queries/sec")
+
+    if args.json:
+        payload = {
+            "benchmark": "server_latency",
+            "dataset": config.label(),
+            "concurrency": args.concurrency,
+            "queries": len(queries),
+            "sequential_queries_per_sec": seq_qps,
+            "micro_batch_sweep": sweep_rows,
+            "best_speedup_vs_sequential": speedup,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
 
     if not args.no_verify:
         reference = QueryOptions(backend="python")

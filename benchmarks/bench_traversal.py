@@ -1,0 +1,226 @@
+"""Phase-1 isolation: the joint MIR-tree traversal, python vs numpy.
+
+Not a paper figure — this isolates the cost PR 3 attacks: Algorithm
+1's frontier traversal, the dominant part of every cold query.  Three
+sections:
+
+1. **TreeArrays build** — the once-per-engine flattening cost the
+   numpy backend amortizes over every traversal.
+2. **Traversal backends** — best-of-N wall time of a cold
+   ``joint_traversal`` per backend at the default ``k``, with a
+   built-in check that the pools are *bitwise identical* (the frontier
+   kernels' exactness contract) and a ≥ 2x speedup acceptance bar on
+   the full-size run.
+3. **Cross-k pool sharing** — a mixed-k batch (k in {1, 5, 10}) must
+   run exactly **one** traversal (asserted via ``engine.traversal_runs``)
+   and return results identical to per-k sequential queries.
+
+Run::
+
+    python benchmarks/bench_traversal.py              # full, 2x bar
+    python benchmarks/bench_traversal.py --tiny       # CI smoke
+    python benchmarks/bench_traversal.py --json out.json
+
+``--max-slowdown X`` (used by the CI bench-smoke job) fails the run if
+the numpy backend is more than X times slower than python — a tiny
+dataset cannot show the speedup, but it catches kernel regressions
+that make vectorization a net loss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import MaxBRSTkNNEngine, QueryOptions  # noqa: E402
+from repro.bench.harness import build_workbench  # noqa: E402
+from repro.bench.params import DEFAULTS  # noqa: E402
+from repro.core.joint_topk import joint_traversal  # noqa: E402
+from repro.core.kernels import HAS_NUMPY, tree_arrays_for  # noqa: E402
+from repro.datagen.users import generate_users, query_pool  # noqa: E402
+from repro.storage.iostats import IOCounter  # noqa: E402
+from repro.storage.pager import PageStore  # noqa: E402
+
+
+def traversals_identical(a, b) -> bool:
+    if a.rsk_group != b.rsk_group:
+        return False
+    for name in ("lo", "ro"):
+        pa, pb = getattr(a, name), getattr(b, name)
+        if len(pa) != len(pb):
+            return False
+        for x, y in zip(pa, pb):
+            if (
+                x.obj.item_id != y.obj.item_id
+                or x.lower != y.lower
+                or x.upper != y.upper
+            ):
+                return False
+    return True
+
+
+def time_traversal(engine, k, backend, repeats):
+    """Best-of-N cold traversal (fresh I/O counter per run)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        store = PageStore(counter=IOCounter())
+        t0 = time.perf_counter()
+        result = joint_traversal(
+            engine.object_tree, engine.dataset, k, store=store, backend=backend
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=DEFAULTS.num_objects)
+    parser.add_argument("--users", type=int, default=DEFAULTS.num_users)
+    parser.add_argument("--k", type=int, default=DEFAULTS.k)
+    parser.add_argument("--seed", type=int, default=DEFAULTS.seed)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test scale for CI (no 2x bar)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results to PATH")
+    parser.add_argument("--max-slowdown", type=float, default=None,
+                        help="fail if numpy is more than X times slower "
+                             "than python (CI regression gate)")
+    args = parser.parse_args(argv)
+
+    if not HAS_NUMPY:
+        print("numpy not installed; nothing to compare")
+        return 0
+
+    config = DEFAULTS.with_(
+        num_objects=args.objects, num_users=args.users, k=args.k,
+        seed=args.seed,
+    )
+    if args.tiny:
+        config = config.with_(num_objects=300, num_users=40)
+        args.repeats = max(args.repeats, 5)
+
+    print(f"dataset: {config.label()}", flush=True)
+    bench = build_workbench(config, cached=False)
+    engine = MaxBRSTkNNEngine(
+        bench.dataset, fanout=config.fanout, index_users=True
+    )
+
+    t0 = time.perf_counter()
+    arrays = tree_arrays_for(engine.object_tree)
+    build_s = time.perf_counter() - t0
+    print(
+        f"TreeArrays build: {1000 * build_s:.1f} ms "
+        f"({arrays.num_entries} entries, {len(arrays.ent_term)} summary terms; "
+        f"once per engine)"
+    )
+
+    timings = {}
+    results = {}
+    for backend in ("python", "numpy"):
+        elapsed, result = time_traversal(engine, config.k, backend, args.repeats)
+        timings[backend] = elapsed
+        results[backend] = result
+        pool = len(result.lo) + len(result.ro)
+        print(
+            f"traversal k={config.k} backend={backend:<7}: "
+            f"{1000 * elapsed:8.2f} ms  (candidate pool: {pool})",
+            flush=True,
+        )
+    speedup = timings["python"] / timings["numpy"] if timings["numpy"] else 0.0
+    print(f"phase-1 speedup numpy vs python: {speedup:.2f}x")
+
+    if not traversals_identical(results["python"], results["numpy"]):
+        print("EQUIVALENCE FAILURE: traversal pools differ across backends")
+        return 1
+    print("equivalence check: numpy pools bitwise-identical to python")
+
+    # Cross-k pool sharing: one walk serves a whole mixed-k batch.
+    workload = generate_users(
+        bench.dataset.objects,
+        num_users=config.num_users,
+        keywords_per_user=config.ul,
+        unique_keywords=config.uw,
+        area_side=config.area,
+        seed=config.seed,
+    )
+    mixed_ks = [1, 5, 10]
+    queries = []
+    for i, q in enumerate(
+        query_pool(workload, len(mixed_ks) * 2, num_locations=5, ws=config.ws,
+                   k=config.k, seed=config.seed, seed_stride=101)
+    ):
+        q.k = mixed_ks[i % len(mixed_ks)]
+        queries.append(q)
+
+    sequential = [engine.query(q, QueryOptions(backend="python")) for q in queries]
+    engine.clear_topk_cache()
+    runs_before = engine.traversal_runs
+    t0 = time.perf_counter()
+    batched = engine.query_batch(queries, QueryOptions())
+    batch_s = time.perf_counter() - t0
+    walks = engine.traversal_runs - runs_before
+    mismatches = sum(
+        1
+        for solo, bat in zip(sequential, batched)
+        if (
+            solo.location != bat.location
+            or solo.keywords != bat.keywords
+            or solo.brstknn != bat.brstknn
+        )
+    )
+    print(
+        f"mixed-k batch (k in {{{','.join(map(str, mixed_ks))}}}, "
+        f"{len(queries)} queries): {walks} traversal(s), "
+        f"{1000 * batch_s:.1f} ms total"
+    )
+    if walks != 1:
+        print(f"ACCEPTANCE FAILURE: expected exactly 1 shared traversal, ran {walks}")
+        return 1
+    if mismatches:
+        print(f"EQUIVALENCE FAILURE: {mismatches} batched results differ")
+        return 1
+    print("cross-k check: one walk, results identical to per-k sequential")
+
+    if args.json:
+        payload = {
+            "benchmark": "traversal",
+            "dataset": config.label(),
+            "k": config.k,
+            "tree_arrays_build_s": build_s,
+            "traversal_s": timings,
+            "speedup_numpy": speedup,
+            "mixed_k": {
+                "ks": mixed_ks,
+                "queries": len(queries),
+                "traversals": walks,
+                "batch_s": batch_s,
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if args.max_slowdown is not None and timings["numpy"] > args.max_slowdown * timings["python"]:
+        print(
+            f"REGRESSION: numpy {1000 * timings['numpy']:.2f} ms is more than "
+            f"{args.max_slowdown:.2f}x slower than python "
+            f"{1000 * timings['python']:.2f} ms"
+        )
+        return 1
+    if not args.tiny and speedup < 2.0:
+        print("ACCEPTANCE FAILURE: phase-1 speedup below 2x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

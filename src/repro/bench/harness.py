@@ -119,8 +119,10 @@ def _build(config: ExperimentConfig) -> Workbench:
         k=config.k,
     )
     bench = Workbench(config=config, dataset=dataset, engine=engine, query=query)
-    traversal = joint_traversal(engine.object_tree, dataset, config.k)
-    per_user = individual_topk(traversal, dataset, config.k)
+    traversal = joint_traversal(
+        engine.object_tree, dataset, config.k, backend=config.backend
+    )
+    per_user = individual_topk(traversal, dataset, config.k, backend=config.backend)
     bench.rsk = {uid: r.kth_score for uid, r in per_user.items()}
     bench.rsk_group = traversal.rsk_group
     return bench
@@ -165,14 +167,21 @@ def measure_topk_baseline(bench: Workbench) -> TopKMetrics:
 
 
 def measure_topk_joint(bench: Workbench) -> TopKMetrics:
-    """Joint top-k (Algorithms 1+2) for the same users."""
+    """Joint top-k (Algorithms 1+2) for the same users.
+
+    Runs with ``config.backend`` ("python" by default, matching the
+    paper's setting; "numpy" exercises the vectorized frontier
+    traversal — results and I/O are backend-identical by contract).
+    """
     engine = bench.engine
+    backend = bench.config.backend
     engine.reset_io()
     t0 = time.perf_counter()
     traversal = joint_traversal(
-        engine.object_tree, bench.dataset, bench.config.k, store=engine.store
+        engine.object_tree, bench.dataset, bench.config.k, store=engine.store,
+        backend=backend,
     )
-    individual_topk(traversal, bench.dataset, bench.config.k)
+    individual_topk(traversal, bench.dataset, bench.config.k, backend=backend)
     elapsed = time.perf_counter() - t0
     io = engine.io.total
     n = max(1, bench.num_users)

@@ -1,14 +1,22 @@
 """The paper's primary contribution: MaxBRSTkNN query processing."""
 
 from .baseline import baseline_maxbrstknn, baseline_select_candidate
-from .batch import SharedTopK, query_batch
+from .batch import SharedTopK, SharedTraversalPool, query_batch
 from .bounds import BoundCalculator, augmented_document
 from .candidate_selection import select_candidate, shortlist_locations
 from .engine import MaxBRSTkNNEngine
 from .extensions import Placement, collective_placement, top_placements
 from .indexed_users import indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_topk, joint_traversal
-from .kernels import BACKENDS, HAS_NUMPY, DatasetArrays, arrays_for, resolve_backend
+from .kernels import (
+    BACKENDS,
+    HAS_NUMPY,
+    DatasetArrays,
+    TreeArrays,
+    arrays_for,
+    resolve_backend,
+    tree_arrays_for,
+)
 from .keyword_selection import (
     compute_brstknn,
     greedy_max_coverage,
@@ -28,7 +36,10 @@ __all__ = [
     "Placement",
     "QueryStats",
     "SharedTopK",
+    "SharedTraversalPool",
+    "TreeArrays",
     "arrays_for",
+    "tree_arrays_for",
     "augmented_document",
     "baseline_maxbrstknn",
     "baseline_select_candidate",

@@ -8,25 +8,39 @@ expensive query-independent phase every single time — the same
 redundancy the joint traversal removed *within* one query, one level
 up.
 
-:func:`query_batch` exploits it: queries are grouped by ``k``, the
-top-k phase runs **once per distinct k** (and is memoized on the engine
-across batches — the per-dataset score cache), and only per-query
-candidate selection runs per query, optionally vectorized
-(``Backend.NUMPY``) and optionally fanned out over a process pool
-(``QueryOptions.workers``).  ``Mode.INDEXED`` batches share the
-MIUR-root joint traversal per distinct k the same way (see
-:class:`repro.core.indexed_users.RootTraversal`); their best-first
-search stays per query and in-process.
+:func:`query_batch` exploits it — and since PR 3, ``Mode.JOINT``
+batches go further with **cross-k candidate-pool sharing**: one joint
+traversal at ``k_max = max(k)`` produces candidate pools that provably
+subsume the pools of every smaller ``k`` in the batch
+(``RSk_max(us) <= RSk(us)``, so no object a smaller-k traversal keeps
+is ever pruned at ``k_max``), and each k's thresholds are derived from
+the shared pool by Algorithm 2 (:class:`SharedTraversalPool`, memoized
+on the engine across batches).  A mixed-k batch therefore pays for a
+*single* tree walk.  Candidate selection stays per query, optionally
+vectorized (``Backend.NUMPY``) and optionally fanned out over a
+process pool (``QueryOptions.workers``).  ``Mode.INDEXED`` batches
+share the MIUR-root joint traversal per distinct k (see
+:class:`repro.core.indexed_users.RootTraversal` and the
+``shared_traversal_k`` docs in :mod:`repro.core.planner` for why they
+do not pool across k); their best-first search stays per query and
+in-process.  ``Mode.BASELINE`` shares its per-user top-k per distinct
+k as before.
 
 Execution strategy is decided by :func:`repro.core.planner.plan_batch`;
 this module only carries the plan out.
 
-Result contract: every result — including its per-query
-:class:`QueryStats` I/O and pruning counters — is identical to what a
-sequential ``engine.query`` call would have produced; the traversal
-I/O recorded in each query's stats is the deterministic cost of the
-shared phase, which a cold sequential run re-pays per query.  Only the
-wall-clock timings differ (that is the point).
+Result contract: every result — location, keywords, BRSTkNN set, and
+every *selection-phase* :class:`QueryStats` counter (pruning,
+combinations scored) — is identical to what a sequential
+``engine.query`` call would have produced.  The *top-k phase* stats of
+a joint batch describe the one shared walk that produced the pool in
+use — ``QueryPlan.shared_traversal_k`` names it: the batch's ``k_max``
+on a fresh engine, or a larger earlier walk the memoized pool kept (a
+cold sequential run of the same query pays a ``k``-walk instead).
+They are identical for every query in the batch, and for same-k
+batches against a fresh (or freshly cleared) engine they coincide with
+the sequential trace exactly.  Only wall-clock timings differ beyond
+that (that is the point).
 """
 
 from __future__ import annotations
@@ -41,7 +55,7 @@ from .baseline import baseline_select_candidate
 from .candidate_selection import select_candidate
 from .config import QueryOptions, coerce_options
 from .indexed_users import RootTraversal, compute_root_traversal, indexed_users_maxbrstknn
-from .joint_topk import individual_topk, joint_traversal
+from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
 from .kernels import arrays_for
 from .planner import EngineCapabilities, QueryPlan, plan_batch
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
@@ -50,7 +64,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..serve.pool import PersistentWorkerPool
     from .engine import MaxBRSTkNNEngine
 
-__all__ = ["SharedTopK", "query_batch", "execute_batch"]
+__all__ = ["SharedTopK", "SharedTraversalPool", "query_batch", "execute_batch"]
 
 
 @dataclass(slots=True)
@@ -65,36 +79,121 @@ class SharedTopK:
     hits: int = 0  # queries served from this entry (introspection)
 
 
-def _compute_shared(
-    engine: "MaxBRSTkNNEngine", mode: str, k: int, backend: str
-) -> SharedTopK:
-    """Run the top-k phase once for every query sharing ``(mode, k)``."""
+@dataclass(slots=True)
+class SharedTraversalPool:
+    """Cross-k phase-1 state for ``Mode.JOINT`` batches.
+
+    One joint traversal at ``k`` — the largest k any batch has asked
+    this engine for — owns the candidate pools; smaller-k thresholds
+    are derived from the same pools by Algorithm 2 and memoized in
+    ``by_k``.  Subsumption argument: an object outside the ``k_max``
+    pools has ``UB(o, us) < RSk_max(us) <= RSk(us) <= RSk(u)`` for
+    every user and every ``k <= k_max``, so it can appear in nobody's
+    top-k — exactly the objects a dedicated ``k``-traversal is allowed
+    to drop.  Derived thresholds (``RSk(u)`` and ``RSk(us)``) are
+    value-identical to what the dedicated traversal would produce, so
+    downstream selection results match sequential queries exactly.
+    """
+
+    k: int
+    traversal: JointTraversalResult
+    topk_time_s: float  # wall time of the one shared walk
+    io_node_visits: int
+    io_invfile_blocks: int
+    by_k: Dict[int, SharedTopK]
+    hits: int = 0  # queries served from this pool (introspection)
+
+
+def _compute_shared_baseline(engine: "MaxBRSTkNNEngine", k: int) -> SharedTopK:
+    """Baseline phase 1, once per distinct ``k``: per-user top-k scans.
+
+    (Joint batches no longer run a per-k phase 1 — they derive their
+    thresholds from the engine's cross-k :class:`SharedTraversalPool`.)
+    """
     from ..topk.single import topk_all_users_individually
 
     before = engine.io.snapshot()
     t0 = time.perf_counter()
-    if mode == "joint":
-        traversal = joint_traversal(
-            engine.object_tree, engine.dataset, k, store=engine.store
-        )
-        per_user = individual_topk(
-            traversal, engine.dataset, k, backend=backend
-        )
-        rsk_group = traversal.rsk_group
-    else:  # baseline: per-user top-k, no group threshold
-        per_user = topk_all_users_individually(
-            engine.object_tree, engine.dataset, k, store=engine.store
-        )
-        rsk_group = 0.0
+    per_user = topk_all_users_individually(
+        engine.object_tree, engine.dataset, k, store=engine.store
+    )
     elapsed = time.perf_counter() - t0
     delta = engine.io.snapshot() - before
     return SharedTopK(
         rsk={uid: res.kth_score for uid, res in per_user.items()},
-        rsk_group=rsk_group,
+        rsk_group=0.0,
         topk_time_s=elapsed,
         io_node_visits=delta.node_visits,
         io_invfile_blocks=delta.invfile_blocks,
     )
+
+
+def _ensure_traversal_pool(
+    engine: "MaxBRSTkNNEngine", k: int, backend: str
+) -> SharedTraversalPool:
+    """The engine's cross-k pool, (re)walked only when ``k`` outgrows it."""
+    pool = engine._traversal_pool
+    if pool is None or pool.k < k:
+        before = engine.io.snapshot()
+        t0 = time.perf_counter()
+        traversal = joint_traversal(
+            engine.object_tree, engine.dataset, k, store=engine.store,
+            backend=backend,
+        )
+        elapsed = time.perf_counter() - t0
+        delta = engine.io.snapshot() - before
+        engine.traversal_runs += 1
+        # Drop previously derived thresholds: every by_k entry reports
+        # the walk that produced the current pool.
+        pool = SharedTraversalPool(
+            k=k,
+            traversal=traversal,
+            topk_time_s=elapsed,
+            io_node_visits=delta.node_visits,
+            io_invfile_blocks=delta.invfile_blocks,
+            by_k={},
+        )
+        engine._traversal_pool = pool
+    return pool
+
+
+def _derive_shared_topk(
+    engine: "MaxBRSTkNNEngine", pool: SharedTraversalPool, k: int, backend: str
+) -> SharedTopK:
+    """Per-k thresholds from the shared pool (Algorithm 2, memoized).
+
+    ``RSk(u)`` values are exactly what a dedicated ``k``-traversal
+    followed by Algorithm 2 yields: the pool contains every object any
+    user can rank in a top-``k`` (``k <= pool.k``), refinement computes
+    exact scores, and ties resolve by ``(score, object id)`` — pool
+    membership beyond the necessary objects cannot change the outcome.
+    ``RSk(us)`` equals the k-th best candidate lower bound globally:
+    any object with a top-k lower bound survives the ``k_max`` walk.
+    """
+    if k > pool.k:
+        raise ValueError(f"pool walked at k={pool.k} cannot serve k={k}")
+    entry = pool.by_k.get(k)
+    if entry is not None:
+        return entry
+    t0 = time.perf_counter()
+    per_user = individual_topk(pool.traversal, engine.dataset, k, backend=backend)
+    if k == pool.k:
+        rsk_group = pool.traversal.rsk_group
+    else:
+        lows = sorted(
+            (c.lower for c in pool.traversal.all_candidates()), reverse=True
+        )
+        rsk_group = lows[k - 1] if 0 < k <= len(lows) else 0.0
+    elapsed = time.perf_counter() - t0
+    entry = SharedTopK(
+        rsk={uid: res.kth_score for uid, res in per_user.items()},
+        rsk_group=rsk_group,
+        topk_time_s=pool.topk_time_s + elapsed,
+        io_node_visits=pool.io_node_visits,
+        io_invfile_blocks=pool.io_invfile_blocks,
+    )
+    pool.by_k[k] = entry
+    return entry
 
 
 def _select_one(
@@ -207,8 +306,9 @@ def execute_batch(
             if entry is None:
                 entry = compute_root_traversal(
                     engine.object_tree, engine.user_tree, engine.dataset,
-                    q.k, store=engine.store,
+                    q.k, store=engine.store, backend=backend,
                 )
+                engine.traversal_runs += 1
                 cache[key] = entry
             assert isinstance(entry, RootTraversal)
             entry.hits += 1
@@ -226,19 +326,32 @@ def execute_batch(
             )
         return results
 
-    # Phase 1, once per distinct k (memoized on the engine across calls).
+    # Phase 1.  Joint batches: ONE tree walk at k_max feeds every k in
+    # the batch (cross-k pool sharing); baseline batches: per-user
+    # top-k once per distinct k.  Both memoized on the engine.
     keyed: List[Tuple[MaxBRSTkNNQuery, Tuple[str, int]]] = []
-    for q in queries:
-        key = (mode, q.k)
-        if key not in cache:
-            cache[key] = _compute_shared(engine, mode, q.k, backend)
-        entry = cache[key]
-        assert isinstance(entry, SharedTopK)
-        entry.hits += 1
-        keyed.append((q, key))
-    shared_by_key: Dict[Tuple[str, int], SharedTopK] = {
-        key: cache[key] for _, key in keyed  # type: ignore[misc]
-    }
+    shared_by_key: Dict[Tuple[str, int], SharedTopK] = {}
+    if plan.shared_traversal_k is not None:
+        pool_state = _ensure_traversal_pool(
+            engine, plan.shared_traversal_k, backend
+        )
+        pool_state.hits += len(queries)
+        for q in queries:
+            key = (mode, q.k)
+            entry = _derive_shared_topk(engine, pool_state, q.k, backend)
+            entry.hits += 1
+            shared_by_key[key] = entry
+            keyed.append((q, key))
+    else:
+        for q in queries:
+            key = (mode, q.k)
+            if key not in cache:
+                cache[key] = _compute_shared_baseline(engine, q.k)
+            entry = cache[key]
+            assert isinstance(entry, SharedTopK)
+            entry.hits += 1
+            shared_by_key[key] = entry
+            keyed.append((q, key))
 
     if backend == "numpy":
         arrays_for(engine.dataset)  # build before forking: shared via COW

@@ -166,16 +166,23 @@ class BoundCalculator:
     def max_text(
         self, weights: Mapping[int, Tuple[float, float]], su: SuperUser
     ) -> float:
-        """``MaxTS``: max weights over the union / smallest normalizer."""
+        """``MaxTS``: max weights over the union / smallest normalizer.
+
+        Terms are summed in ascending id order — the canonical
+        association the numpy frontier kernels reproduce exactly, so
+        both backends compute bitwise-identical bounds (floating-point
+        addition is not associative; a shared order makes the traversal
+        backends interchangeable down to heap tie-breaks).
+        """
         if su.min_normalizer <= 0.0:
             return 0.0
         total = 0.0
         if len(weights) <= len(su.union_terms):
-            for tid, (maxw, _minw) in weights.items():
+            for tid in sorted(weights):
                 if tid in su.union_terms:
-                    total += maxw
+                    total += weights[tid][0]
         else:
-            for tid in su.union_terms:
+            for tid in su.sorted_union():
                 pair = weights.get(tid)
                 if pair is not None:
                     total += pair[0]
@@ -184,11 +191,14 @@ class BoundCalculator:
     def min_text(
         self, weights: Mapping[int, Tuple[float, float]], su: SuperUser
     ) -> float:
-        """``MinTS``: min weights over the intersection / largest normalizer."""
+        """``MinTS``: min weights over the intersection / largest normalizer.
+
+        Ascending-id summation order, like :meth:`max_text`.
+        """
         if su.max_normalizer <= 0.0 or not su.intersection_terms:
             return 0.0
         total = 0.0
-        for tid in su.intersection_terms:
+        for tid in su.sorted_intersection():
             pair = weights.get(tid)
             if pair is not None:
                 total += pair[1]

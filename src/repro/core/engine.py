@@ -114,9 +114,17 @@ class MaxBRSTkNNEngine:
                 dataset.users, dataset.relevance, fanout=config.fanout
             )
         #: Per-dataset phase-1 cache: (mode, k) -> shared top-k state
-        #: (joint/baseline) or shared root traversal (indexed), filled
-        #: and reused by :meth:`query_batch`.
+        #: (baseline) or shared root traversal (indexed), filled and
+        #: reused by :meth:`query_batch`.
         self._shared_topk_cache: Dict[Tuple[str, int], object] = {}
+        #: Cross-k candidate-pool cache for joint batches: one tree
+        #: walk at the largest k seen serves every smaller k (see
+        #: :class:`repro.core.batch.SharedTraversalPool`).
+        self._traversal_pool = None
+        #: Joint/MIUR-root tree walks this engine has executed (single
+        #: queries and batch shared phases alike) — the batch benchmarks
+        #: assert a mixed-k batch pays exactly one.
+        self.traversal_runs = 0
 
     # ------------------------------------------------------------------
     # Planning / introspection
@@ -192,6 +200,7 @@ class MaxBRSTkNNEngine:
             )
         if plan.mode is Mode.INDEXED:
             assert self.user_tree is not None  # planner validated
+            self.traversal_runs += 1
             return indexed_users_maxbrstknn(
                 self.object_tree,
                 self.user_tree,
@@ -202,15 +211,17 @@ class MaxBRSTkNNEngine:
                 backend=plan.backend,
             )
 
-        # Deliberately cold (no _shared_topk_cache): single-query cost
+        # Deliberately cold (no shared-phase cache): single-query cost
         # and I/O accounting must match the paper's per-query setting
-        # (Figure 15 measures it).  batch._compute_shared mirrors this
-        # block — keep the stats accounting in sync when editing.
+        # (Figure 15 measures it).  batch._ensure_traversal_pool mirrors
+        # this block — keep the stats accounting in sync when editing.
         stats = QueryStats(users_total=len(self.dataset.users))
         before = self.io.snapshot()
         t0 = time.perf_counter()
+        self.traversal_runs += 1
         traversal = joint_traversal(
-            self.object_tree, self.dataset, query.k, store=self.store
+            self.object_tree, self.dataset, query.k, store=self.store,
+            backend=plan.backend,
         )
         per_user = individual_topk(
             traversal, self.dataset, query.k, backend=plan.backend
@@ -263,8 +274,9 @@ class MaxBRSTkNNEngine:
         return query_batch(self, queries, opts, pool=pool)
 
     def clear_topk_cache(self) -> None:
-        """Drop the shared phase-1 cache used by ``query_batch``."""
+        """Drop the shared phase-1 caches used by ``query_batch``."""
         self._shared_topk_cache.clear()
+        self._traversal_pool = None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -113,13 +113,19 @@ def compute_root_traversal(
     dataset: Dataset,
     k: int,
     store: Optional[PageStore] = None,
+    backend: str = "python",
 ) -> RootTraversal:
-    """Run the shared phase once: joint traversal vs the root summary."""
+    """Run the shared phase once: joint traversal vs the root summary.
+
+    ``backend="numpy"`` uses the wave-vectorized frontier traversal
+    (bitwise-identical pools and I/O; see :mod:`repro.core.kernels`).
+    """
     counter = store.counter if store is not None else None
     before = counter.snapshot() if counter is not None else None
     t0 = time.perf_counter()
     traversal = joint_traversal(
-        object_tree, dataset, k, super_user=user_tree.root.summary, store=store
+        object_tree, dataset, k, super_user=user_tree.root.summary, store=store,
+        backend=backend,
     )
     elapsed = time.perf_counter() - t0
     if counter is not None:
@@ -157,7 +163,7 @@ def indexed_users_maxbrstknn(
     backend = resolve_backend(backend)
     if shared is None:
         shared = compute_root_traversal(
-            object_tree, user_tree, dataset, query.k, store=store
+            object_tree, user_tree, dataset, query.k, store=store, backend=backend
         )
     stats = QueryStats(
         users_total=len(user_tree),

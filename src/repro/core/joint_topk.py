@@ -79,15 +79,28 @@ def joint_traversal(
     k: int,
     super_user: Optional[SuperUser] = None,
     store: Optional[PageStore] = None,
+    backend: str = "python",
 ) -> JointTraversalResult:
     """Algorithm 1: single best-lower-bound-first traversal for a group.
 
     ``super_user`` defaults to the dataset-wide super-user; the
     MIUR-tree mode of Section 7 passes node summaries instead.
+
+    ``backend="numpy"`` runs the wave-vectorized frontier traversal: the
+    tree's entry bounds are evaluated against ``su`` in a handful of
+    array passes over the flattened :class:`~repro.core.kernels.TreeArrays`
+    (built once per tree), and the frontier loop prunes each expanded
+    node's children as one vectorized wave.  The kernels are bitwise
+    identical to the scalar :class:`BoundCalculator` (see the exactness
+    contract in :mod:`repro.core.kernels`), so the returned pools,
+    ``rsk_group``, and every simulated-I/O charge match the python
+    backend exactly.
     """
     if k <= 0:
         return JointTraversalResult(lo=[], ro=[], rsk_group=0.0)
     su = dataset.super_user if super_user is None else super_user
+    if resolve_backend(backend) == "numpy":
+        return _joint_traversal_numpy(tree, dataset, k, su, store)
     bounds = BoundCalculator(dataset)
 
     counter = itertools.count()
@@ -144,6 +157,111 @@ def joint_traversal(
                 continue
             lb = bounds.node_lower(cv.node.rect, cv.weights, su)
             heapq.heappush(pq, (-lb, next(counter), ("node", cv.node)))
+
+    lo = [cand for _, __, cand in sorted(lo_heap, key=lambda t: -t[0])]
+    ro.sort(key=lambda c: -c.upper)
+    return JointTraversalResult(
+        lo=lo, ro=ro, rsk_group=(rsk if rsk != float("-inf") else 0.0)
+    )
+
+
+def _joint_traversal_numpy(
+    tree: MIRTree | IRTree,
+    dataset: Dataset,
+    k: int,
+    su: SuperUser,
+    store: Optional[PageStore],
+) -> JointTraversalResult:
+    """Wave-vectorized Algorithm 1 over the flattened tree arrays.
+
+    The control flow mirrors the scalar traversal statement for
+    statement — same priority-queue discipline, same tie-breaking
+    counter sequence, same admit logic — but every bound is an O(1)
+    lookup into :meth:`TreeArrays.frontier_bounds` (one vectorized wave
+    over all tree entries per traversal), each expanded node's children
+    are pruned with one array comparison, and node visits charge their
+    precomputed inverted-list blocks instead of walking the inverted
+    files.  Because the bound values are bitwise identical to the
+    scalar path, every decision — and therefore the pools, the
+    threshold, and the I/O trace — is identical too.
+    """
+    from .kernels import tree_arrays_for
+
+    ta = tree_arrays_for(tree)
+    fb = ta.frontier_bounds(dataset, su, store=store)
+    lb_arr, ub_arr = fb.lb, fb.ub  # python lists: O(1) cheap reads
+
+    counter = itertools.count()
+    # PQ payload encoding: >= 0 is an object's entry index; < 0 is a
+    # node encoded as -(node_index + 1).  Unique counters mean payloads
+    # are never compared.
+    pq: List[Tuple[float, int, int]] = []
+    heapq.heappush(pq, (0.0, next(counter), -(ta.root_index + 1)))
+
+    lo_heap: List[Tuple[float, int, CandidateObject]] = []
+    ro: List[CandidateObject] = []
+    rsk = float("-inf")
+
+    def make_cand(idx: int, lower: float, upper: float) -> CandidateObject:
+        return CandidateObject(
+            obj=ta.ent_payload[idx], lower=lower, upper=upper,
+            weights=fb.weights_of(idx),
+        )
+
+    def admit(lower: float, upper: float, idx: int) -> None:
+        """Lines 1.9–1.18, with the CandidateObject built only when the
+        entry actually enters a pool (dropped entries never need the
+        weight dict)."""
+        nonlocal rsk
+        if len(lo_heap) < k:
+            heapq.heappush(lo_heap, (lower, next(counter), make_cand(idx, lower, upper)))
+            if len(lo_heap) == k:
+                rsk = lo_heap[0][0]
+            return
+        if upper < rsk:
+            return
+        if lower > lo_heap[0][0]:
+            _, __, displaced = heapq.heapreplace(
+                lo_heap, (lower, next(counter), make_cand(idx, lower, upper))
+            )
+            rsk = lo_heap[0][0]
+            if displaced.upper >= rsk:
+                ro.append(displaced)
+        else:
+            ro.append(make_cand(idx, lower, upper))
+
+    while pq:
+        neg_lb, _, code = heapq.heappop(pq)
+        if code >= 0:
+            admit(lb_arr[code], ub_arr[code], code)
+            continue
+        nidx = -code - 1
+        node = ta.nodes[nidx]
+        if store is not None:
+            if fb.node_blocks is not None:
+                # Cold store: charge the node visit plus the exact block
+                # count the scalar read_node would have accumulated.
+                store.counter.visit_node()
+                store.counter.load_blocks(fb.node_blocks[nidx])
+            else:
+                store.read_node(ta.index_name, node.page_id)
+                tree.invfile_of(node).charge_lists(
+                    store, ta.index_name, node.page_id, su.union_terms
+                )
+        start, end = ta.node_start[nidx], ta.node_end[nidx]
+        if len(lo_heap) >= k:
+            # Prune the node's whole child wave against RSk(us); the
+            # bounds themselves were one vectorized evaluation.
+            survivors = [i for i in range(start, end) if ub_arr[i] >= rsk]
+        else:
+            survivors = range(start, end)
+        if ta.node_is_leaf[nidx]:
+            for i in survivors:
+                heapq.heappush(pq, (-lb_arr[i], next(counter), i))
+        else:
+            child = ta.ent_child
+            for i in survivors:
+                heapq.heappush(pq, (-lb_arr[i], next(counter), -(child[i] + 1)))
 
     lo = [cand for _, __, cand in sorted(lo_heap, key=lambda t: -t[0])]
     ro.sort(key=lambda c: -c.upper)
@@ -257,5 +375,5 @@ def joint_topk(
     backend: str = "python",
 ) -> Dict[int, TopKResult]:
     """Sections 5.4's full pipeline: traversal + individual refinement."""
-    traversal = joint_traversal(tree, dataset, k, store=store)
+    traversal = joint_traversal(tree, dataset, k, store=store, backend=backend)
     return individual_topk(traversal, dataset, k, backend=backend)

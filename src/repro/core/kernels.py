@@ -59,7 +59,10 @@ __all__ = [
     "BACKENDS",
     "GUARD_EPS",
     "DatasetArrays",
+    "TreeArrays",
+    "FrontierBounds",
     "arrays_for",
+    "tree_arrays_for",
     "resolve_backend",
 ]
 
@@ -99,9 +102,10 @@ def _pairwise_norm(dx, dy, p: float):
     if p == 1:
         return dx + dy
     if p == 2:
-        # np.hypot is the same C hypot() used by math.hypot, keeping the
-        # numpy distances bitwise-equal to the scalar metric.
-        return np.hypot(dx, dy)
+        # Same expression as LpMetric._norm: *, + and sqrt are all
+        # correctly rounded under IEEE-754, so this is bitwise-equal to
+        # the scalar metric on every platform (np.hypot/C hypot is not).
+        return np.sqrt(dx * dx + dy * dy)
     return (dx**p + dy**p) ** (1.0 / p)
 
 
@@ -112,9 +116,16 @@ class DatasetArrays:
     kernels are methods so the term-column mapping stays private.
     """
 
+    #: Process-wide construction counter.  Fork-pool regression tests
+    #: compare a worker's value against the parent's pre-fork value to
+    #: prove the arrays were inherited through copy-on-write memory
+    #: instead of being rebuilt (or worse, pickled) per worker.
+    build_count = 0
+
     def __init__(self, dataset: "Dataset") -> None:
         if not HAS_NUMPY:  # pragma: no cover - guarded by resolve_backend
             raise RuntimeError("DatasetArrays requires numpy")
+        DatasetArrays.build_count += 1
         self.dataset = dataset
         users = dataset.users
         self.num_users = len(users)
@@ -142,6 +153,14 @@ class DatasetArrays:
             for t in u.keyword_set:
                 self.user_terms[i, self.term_col[t]] = 1.0
         self._doc_vec_cache: Dict[frozenset, "np.ndarray"] = {}
+
+    def __reduce__(self):
+        raise TypeError(
+            "DatasetArrays must never be pickled: workers inherit the arrays "
+            "through fork/copy-on-write (repro.serve.pool), and shipping the "
+            "dense matrices through a pipe would silently undo that.  Pickle "
+            "the Dataset instead; arrays_for() rebuilds lazily on the far side."
+        )
 
     # ------------------------------------------------------------------
     # Helpers
@@ -439,6 +458,276 @@ class DatasetArrays:
         return alpha * ss + (1.0 - alpha) * ts
 
 
+# ----------------------------------------------------------------------
+# MIR-tree frontier kernels (Algorithm 1's wave-based traversal)
+# ----------------------------------------------------------------------
+
+class TreeArrays:
+    """Flattened (M)IR-tree entry bounds and term summaries.
+
+    The joint traversal (Algorithm 1) spends its time computing
+    ``LB(E, us)`` / ``UB(E, us)`` for every entry of every node it
+    expands — in the scalar path that means rebuilding per-entry weight
+    dicts from the node's inverted file and summing them one Python
+    float at a time, per traversal.  ``TreeArrays`` flattens the tree
+    **once per tree**: every entry (a child pointer of an internal node
+    or an object of a leaf) gets a row in dense MBR arrays and a slice
+    of one CSR holding its ``(term, max weight, min weight)`` summary in
+    ascending term order; every node gets a CSR of its inverted-list
+    sizes for exact I/O charging.  A traversal then derives the bounds
+    of *all* entries with a handful of array passes
+    (:meth:`frontier_bounds`) and the frontier loop does O(1) lookups
+    and bulk pruning instead of per-entry dict arithmetic.
+
+    Exactness contract
+    ------------------
+    Stronger than the guard-banded kernels above: the frontier kernels
+    are **bitwise identical** to the scalar
+    :class:`~repro.core.bounds.BoundCalculator`.  Both sides sum term
+    weights in ascending term order with strictly left-to-right
+    association (the column-accumulation loop in
+    :func:`_masked_segment_sums`; ``np.add.reduceat`` would re-associate
+    long segments), spatial terms use only correctly-rounded IEEE ops
+    written exactly as the scalar metric writes them, and the combining
+    expressions mirror the scalar ones operation for operation.
+    Identical bound values make
+    every priority-queue pop, pruning decision, pool admission, and
+    I/O charge of the numpy traversal identical to the python one — the
+    property tests in ``tests/core/test_traversal_kernels.py`` assert
+    pool-level equality (LO/RO, ``rsk_group``, per-phase stats) on
+    randomized MIR-trees.
+    """
+
+    #: Process-wide construction counter (see DatasetArrays.build_count).
+    build_count = 0
+
+    def __init__(self, tree) -> None:
+        if not HAS_NUMPY:  # pragma: no cover - guarded by resolve_backend
+            raise RuntimeError("TreeArrays requires numpy")
+        TreeArrays.build_count += 1
+        self.tree = tree
+        self.index_name = tree.index_name
+
+        # Walk the tree once; entries of one node form a contiguous row
+        # span, in the node's own child/entry order (the order the
+        # scalar traversal pushes them, which tie-breaks the heap).
+        self.nodes: List = []               # RTreeNode per node index
+        node_index: Dict[int, int] = {}     # page_id -> node index
+        node_start: List[int] = []
+        node_end: List[int] = []
+        node_is_leaf: List[bool] = []
+
+        ent_rect: List[Tuple[float, float, float, float]] = []
+        ent_payload: List[object] = []      # STObject (leaf) | RTreeNode
+        ent_child: List[int] = []           # child node index, -1 for objects
+        ent_indptr: List[int] = [0]
+        ent_term: List[int] = []
+        ent_maxw: List[float] = []
+        ent_minw: List[float] = []
+
+        nio_indptr: List[int] = [0]
+        nio_term: List[int] = []
+        nio_bytes: List[int] = []
+
+        stack = [tree.root]
+        order = []
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if not node.is_leaf:
+                stack.extend(reversed(node.children))
+        for node in order:
+            node_index[node.page_id] = len(self.nodes)
+            self.nodes.append(node)
+        for node in order:
+            node_start.append(len(ent_rect))
+            node_is_leaf.append(node.is_leaf)
+            if node.is_leaf:
+                for entry in node.entries:
+                    obj = tree.object_by_id(entry.item)
+                    weights = tree.document_weights(entry.item)
+                    x, y = obj.location.x, obj.location.y
+                    ent_rect.append((x, y, x, y))
+                    ent_payload.append(obj)
+                    ent_child.append(-1)
+                    for tid in sorted(weights):
+                        w = weights[tid]
+                        ent_term.append(tid)
+                        ent_maxw.append(w)
+                        ent_minw.append(w)
+                    ent_indptr.append(len(ent_term))
+            else:
+                for child in node.children:
+                    max_w, min_w = tree.subtree_summary(child)
+                    r = child.rect
+                    ent_rect.append((r.min_x, r.min_y, r.max_x, r.max_y))
+                    ent_payload.append(child)
+                    ent_child.append(node_index[child.page_id])
+                    for tid in sorted(max_w):
+                        ent_term.append(tid)
+                        ent_maxw.append(max_w[tid])
+                        ent_minw.append(min_w.get(tid, 0.0))
+                    ent_indptr.append(len(ent_term))
+            node_end.append(len(ent_rect))
+            inv = tree.invfile_of(node)
+            for tid in sorted(inv.terms()):
+                nio_term.append(tid)
+                nio_bytes.append(inv.list_bytes(tid))
+            nio_indptr.append(len(nio_term))
+
+        self.root_index = node_index[tree.root.page_id]
+        # Plain-python twins of the per-entry structures: the frontier
+        # loop reads bounds/terms element-wise, where list indexing is
+        # several times faster than numpy scalar indexing.
+        self.node_start = node_start
+        self.node_end = node_end
+        self.node_is_leaf = node_is_leaf
+        self.ent_rect = np.array(ent_rect, dtype=np.float64).reshape(len(ent_rect), 4)
+        self.ent_payload = ent_payload
+        self.ent_child = ent_child
+        self.ent_indptr = ent_indptr
+        self.ent_term = ent_term
+        self.ent_maxw = ent_maxw
+        self.ent_minw = ent_minw
+        self.ent_indptr_np = np.array(ent_indptr, dtype=np.intp)
+        self.ent_term_np = np.array(ent_term, dtype=np.int64)
+        self.ent_maxw_np = np.array(ent_maxw, dtype=np.float64)
+        self.ent_minw_np = np.array(ent_minw, dtype=np.float64)
+        self.nio_indptr = np.array(nio_indptr, dtype=np.intp)
+        self.nio_term = np.array(nio_term, dtype=np.int64)
+        self.nio_bytes = np.array(nio_bytes, dtype=np.int64)
+        self.max_term = int(self.ent_term_np.max()) if ent_term else -1
+        self.num_entries = len(ent_rect)
+
+    def __reduce__(self):
+        raise TypeError(
+            "TreeArrays must never be pickled: build once per engine and let "
+            "forked workers inherit it via copy-on-write (tree_arrays_for)."
+        )
+
+    # ------------------------------------------------------------------
+    def _term_mask(self, terms) -> "np.ndarray":
+        """Boolean lookup over term ids; index -1 (padding) stays False."""
+        mask = np.zeros(self.max_term + 2, dtype=bool)
+        for t in terms:
+            if 0 <= t <= self.max_term:
+                mask[t] = True
+        return mask
+
+    def frontier_bounds(self, dataset: "Dataset", su, store=None) -> "FrontierBounds":
+        """Evaluate ``LB``/``UB`` of every tree entry against ``su``.
+
+        One vectorized wave over the flattened tree replaces the scalar
+        per-entry bound computations of an entire traversal.  Also
+        precomputes, per node, the inverted-list blocks a visit charges
+        (exact ``ceil`` arithmetic of ``IOCounter.load_bytes``) so the
+        traversal can charge I/O without touching the inverted files.
+        """
+        alpha = dataset.alpha
+        mbr = su.mbr
+        rect = self.ent_rect
+        p = dataset.metric.p
+
+        # Spatial sides of Lemma 2, operation for operation as the
+        # scalar LpMetric rect-to-rect distances.
+        dx_min = np.maximum(np.maximum(rect[:, 0] - mbr.max_x, 0.0), mbr.min_x - rect[:, 2])
+        dy_min = np.maximum(np.maximum(rect[:, 1] - mbr.max_y, 0.0), mbr.min_y - rect[:, 3])
+        dx_max = np.maximum(np.abs(rect[:, 2] - mbr.min_x), np.abs(mbr.max_x - rect[:, 0]))
+        dy_max = np.maximum(np.abs(rect[:, 3] - mbr.min_y), np.abs(mbr.max_y - rect[:, 1]))
+        dmax = dataset.dmax
+        ss_best = np.maximum(0.0, np.minimum(1.0, 1.0 - _pairwise_norm(dx_min, dy_min, p) / dmax))
+        ss_worst = np.maximum(0.0, np.minimum(1.0, 1.0 - _pairwise_norm(dx_max, dy_max, p) / dmax))
+
+        # Text sides: MaxTS over the union, MinTS over the intersection,
+        # summed in the scalar association order (ascending term ids,
+        # strictly left to right).
+        union_mask = self._term_mask(su.union_terms)
+        in_union = union_mask[self.ent_term_np]
+        if su.min_normalizer > 0.0:
+            sums = _masked_segment_sums(self.ent_maxw_np, in_union, self.ent_indptr_np)
+            maxts = np.minimum(1.0, sums / su.min_normalizer)
+        else:
+            maxts = np.zeros(self.num_entries)
+        if su.max_normalizer > 0.0 and su.intersection_terms:
+            in_inter = self._term_mask(su.intersection_terms)[self.ent_term_np]
+            sums = _masked_segment_sums(self.ent_minw_np, in_inter, self.ent_indptr_np)
+            mints = np.minimum(1.0, sums / su.max_normalizer)
+        else:
+            mints = np.zeros(self.num_entries)
+
+        lb = alpha * ss_worst + (1.0 - alpha) * mints
+        ub = alpha * ss_best + (1.0 - alpha) * maxts
+
+        node_blocks = None
+        if store is not None and store.buffer is None and len(self.nio_term):
+            page = np.int64(store.counter.page_size)
+            masked = np.where(
+                union_mask[self.nio_term],
+                (self.nio_bytes + page - 1) // page,
+                np.int64(0),
+            )
+            csum = np.concatenate(([0], np.cumsum(masked)))
+            node_blocks = csum[self.nio_indptr[1:]] - csum[self.nio_indptr[:-1]]
+        return FrontierBounds(self, lb, ub, in_union, node_blocks)
+
+
+class FrontierBounds:
+    """Per-traversal view over :class:`TreeArrays`: bounds + I/O charges.
+
+    ``lb``/``ub``/``in_union``/``node_blocks`` are plain python lists —
+    the frontier loop and the weight-dict builder read them one element
+    at a time, and a single ``.tolist()`` here beats thousands of numpy
+    scalar reads there.
+    """
+
+    __slots__ = ("arrays", "lb", "ub", "in_union", "node_blocks")
+
+    def __init__(self, arrays: TreeArrays, lb, ub, in_union, node_blocks) -> None:
+        self.arrays = arrays
+        self.lb = lb.tolist()
+        self.ub = ub.tolist()
+        self.in_union = in_union.tolist()
+        self.node_blocks = node_blocks.tolist() if node_blocks is not None else None
+
+    def weights_of(self, entry: int) -> Dict[int, Tuple[float, float]]:
+        """The entry's ``{term: (maxw, minw)}`` restricted to the union —
+        exactly what ``InvertedFile.entry_weights`` hands the scalar path."""
+        ta = self.arrays
+        in_union = self.in_union
+        terms, maxw, minw = ta.ent_term, ta.ent_maxw, ta.ent_minw
+        return {
+            terms[j]: (maxw[j], minw[j])
+            for j in range(ta.ent_indptr[entry], ta.ent_indptr[entry + 1])
+            if in_union[j]
+        }
+
+
+def _masked_segment_sums(values, mask, indptr):
+    """Per-segment sums of ``values[mask]`` with scalar-exact association.
+
+    Each CSR segment is summed **strictly left to right** (ascending
+    term order) into a ``0.0`` accumulator, reproducing the scalar
+    ``total += w`` loop bit for bit — ``np.add.reduceat`` re-associates
+    segments longer than a few elements and is *not* usable here.  The
+    column loop touches each relevant value exactly once, so the total
+    work is O(relevant nnz) plus one vectorized pass per frontier
+    "column" (the j-th relevant term of every entry advances together).
+    """
+    vals = values[mask]
+    csum = np.concatenate(([0], np.cumsum(mask)))
+    counts = csum[indptr[1:]] - csum[indptr[:-1]]
+    starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    ends = starts + counts
+    totals = np.zeros(len(counts))
+    pos = starts.copy()
+    active = np.nonzero(counts > 0)[0]
+    while active.size:
+        totals[active] += vals[pos[active]]
+        pos[active] += 1
+        active = active[pos[active] < ends[active]]
+    return totals
+
+
 def arrays_for(dataset: "Dataset") -> DatasetArrays:
     """The cached :class:`DatasetArrays` of ``dataset`` (built lazily).
 
@@ -451,4 +740,18 @@ def arrays_for(dataset: "Dataset") -> DatasetArrays:
     if arrays is None:
         arrays = DatasetArrays(dataset)
         dataset._kernel_arrays = arrays  # type: ignore[attr-defined]
+    return arrays
+
+
+def tree_arrays_for(tree) -> TreeArrays:
+    """The cached :class:`TreeArrays` of ``tree`` (built lazily).
+
+    Like :func:`arrays_for`, the arrays hang off the tree itself so they
+    are built exactly once per engine (the serving layer builds them
+    eagerly at startup, before the worker pool forks).
+    """
+    arrays = getattr(tree, "_tree_arrays", None)
+    if arrays is None:
+        arrays = TreeArrays(tree)
+        tree._tree_arrays = arrays
     return arrays

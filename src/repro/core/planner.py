@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from .config import Method, Mode, QueryOptions
 from .kernels import HAS_NUMPY
@@ -42,22 +42,31 @@ def _fork_available() -> bool:
 
 @dataclass(frozen=True, slots=True)
 class EngineCapabilities:
-    """What one engine instance can execute."""
+    """What one engine instance can execute.
+
+    ``traversal_pool_k`` is the ``k`` of the engine's memoized cross-k
+    traversal pool, if one exists — planning reads it so the plan (and
+    ``explain()``) names the walk that will actually serve the batch,
+    which may be a larger-k walk from an earlier batch.
+    """
 
     has_user_tree: bool
     numpy_available: bool = HAS_NUMPY
     fork_available: bool = True
     num_users: int = 0
     num_objects: int = 0
+    traversal_pool_k: Optional[int] = None
 
     @classmethod
     def of(cls, engine: "MaxBRSTkNNEngine") -> "EngineCapabilities":
+        pool = engine._traversal_pool
         return cls(
             has_user_tree=engine.user_tree is not None,
             numpy_available=HAS_NUMPY,
             fork_available=_fork_available(),
             num_users=len(engine.dataset.users),
             num_objects=len(engine.dataset.objects),
+            traversal_pool_k=pool.k if pool is not None else None,
         )
 
 
@@ -83,6 +92,20 @@ class QueryPlan:
     shared_traversal:
         Phase 1 is a shared MIUR-root joint traversal per distinct
         ``k`` (indexed batches) instead of a per-query one.
+    shared_traversal_k:
+        Joint batches only: the single ``k`` of the shared MIR-tree
+        walk serving this batch — ``max(distinct_ks)``, or the engine's
+        existing pool ``k`` when an earlier batch already walked
+        further (the per-query top-k I/O stats report this walk, so
+        the plan names it).  The traversal's candidate pool
+        at ``k_max`` provably subsumes the pool of every smaller ``k``
+        (``RSk_max(us) <= RSk(us)``, so nothing a smaller-k traversal
+        keeps is pruned), so a mixed-k batch pays for **one** tree walk
+        and derives each k's thresholds from the shared pool.  ``None``
+        for baseline batches (no group traversal) and indexed batches
+        (per-k walks: the MIUR search's node-level ``RSk`` pruning reads
+        the pool itself, and a larger pool changes tie-breaking of the
+        best-first search — per-k pools keep batch == sequential exact).
     workers:
         Resolved phase-2 fan-out width; 1 means in-process.
     """
@@ -95,6 +118,7 @@ class QueryPlan:
     shared_topk: bool
     shared_traversal: bool
     workers: int
+    shared_traversal_k: Optional[int] = None
 
     # ------------------------------------------------------------------
     def explain(self) -> str:
@@ -109,7 +133,14 @@ class QueryPlan:
             f"backend={self.backend}"
         ]
         ks = ",".join(str(k) for k in self.distinct_ks) or "?"
-        if self.shared_topk:
+        if self.shared_traversal_k is not None:
+            lines.append(
+                f"  phase 1 (joint traversal): one MIR-tree walk at "
+                f"k={self.shared_traversal_k} reused for k={ks} (the k_max "
+                f"pool subsumes every smaller k), per-k thresholds derived "
+                f"from the shared pool and memoized on the engine"
+            )
+        elif self.shared_topk:
             lines.append(
                 f"  phase 1 (top-k thresholds): shared once per distinct k "
                 f"(k={ks}), memoized on the engine across batches"
@@ -182,13 +213,25 @@ def plan_batch(
         and not indexed
         and caps.fork_available
     )
+    distinct_ks = tuple(sorted(set(ks)))
     return QueryPlan(
         mode=options.mode,
         method=options.method,
         backend=backend,
         batch_size=len(ks),
-        distinct_ks=tuple(sorted(set(ks))),
+        distinct_ks=distinct_ks,
         shared_topk=not indexed,
         shared_traversal=indexed,
         workers=options.workers if fan_out else 1,
+        # Joint batches run one tree walk at k_max and reuse its pool
+        # for every smaller k (see the attribute docs for why indexed
+        # batches keep per-k walks).  An engine pool already walked at
+        # a larger k serves this batch without re-walking — the plan
+        # names that walk so explain() and the stats contract stay
+        # truthful.
+        shared_traversal_k=(
+            max(distinct_ks + ((caps.traversal_pool_k,) if caps.traversal_pool_k else ()))
+            if options.mode is Mode.JOINT and distinct_ks
+            else None
+        ),
     )

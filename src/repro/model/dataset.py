@@ -91,6 +91,18 @@ class Dataset:
         self._users_by_id: Dict[int, User] = {u.item_id: u for u in self.users}
         self._super_user: Optional[SuperUser] = None
 
+    def __getstate__(self):
+        """Pickle without the cached numpy kernel arrays.
+
+        The arrays (``repro.core.kernels.DatasetArrays``) refuse to be
+        pickled — fork-pool workers must inherit them via copy-on-write,
+        never through a pipe — so a dataset crossing a process boundary
+        drops them and rebuilds lazily on first vectorized use.
+        """
+        state = self.__dict__.copy()
+        state.pop("_kernel_arrays", None)
+        return state
+
     # ------------------------------------------------------------------
     # Derived context
     # ------------------------------------------------------------------

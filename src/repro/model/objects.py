@@ -94,6 +94,26 @@ class SuperUser:
     min_normalizer: float
     max_normalizer: float
     count: int
+    #: Lazily cached ascending term lists.  Bound computations sum term
+    #: weights in this canonical order so the scalar backend and the
+    #: numpy frontier kernels produce bitwise-identical bounds (see
+    #: repro/core/kernels.py, "Exactness contract").
+    _sorted_union: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _sorted_intersection: Optional[tuple] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def sorted_union(self) -> tuple:
+        if self._sorted_union is None:
+            self._sorted_union = tuple(sorted(self.union_terms))
+        return self._sorted_union
+
+    def sorted_intersection(self) -> tuple:
+        if self._sorted_intersection is None:
+            self._sorted_intersection = tuple(sorted(self.intersection_terms))
+        return self._sorted_intersection
 
     @classmethod
     def from_users(

@@ -19,8 +19,10 @@ in-process execution (``ServerConfig.pool_workers=0``).
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+import weakref
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from ..core.batch import SharedTopK, _select_one
 from ..core.kernels import HAS_NUMPY, arrays_for
@@ -35,14 +37,27 @@ __all__ = ["PersistentWorkerPool"]
 #: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
 Payload = Tuple[List["MaxBRSTkNNQuery"], SharedTopK, str, str, str]
 
-#: Set by the initializer in each worker process (inherited via fork,
-#: so the dataset and its cached DatasetArrays are never pickled).
+#: Parent-side registry of pool datasets, keyed by a per-pool token.
+#: Forked workers inherit the whole registry through copy-on-write and
+#: the initializer resolves their token into ``_WORKER_DATASET`` — only
+#: the *token* (an int) ever crosses the worker pipe.  Passing the
+#: dataset itself as Pool ``initargs`` would *pickle* it per worker,
+#: silently dropping the pre-built DatasetArrays (Dataset.__getstate__
+#: excludes them, and DatasetArrays refuses to pickle outright) and
+#: making every worker rebuild them: the exact waste this pool exists
+#: to avoid.  A registry (rather than one module global) keeps late
+#: worker respawns and concurrent pools correct — whenever a child
+#: forks, its registry snapshot holds every live pool's dataset.  The
+#: regression test ``tests/serve/test_pool.py`` asserts workers
+#: inherit, not rebuild.
 _WORKER_DATASET = None
+_FORK_DATASETS: Dict[int, "Dataset"] = {}
+_FORK_TOKENS = itertools.count()
 
 
-def _init_worker(dataset: "Dataset") -> None:
+def _init_worker(token: int) -> None:
     global _WORKER_DATASET
-    _WORKER_DATASET = dataset
+    _WORKER_DATASET = _FORK_DATASETS[token]
 
 
 def _run_payload(payload: Payload) -> List["MaxBRSTkNNResult"]:
@@ -78,10 +93,21 @@ class PersistentWorkerPool:
         self.dataset = dataset
         self.workers = workers
         ctx = multiprocessing.get_context("fork")
+        self._token = next(_FORK_TOKENS)
+        _FORK_DATASETS[self._token] = dataset
+        # Workers fork inside Pool() and snapshot the registry (and the
+        # arrays hanging off the dataset) via copy-on-write; initargs
+        # carries only the token.
         self._pool = ctx.Pool(
-            workers, initializer=_init_worker, initargs=(dataset,)
+            workers, initializer=_init_worker, initargs=(self._token,)
         )
         self._closed = False
+        # Safety net for pools dropped without close(): the finalizer
+        # evicts the registry entry so a leaked pool cannot pin the
+        # dataset (and its dense arrays) for the process lifetime.
+        self._registry_finalizer = weakref.finalize(
+            self, _FORK_DATASETS.pop, self._token, None
+        )
 
     # ------------------------------------------------------------------
     def run_selection(
@@ -98,6 +124,7 @@ class PersistentWorkerPool:
             self._closed = True
             self._pool.close()
             self._pool.join()
+            self._registry_finalizer()
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

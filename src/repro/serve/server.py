@@ -66,13 +66,26 @@ class MaxBRSTkNNServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> "MaxBRSTkNNServer":
-        """Start the flusher task (and the persistent pool, if sized)."""
+        """Start the flusher task (and the persistent pool, if sized).
+
+        When the numpy backend will serve, both kernel caches are built
+        eagerly here — the :class:`~repro.core.kernels.DatasetArrays`
+        *and* the :class:`~repro.core.kernels.TreeArrays` of the object
+        tree — so the first query pays no build cost and pool workers
+        fork *after* the arrays exist, inheriting them through
+        copy-on-write instead of rebuilding per process.
+        """
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
         self._stopping = False
         self._loop = asyncio.get_running_loop()
         self._wakeup = asyncio.Event()
+        if self.config.options.backend.resolve() == "numpy":
+            from ..core.kernels import arrays_for, tree_arrays_for
+
+            arrays_for(self.engine.dataset)
+            tree_arrays_for(self.engine.object_tree)
         if self.config.pool_workers > 0:
             self._pool = PersistentWorkerPool(
                 self.engine.dataset, self.config.pool_workers

@@ -45,7 +45,15 @@ class LpMetric:
         if self.p == 1:
             return dx + dy
         if self.p == 2:
-            return math.hypot(dx, dy)
+            # sqrt(dx*dx + dy*dy) instead of math.hypot: *, + and sqrt
+            # are all correctly rounded under IEEE-754, so the numpy
+            # kernels reproduce this value bit for bit by writing the
+            # same expression — math.hypot is correctly rounded too
+            # (CPython >= 3.8) but C libm's hypot, which numpy calls,
+            # is not, and the traversal backends must agree exactly.
+            # Coordinates are dataspace-sized, so the classic
+            # overflow/underflow caveat of the naive form cannot bite.
+            return math.sqrt(dx * dx + dy * dy)
         return (dx**self.p + dy**self.p) ** (1.0 / self.p)
 
     # ------------------------------------------------------------------

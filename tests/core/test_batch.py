@@ -2,9 +2,13 @@
 
 The contract under test: batching is purely an execution strategy.
 Results — location, keyword set, BRSTkNN user set — and every
-deterministic ``QueryStats`` counter (I/O, pruning, combinations
-scored) must be exactly what sequential cold queries produce; only
-wall-clock timings may differ.
+deterministic *selection-phase* ``QueryStats`` counter (pruning,
+combinations scored) must be exactly what sequential cold queries
+produce.  Top-k-phase I/O matches the sequential trace too, except
+that a mixed-k joint batch reports the one shared ``k_max`` walk it
+actually ran (cross-k candidate-pool sharing) — identical for every
+query in the batch and equal to the sequential ``k_max`` trace.  Only
+wall-clock timings may differ beyond that.
 """
 
 import random
@@ -58,9 +62,13 @@ def assert_result_equal(a, b):
 
 def assert_stats_equal(a, b):
     """Deterministic stats counters only — timings legitimately differ."""
-    assert a.users_total == b.users_total
+    assert_selection_stats_equal(a, b)
     assert a.io_node_visits == b.io_node_visits
     assert a.io_invfile_blocks == b.io_invfile_blocks
+
+
+def assert_selection_stats_equal(a, b):
+    assert a.users_total == b.users_total
     assert a.locations_pruned == b.locations_pruned
     assert a.keyword_combinations_scored == b.keyword_combinations_scored
     assert a.users_pruned == b.users_pruned
@@ -76,7 +84,21 @@ def test_batch_equals_sequential(backend, mode):
     assert len(batched) == len(sequential)
     for solo, bat in zip(sequential, batched):
         assert_result_equal(solo, bat)
-        assert_stats_equal(solo.stats, bat.stats)
+        assert_selection_stats_equal(solo.stats, bat.stats)
+        if mode == "baseline":
+            # Baseline phase 1 runs per distinct k: exact sequential trace.
+            assert_stats_equal(solo.stats, bat.stats)
+    if mode == "joint":
+        # Cross-k pool sharing: every query reports the one shared walk,
+        # whose I/O is the sequential k_max (= 5 here) traversal's.
+        kmax_solo = next(
+            s for q, s in zip(queries, sequential) if q.k == 5
+        )
+        for bat in batched:
+            assert bat.stats.io_node_visits == kmax_solo.stats.io_node_visits
+            assert (
+                bat.stats.io_invfile_blocks == kmax_solo.stats.io_invfile_blocks
+            )
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -110,15 +132,79 @@ def test_duplicate_queries_get_identical_results():
     assert_result_equal(solo, batched[0])
 
 
-def test_shared_topk_cache_reused_across_batches():
+def test_traversal_pool_shared_across_ks_and_batches():
+    """Joint batches: ONE tree walk at k_max serves every k, memoized."""
     engine, rng, vocab = build_engine(seed=7)
     queries = make_queries(rng, vocab, 4, ks=(2, 4))
+    assert engine.traversal_runs == 0
     engine.query_batch(queries)
+    pool = engine._traversal_pool
+    assert pool is not None
+    assert pool.k == 4  # walked once, at k_max
+    assert set(pool.by_k) == {2, 4}
+    assert engine.traversal_runs == 1
+    assert pool.hits == 4
+    hits = {k: entry.hits for k, entry in pool.by_k.items()}
+    assert hits == {2: 2, 4: 2}
+    engine.query_batch(queries)  # same ks: no new walk, no new derivation
+    assert engine._traversal_pool is pool
+    assert engine.traversal_runs == 1
+    assert {k: e.hits for k, e in pool.by_k.items()} == {2: 4, 4: 4}
+    # A smaller new k derives from the existing pool without a walk...
+    engine.query_batch(make_queries(rng, vocab, 1, ks=(3,)))
+    assert engine.traversal_runs == 1
+    assert set(engine._traversal_pool.by_k) == {2, 3, 4}
+    # ...while a larger k forces one fresh walk that replaces the pool.
+    engine.query_batch(make_queries(rng, vocab, 2, ks=(6, 2)))
+    assert engine.traversal_runs == 2
+    assert engine._traversal_pool.k == 6
+    assert set(engine._traversal_pool.by_k) == {2, 6}
+    engine.clear_topk_cache()
+    assert engine._traversal_pool is None
+    assert engine._shared_topk_cache == {}
+
+
+def test_warm_pool_plan_and_stats_name_the_walk_actually_used():
+    """A smaller-k batch after a bigger-k one reuses the k=5 walk — and
+    both the plan and the per-query top-k I/O stats must say so."""
+    from repro import QueryOptions
+
+    engine, rng, vocab = build_engine(seed=21)
+    big = make_queries(rng, vocab, 2, ks=(5,))
+    small = make_queries(rng, vocab, 2, ks=(2,))
+    [big_result, _] = engine.query_batch(big, QueryOptions())
+    assert engine.plan(QueryOptions(), ks=[5]).shared_traversal_k == 5
+    # The engine's pool (walked at 5) serves the k=2 batch: no re-walk,
+    # and the plan reports the k=5 walk, not a fictional k=2 one.
+    plan = engine.plan(QueryOptions(), ks=[2])
+    assert plan.shared_traversal_k == 5
+    assert "walk at k=5" in plan.explain()
+    runs = engine.traversal_runs
+    batched = engine.query_batch(small, QueryOptions())
+    assert engine.traversal_runs == runs  # reused, not re-walked
+    for result in batched:
+        # Top-k I/O stats describe the k=5 walk the thresholds came from.
+        assert result.stats.io_node_visits == big_result.stats.io_node_visits
+        assert (
+            result.stats.io_invfile_blocks == big_result.stats.io_invfile_blocks
+        )
+    # A fresh engine's k=2 batch still matches sequential exactly.
+    fresh, _, _ = build_engine(seed=21)
+    cold = fresh.query_batch(small, QueryOptions())
+    for warm, ref in zip(batched, cold):
+        assert_result_equal(warm, ref)
+        assert_selection_stats_equal(warm.stats, ref.stats)
+
+
+def test_baseline_shared_topk_cache_reused_across_batches():
+    engine, rng, vocab = build_engine(seed=7)
+    queries = make_queries(rng, vocab, 4, ks=(2, 4))
+    engine.query_batch(queries, mode="baseline")
     cache = engine._shared_topk_cache
-    assert set(cache) == {("joint", 2), ("joint", 4)}
+    assert set(cache) == {("baseline", 2), ("baseline", 4)}
     hits = {key: entry.hits for key, entry in cache.items()}
-    engine.query_batch(queries)  # same ks: phase 1 must not recompute
-    assert set(cache) == {("joint", 2), ("joint", 4)}
+    engine.query_batch(queries, mode="baseline")  # no phase-1 recompute
+    assert set(cache) == {("baseline", 2), ("baseline", 4)}
     for key, entry in cache.items():
         assert entry.hits == hits[key] + 2
     engine.clear_topk_cache()

@@ -46,6 +46,24 @@ class TestPlanBatch:
         assert plan.shared_topk is True
         assert plan.shared_traversal is False
 
+    def test_joint_batch_pools_across_k(self):
+        """Joint batches share ONE traversal at k_max across all ks."""
+        plan = plan_batch(QueryOptions(), CAPS, ks=[1, 5, 10, 5])
+        assert plan.shared_traversal_k == 10
+        # Baseline and indexed batches do not pool across k.
+        assert (
+            plan_batch(QueryOptions(mode="baseline"), CAPS, ks=[1, 5])
+            .shared_traversal_k
+            is None
+        )
+        assert (
+            plan_batch(QueryOptions(mode="indexed"), CAPS, ks=[1, 5])
+            .shared_traversal_k
+            is None
+        )
+        # Single queries stay cold: no pool.
+        assert plan_query(QueryOptions(), CAPS, k=7).shared_traversal_k is None
+
     def test_indexed_batch_shares_root_traversal(self):
         plan = plan_batch(QueryOptions(mode="indexed"), CAPS, ks=[3, 3, 7])
         assert plan.shared_traversal is True
@@ -86,6 +104,13 @@ class TestExplain:
         assert "batch of 3" in text
         assert "k=3,5" in text
         assert "fork pool x3" in text
+
+    def test_joint_batch_explain_reports_cross_k_reuse(self):
+        text = plan_batch(
+            QueryOptions(backend="python"), CAPS, ks=[1, 5, 10]
+        ).explain()
+        assert "one MIR-tree walk at k=10" in text
+        assert "reused for k=1,5,10" in text
 
     def test_indexed_batch_explain(self):
         text = plan_batch(

@@ -1,0 +1,216 @@
+"""Property tests for the wave-vectorized frontier traversal (PR 3).
+
+Two families of guarantees:
+
+* **Backend identity.**  ``joint_traversal(backend="numpy")`` must
+  reproduce the python traversal *bitwise*: same LO/RO pools (object
+  ids, lower/upper bounds, weight dicts, order), same ``rsk_group``,
+  and the same simulated-I/O trace — the frontier kernels sum in the
+  scalar association order on purpose (see repro/core/kernels.py,
+  "Exactness contract"), so these asserts use ``==``, never approx.
+
+* **Cross-k subsumption.**  The candidate pool of a ``k_max``
+  traversal subsumes the pool of every smaller ``k`` and yields
+  value-identical per-k thresholds, which is what lets a mixed-k batch
+  pay for a single tree walk (``repro.core.batch.SharedTraversalPool``).
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro import Dataset, MaxBRSTkNNEngine, QueryOptions
+from repro.core.joint_topk import individual_topk, joint_traversal
+from repro.core.kernels import HAS_NUMPY, TreeArrays, tree_arrays_for
+from repro.model.objects import SuperUser
+from repro.storage.iostats import IOCounter
+from repro.storage.pager import LRUBuffer, PageStore
+
+from ..conftest import make_random_objects, make_random_users
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+
+
+def random_engine(seed, index_users=False):
+    rng = random.Random(seed)
+    vocab = rng.choice([8, 20, 60])
+    objects = make_random_objects(rng.randint(30, 140), vocab, rng)
+    users = make_random_users(rng.randint(5, 28), vocab, rng)
+    dataset = Dataset(
+        objects,
+        users,
+        relevance=rng.choice(["LM", "TF", "KO"]),
+        alpha=rng.choice([0.0, 0.25, 0.5, 0.9, 1.0]),
+    )
+    engine = MaxBRSTkNNEngine(
+        dataset, fanout=rng.choice([3, 4, 8]), index_users=index_users
+    )
+    return engine, rng
+
+
+def assert_traversals_identical(a, b):
+    """Pool-level bitwise equality (CandidateObject is an eq dataclass)."""
+    assert a.rsk_group == b.rsk_group
+    for name in ("lo", "ro"):
+        pa, pb = getattr(a, name), getattr(b, name)
+        assert len(pa) == len(pb), name
+        for x, y in zip(pa, pb):
+            assert x.obj.item_id == y.obj.item_id, name
+            assert x.lower == y.lower, name
+            assert x.upper == y.upper, name
+            assert x.weights == y.weights, name
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_numpy_traversal_identical_on_random_trees(seed):
+    """numpy == python: pools, threshold, and I/O trace, bitwise."""
+    engine, rng = random_engine(seed, index_users=True)
+    summaries = [
+        None,  # dataset-wide super-user
+        engine.user_tree.root.summary,  # MIUR root (indexed phase 1)
+        SuperUser.from_users(  # a proper subgroup
+            engine.dataset.users[: max(2, len(engine.dataset.users) // 2)],
+            engine.dataset.relevance,
+        ),
+    ]
+    for k in (1, 2, 5, 11):
+        for su in summaries:
+            counters = []
+            results = []
+            for backend in ("python", "numpy"):
+                counter = IOCounter()
+                results.append(
+                    joint_traversal(
+                        engine.object_tree,
+                        engine.dataset,
+                        k,
+                        super_user=su,
+                        store=PageStore(counter=counter),
+                        backend=backend,
+                    )
+                )
+                counters.append(counter)
+            assert_traversals_identical(results[0], results[1])
+            assert counters[0].node_visits == counters[1].node_visits
+            assert counters[0].invfile_blocks == counters[1].invfile_blocks
+
+
+def test_numpy_traversal_identical_with_buffered_store():
+    """The LRU-buffer fallback path charges exactly like the scalar one."""
+    engine, _ = random_engine(3)
+    for capacity in (0, 16):
+        stores = []
+        for _ in range(2):
+            counter = IOCounter()
+            stores.append(PageStore(counter=counter, buffer=LRUBuffer(capacity)))
+        py = joint_traversal(
+            engine.object_tree, engine.dataset, 4, store=stores[0],
+            backend="python",
+        )
+        np_ = joint_traversal(
+            engine.object_tree, engine.dataset, 4, store=stores[1],
+            backend="numpy",
+        )
+        assert_traversals_identical(py, np_)
+        assert stores[0].counter.node_visits == stores[1].counter.node_visits
+        assert stores[0].counter.invfile_blocks == stores[1].counter.invfile_blocks
+        assert stores[0].buffer.hits == stores[1].buffer.hits
+        assert stores[0].buffer.misses == stores[1].buffer.misses
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_kmax_pool_subsumes_every_smaller_k(seed, backend):
+    """Objects any k-traversal keeps are all in the k_max pool, and the
+    derived per-k thresholds are value-identical to dedicated runs."""
+    engine, _ = random_engine(seed)
+    kmax = 9
+    pool = joint_traversal(
+        engine.object_tree, engine.dataset, kmax, backend=backend
+    )
+    pool_ids = {c.obj.item_id for c in pool.all_candidates()}
+    lows = sorted((c.lower for c in pool.all_candidates()), reverse=True)
+    for k in (1, 2, 4, kmax):
+        dedicated = joint_traversal(
+            engine.object_tree, engine.dataset, k, backend=backend
+        )
+        dedicated_ids = {c.obj.item_id for c in dedicated.all_candidates()}
+        assert dedicated_ids <= pool_ids
+        # RSk(us) derived from the pool == the dedicated traversal's.
+        derived_rsk_group = lows[k - 1] if k <= len(lows) else 0.0
+        assert derived_rsk_group == dedicated.rsk_group
+        # Algorithm 2 over the k_max pool == over the dedicated pool.
+        via_pool = individual_topk(pool, engine.dataset, k, backend=backend)
+        via_dedicated = individual_topk(
+            dedicated, engine.dataset, k, backend=backend
+        )
+        for uid, res in via_dedicated.items():
+            assert via_pool[uid].ranked == res.ranked
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_mixed_k_batch_runs_one_traversal_and_matches_sequential(backend):
+    """The PR-3 acceptance shape: k in {1, 5, 10} -> one tree walk."""
+    engine, rng = random_engine(17)
+    from repro.core.query import MaxBRSTkNNQuery
+    from repro.model.objects import STObject
+    from repro.spatial.geometry import Point
+
+    queries = []
+    for i, k in enumerate([1, 5, 10, 5, 1]):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10))
+                    for _ in range(3)
+                ],
+                keywords=sorted(rng.sample(range(8), 4)),
+                ws=2,
+                k=k,
+            )
+        )
+    sequential = [
+        engine.query(q, QueryOptions(backend="python")) for q in queries
+    ]
+    runs_before = engine.traversal_runs
+    batched = engine.query_batch(queries, QueryOptions(backend=backend))
+    assert engine.traversal_runs == runs_before + 1  # exactly one walk
+    assert engine._traversal_pool.k == 10
+    for solo, bat in zip(sequential, batched):
+        assert solo.location == bat.location
+        assert solo.keywords == bat.keywords
+        assert solo.brstknn == bat.brstknn
+
+
+def test_tree_arrays_memoized_per_tree_and_refuse_pickling():
+    engine, _ = random_engine(1)
+    arrays = tree_arrays_for(engine.object_tree)
+    assert isinstance(arrays, TreeArrays)
+    assert tree_arrays_for(engine.object_tree) is arrays
+    other, _ = random_engine(2)
+    assert tree_arrays_for(other.object_tree) is not arrays
+    with pytest.raises(TypeError, match="copy-on-write"):
+        pickle.dumps(arrays)
+
+
+def test_tree_arrays_flatten_the_whole_tree():
+    engine, _ = random_engine(4)
+    arrays = tree_arrays_for(engine.object_tree)
+    # Leaf entries = objects; every node owns a contiguous entry span.
+    object_entries = sum(
+        arrays.node_end[i] - arrays.node_start[i]
+        for i, node in enumerate(arrays.nodes)
+        if node.is_leaf
+    )
+    assert object_entries == len(engine.dataset.objects)
+    assert arrays.num_entries == len(arrays.ent_indptr) - 1
+    # CSR terms are ascending within every entry (the canonical order).
+    for e in range(arrays.num_entries):
+        seg = arrays.ent_term[arrays.ent_indptr[e]:arrays.ent_indptr[e + 1]]
+        assert list(seg) == sorted(seg)

@@ -1,0 +1,108 @@
+"""PersistentWorkerPool: workers must *inherit* the kernel arrays.
+
+The pool's whole point is forking after ``DatasetArrays`` is built so
+workers share it through copy-on-write.  PR 2 accidentally passed the
+dataset through Pool ``initargs`` — which pickles it per worker, and a
+pickled dataset drops its arrays (``Dataset.__getstate__``), so every
+worker silently rebuilt them.  These are the assertion-backed
+regression tests: the build counter must not move inside a worker, and
+the arrays must refuse pickling outright so the waste can never come
+back quietly.
+"""
+
+import multiprocessing
+import pickle
+import random
+
+import pytest
+
+from repro import Dataset, MaxBRSTkNNEngine, QueryOptions
+from repro.core.kernels import HAS_NUMPY, DatasetArrays, arrays_for
+from repro.serve import pool as pool_mod
+from repro.serve.pool import PersistentWorkerPool
+
+from ..conftest import make_random_objects, make_random_users
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="PersistentWorkerPool requires the fork start method",
+)
+
+
+def make_dataset(seed=0):
+    rng = random.Random(seed)
+    objects = make_random_objects(50, 15, rng)
+    users = make_random_users(10, 15, rng)
+    return Dataset(objects, users, relevance="LM", alpha=0.5), rng
+
+
+def _probe_worker(_):
+    """Runs inside a forked worker: report its view of the arrays."""
+    ds = pool_mod._WORKER_DATASET
+    return (
+        DatasetArrays.build_count if HAS_NUMPY else 0,
+        ds is not None,
+        getattr(ds, "_kernel_arrays", None) is not None if ds is not None else False,
+    )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_workers_inherit_prebuilt_arrays_without_rebuilding():
+    dataset, _ = make_dataset()
+    with PersistentWorkerPool(dataset, workers=2) as pool:
+        # The pool pre-builds the arrays in the parent, pre-fork.
+        assert getattr(dataset, "_kernel_arrays", None) is not None
+        parent_builds = DatasetArrays.build_count
+        probes = pool._pool.map(_probe_worker, range(4), chunksize=1)
+    for worker_builds, has_dataset, has_arrays in probes:
+        assert has_dataset, "worker lost the fork-inherited dataset"
+        assert has_arrays, "worker dataset arrived without its arrays"
+        # The counter a worker sees is the parent's value snapshotted at
+        # fork: any rebuild inside the worker would push it past that.
+        assert worker_builds == parent_builds
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_arrays_for_memoizes_and_dataset_pickles_without_arrays():
+    dataset, _ = make_dataset(seed=1)
+    arrays = arrays_for(dataset)
+    assert arrays_for(dataset) is arrays  # memoized per dataset
+    # The arrays themselves must never cross a process boundary...
+    with pytest.raises(TypeError, match="copy-on-write"):
+        pickle.dumps(arrays)
+    # ...but the dataset stays picklable: it sheds the arrays and the
+    # far side rebuilds lazily on first vectorized use.
+    clone = pickle.loads(pickle.dumps(dataset))
+    assert getattr(clone, "_kernel_arrays", None) is None
+    assert getattr(dataset, "_kernel_arrays", None) is arrays
+
+
+def test_pool_results_match_inprocess_batches():
+    dataset, rng = make_dataset(seed=2)
+    engine = MaxBRSTkNNEngine(dataset, fanout=4)
+    from repro.core.query import MaxBRSTkNNQuery
+    from repro.model.objects import STObject
+    from repro.spatial.geometry import Point
+
+    queries = [
+        MaxBRSTkNNQuery(
+            ox=STObject(
+                item_id=-(i + 1),
+                location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                terms={},
+            ),
+            locations=[Point(rng.uniform(0, 10), rng.uniform(0, 10))],
+            keywords=sorted(rng.sample(range(15), 4)),
+            ws=2,
+            k=2 + (i % 2),
+        )
+        for i in range(4)
+    ]
+    inprocess = engine.query_batch(queries, QueryOptions())
+    engine.clear_topk_cache()
+    with PersistentWorkerPool(dataset, workers=2) as pool:
+        pooled = engine.query_batch(queries, QueryOptions(), pool=pool)
+    for a, b in zip(inprocess, pooled):
+        assert a.location == b.location
+        assert a.keywords == b.keywords
+        assert a.brstknn == b.brstknn
