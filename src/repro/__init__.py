@@ -18,7 +18,7 @@ Quickstart
 >>> engine = MaxBRSTkNNEngine(ds)
 """
 
-from .core.config import Backend, EngineConfig, Method, Mode, QueryOptions
+from .core.config import Backend, EngineConfig, Method, Mode, Partitioner, QueryOptions
 from .core.engine import MaxBRSTkNNEngine
 from .core.planner import QueryPlan
 from .core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
@@ -26,7 +26,7 @@ from .model.dataset import Dataset, DatasetStats
 from .model.objects import STObject, SuperUser, User
 from .spatial.geometry import Point, Rect
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Backend",
@@ -38,6 +38,7 @@ __all__ = [
     "MaxBRSTkNNResult",
     "Method",
     "Mode",
+    "Partitioner",
     "QueryOptions",
     "QueryPlan",
     "QueryStats",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import math
 import sys
 import time
 from typing import List
@@ -132,30 +133,54 @@ def _cmd_batch(args) -> int:
 def _cmd_serve(args) -> int:
     """Serve concurrent queries through the async micro-batching server."""
     from .bench.metrics import percentile
-    from .serve import MaxBRSTkNNServer, ServerConfig
+    from .serve import MaxBRSTkNNServer, ServerConfig, make_engine
 
     if args.queries < 1:
         print("serve: --queries must be >= 1", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("serve: --shards must be >= 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.mode != "joint":
+        print("serve: --shards requires --mode joint", file=sys.stderr)
+        return 2
+    try:
+        max_wait_ms = "auto" if args.max_wait_ms == "auto" else float(args.max_wait_ms)
+        if max_wait_ms != "auto" and not (
+            math.isfinite(max_wait_ms) and max_wait_ms >= 0
+        ):
+            raise ValueError
+    except ValueError:
+        print(f"serve: --max-wait-ms must be a finite number >= 0 or 'auto', "
+              f"got {args.max_wait_ms!r}", file=sys.stderr)
+        return 2
     dataset, workload = _make_workload(args)
-    engine = MaxBRSTkNNEngine(
-        dataset, EngineConfig(index_users=(args.mode == "indexed"))
+    engine = make_engine(
+        dataset,
+        EngineConfig(
+            index_users=(args.mode == "indexed"),
+            num_shards=args.shards,
+            partitioner=args.partitioner,
+        ),
     )
     options = _query_options(args)
     config = ServerConfig(
         max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
+        max_wait_ms=max_wait_ms,
         pool_workers=args.pool_workers,
         options=options,
     )
     queries = _make_query_pool(workload, args, args.queries)
-    if args.explain:
-        print(engine.plan(options, ks=[q.k for q in queries]).explain())
 
     latencies: List[float] = []
 
     async def run():
         async with MaxBRSTkNNServer(engine, config) as server:
+            if args.explain:
+                # Inside the server context: pools (including a sharded
+                # engine's root search pool) are started, so explain()
+                # reports the execution that will actually happen.
+                print(engine.plan(options, ks=[q.k for q in queries]).explain())
             async def timed(q):
                 t0 = time.perf_counter()
                 result = await server.submit(q)
@@ -164,9 +189,9 @@ def _cmd_serve(args) -> int:
 
             t0 = time.perf_counter()
             results = await asyncio.gather(*(timed(q) for q in queries))
-            return list(results), time.perf_counter() - t0, server.stats
+            return list(results), time.perf_counter() - t0, server.stats_snapshot()
 
-    results, elapsed, stats = asyncio.run(run())
+    results, elapsed, snapshot = asyncio.run(run())
     latencies.sort()
     qps = len(queries) / elapsed if elapsed > 0 else float("inf")
     print(f"served {len(queries)} concurrent queries in {1000 * elapsed:.1f} ms "
@@ -174,16 +199,33 @@ def _cmd_serve(args) -> int:
     print(f"latency: p50 {1000 * percentile(latencies, 0.50):.1f} ms, "
           f"p95 {1000 * percentile(latencies, 0.95):.1f} ms "
           f"(max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms}, "
-          f"pool_workers={config.pool_workers})")
-    for name, value in stats.snapshot().items():
+          f"pool_workers={config.pool_workers}, shards={args.shards})")
+    shard_rows = snapshot.pop("shards", None)
+    for name, value in snapshot.items():
         print(f"  {name}: {value}")
+    if shard_rows:
+        for row in shard_rows:
+            detail = ", ".join(
+                f"{key}={val}" for key, val in row.items() if key != "shard"
+            )
+            print(f"  shard[{row['shard']}]: {detail}")
     if args.verify:
         mismatches = 0
         reference = QueryOptions(
             method=options.method, mode=options.mode, backend="python"
         )
+        # Verify against an independent single engine: for a sharded
+        # front-end this compares the scatter/gather answer to the
+        # plain sequential pipeline, not to itself.  The immutable
+        # MIR-tree is shared (same objects/relevance/fanout), so the
+        # reference engine costs no second index build.
+        ref_engine = (
+            MaxBRSTkNNEngine(dataset, EngineConfig(), object_tree=engine.object_tree)
+            if args.shards > 1
+            else engine
+        )
         for query, served in zip(queries, results):
-            solo = engine.query(query, reference)
+            solo = ref_engine.query(query, reference)
             if (
                 solo.location != served.location
                 or solo.keywords != served.keywords
@@ -193,7 +235,8 @@ def _cmd_serve(args) -> int:
         if mismatches:
             print(f"VERIFY FAILURE: {mismatches} served results != sequential")
             return 1
-        print(f"verify: served results == sequential on {len(queries)} queries")
+        print(f"verify: served results == sequential on {len(queries)} queries "
+              f"(shards={args.shards})")
     return 0
 
 
@@ -266,9 +309,17 @@ def main(argv=None) -> int:
     serve.add_argument("--queries", type=int, default=32,
                        help="concurrent queries to submit")
     serve.add_argument("--max-batch", type=int, default=32)
-    serve.add_argument("--max-wait-ms", type=float, default=2.0)
+    serve.add_argument("--max-wait-ms", default="2.0",
+                       help="micro-batch window in ms, or 'auto' to tune it "
+                            "from the observed arrival rate")
     serve.add_argument("--pool-workers", type=int, default=0,
-                       help="persistent selection pool size (0 = in-process)")
+                       help="persistent pool size (0 = in-process); per shard "
+                            "when --shards > 1")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="partition users across N engines behind the "
+                            "server (scatter/gather, result-identical)")
+    serve.add_argument("--partitioner", choices=["hash", "grid"], default="hash",
+                       help="user partitioning strategy for --shards > 1")
     serve.add_argument("--verify", action="store_true",
                        help="compare served results against sequential queries")
     serve.set_defaults(func=_cmd_serve)

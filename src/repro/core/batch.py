@@ -64,7 +64,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..serve.pool import PersistentWorkerPool
     from .engine import MaxBRSTkNNEngine
 
-__all__ = ["SharedTopK", "SharedTraversalPool", "query_batch", "execute_batch"]
+__all__ = [
+    "SharedTopK",
+    "SharedTraversalPool",
+    "derive_rsk_group",
+    "query_batch",
+    "execute_batch",
+]
 
 
 @dataclass(slots=True)
@@ -157,6 +163,25 @@ def _ensure_traversal_pool(
     return pool
 
 
+def derive_rsk_group(pool: SharedTraversalPool, k: int) -> float:
+    """``RSk(us)`` at ``k`` from a pool walked at ``pool.k >= k``.
+
+    For ``k == pool.k`` it is the walk's own threshold; for smaller k
+    it is the k-th best candidate lower bound over the pool — exactly
+    the value a dedicated ``k``-walk would have converged to, since any
+    object with a top-k lower bound survives the larger walk.  Shared
+    by the per-k derivation below and the sharded gather
+    (``repro.serve.sharded``), which computes the group threshold once
+    centrally while shards refine per-user thresholds.
+    """
+    if k > pool.k:
+        raise ValueError(f"pool walked at k={pool.k} cannot serve k={k}")
+    if k == pool.k:
+        return pool.traversal.rsk_group
+    lows = sorted((c.lower for c in pool.traversal.all_candidates()), reverse=True)
+    return lows[k - 1] if 0 < k <= len(lows) else 0.0
+
+
 def _derive_shared_topk(
     engine: "MaxBRSTkNNEngine", pool: SharedTraversalPool, k: int, backend: str
 ) -> SharedTopK:
@@ -177,13 +202,7 @@ def _derive_shared_topk(
         return entry
     t0 = time.perf_counter()
     per_user = individual_topk(pool.traversal, engine.dataset, k, backend=backend)
-    if k == pool.k:
-        rsk_group = pool.traversal.rsk_group
-    else:
-        lows = sorted(
-            (c.lower for c in pool.traversal.all_candidates()), reverse=True
-        )
-        rsk_group = lows[k - 1] if 0 < k <= len(lows) else 0.0
+    rsk_group = derive_rsk_group(pool, k)
     elapsed = time.perf_counter() - t0
     entry = SharedTopK(
         rsk={uid: res.kth_score for uid, res in per_user.items()},

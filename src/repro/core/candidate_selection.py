@@ -45,17 +45,28 @@ from .keyword_selection import (
 )
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
-__all__ = ["select_candidate", "LocationShortlist", "shortlist_locations"]
+__all__ = [
+    "select_candidate",
+    "LocationShortlist",
+    "shortlist_locations",
+    "search_shortlists",
+]
 
 
 @dataclass(slots=True)
 class LocationShortlist:
-    """One candidate location with its shortlisted users ``LU_l``."""
+    """One candidate location with its shortlisted users ``LU_l``.
+
+    ``index`` is the location's position in ``query.locations`` — the
+    sequential tie-break order of Algorithm 3's priority queue, which
+    the sharded merge (``repro.core.partial``) must reproduce exactly.
+    """
 
     location: Point
     users: List[User]
     upper_group: float
     lower_group: float
+    index: int = -1
 
 
 def shortlist_locations(
@@ -84,7 +95,7 @@ def shortlist_locations(
     arrays = arrays_for(dataset) if resolve_backend(backend) == "numpy" else None
     shortlists: List[LocationShortlist] = []
     pruned = 0
-    for loc in query.locations:
+    for idx, loc in enumerate(query.locations):
         ub_group = bounds.location_upper_group(loc, query.ox, query.keywords, query.ws, su)
         if ub_group < rsk_group:
             pruned += 1
@@ -106,6 +117,7 @@ def shortlist_locations(
                 users=lu,
                 upper_group=ub_group,
                 lower_group=bounds.location_lower_group(loc, query.ox, su),
+                index=idx,
             )
         )
     return shortlists, pruned
@@ -156,6 +168,41 @@ def select_candidate(
         backend=backend,
     )
     stats.locations_pruned += pruned
+    return search_shortlists(
+        dataset, query, rsk, rsk_group, shortlists,
+        method=method, stats=stats, backend=backend,
+    )
+
+
+def search_shortlists(
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    rsk: Mapping[int, float],
+    rsk_group: float,
+    shortlists: Sequence[LocationShortlist],
+    *,
+    method: str = "approx",
+    stats: Optional[QueryStats] = None,
+    backend: str = "python",
+) -> MaxBRSTkNNResult:
+    """Algorithm 3's best-first search over pre-built shortlists.
+
+    Split out of :func:`select_candidate` so the sharded execution path
+    (``repro.serve.sharded``) can scatter the O(|U|) shortlist phase
+    across shards, merge the per-shard contributions
+    (:func:`repro.core.partial.merge_query_shortlists`), and run this
+    — the aggregate-dependent search — once over the merged lists.  The
+    search's every decision (heap order, early termination, the
+    keyword-free acceptance path, strict-improvement tie-breaking)
+    depends only on the shortlists, ``rsk`` and ``rsk_group``, so
+    identical inputs reproduce the sequential answer and the selection
+    stats exactly.  ``shortlists`` must be ordered by location
+    ``index`` (the order :func:`shortlist_locations` emits).
+    """
+    if method not in ("approx", "exact"):
+        raise ValueError(f"unknown keyword-selection method {method!r}")
+    backend = resolve_backend(backend)
+    stats = stats if stats is not None else QueryStats()
 
     # Max-priority queue on |LU_l| (Algorithm 3's QL).
     heap: List[Tuple[int, int, LocationShortlist]] = []

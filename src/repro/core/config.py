@@ -34,6 +34,7 @@ __all__ = [
     "Method",
     "Mode",
     "Backend",
+    "Partitioner",
     "EngineConfig",
     "QueryOptions",
     "coerce_options",
@@ -88,6 +89,17 @@ class Backend(_CoercingEnum):
         return resolve_backend(self.value)
 
 
+class Partitioner(_CoercingEnum):
+    """User-set partitioning strategy for sharded execution.
+
+    The strategies themselves live in :mod:`repro.datagen.partition`;
+    this enum is the typed configuration handle.
+    """
+
+    HASH = "hash"  # deterministic id mix, statistically even shards
+    GRID = "grid"  # spatial grid cells dealt round-robin, co-located users
+
+
 @dataclass(frozen=True, slots=True)
 class EngineConfig:
     """How a :class:`MaxBRSTkNNEngine` builds its indexes.
@@ -100,11 +112,23 @@ class EngineConfig:
         Also build the MIUR-tree so ``Mode.INDEXED`` is available.
     buffer_pages:
         LRU buffer capacity in pages; 0 = cold queries (paper setting).
+    num_shards:
+        Partition the user set across this many engines behind a
+        :class:`~repro.serve.sharded.ShardedEngine` (scatter/gather
+        execution, results identical to a single engine).  ``1`` (the
+        default) means an ordinary single engine; a plain
+        :class:`MaxBRSTkNNEngine` refuses configs with more shards —
+        build through :func:`repro.serve.sharded.make_engine`.
+    partitioner:
+        How users are split across shards; strings coerce
+        (``"hash"`` / ``"grid"``).  Ignored when ``num_shards == 1``.
     """
 
     fanout: int = DEFAULT_FANOUT
     index_users: bool = False
     buffer_pages: int = 0
+    num_shards: int = 1
+    partitioner: Partitioner = Partitioner.HASH
 
     def __post_init__(self) -> None:
         if not isinstance(self.fanout, int) or self.fanout < 2:
@@ -113,6 +137,12 @@ class EngineConfig:
             raise ValueError(
                 f"buffer_pages must be a non-negative int, got {self.buffer_pages!r}"
             )
+        if not isinstance(self.num_shards, int) or isinstance(self.num_shards, bool) \
+                or self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be an int >= 1, got {self.num_shards!r}"
+            )
+        object.__setattr__(self, "partitioner", Partitioner.coerce(self.partitioner))
 
     def with_(self, **kwargs) -> "EngineConfig":
         """Functional update (frozen dataclass)."""

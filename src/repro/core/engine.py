@@ -61,7 +61,17 @@ class MaxBRSTkNNEngine:
         ``fanout`` / ``index_users`` / ``buffer_pages`` kwargs still
         work and map onto an :class:`EngineConfig`; passing both is an
         error.
+    object_tree:
+        Optional pre-built MIR-tree over the *same* object set to share
+        instead of building one (the sharded serving layer reuses the
+        root engine's tree across all shard engines).
     """
+
+    #: Serving-layer contract (shared with ShardedEngine, which sets
+    #: True): whether the engine owns its worker pools — the server
+    #: wraps pool-less engines in a PersistentWorkerPool and leaves
+    #: pool-owning engines to size their own via start_pools().
+    manages_own_pools = False
 
     def __init__(
         self,
@@ -71,6 +81,7 @@ class MaxBRSTkNNEngine:
         fanout: Optional[int] = None,
         index_users: Optional[bool] = None,
         buffer_pages: Optional[int] = None,
+        object_tree: Optional[MIRTree] = None,
     ) -> None:
         legacy = {
             name: value
@@ -98,14 +109,44 @@ class MaxBRSTkNNEngine:
                 "pass either config=EngineConfig(...) or legacy kwargs, "
                 f"not both (got {sorted(legacy)})"
             )
+        if config.num_shards != 1:
+            raise ValueError(
+                "MaxBRSTkNNEngine executes one partition; for "
+                f"num_shards={config.num_shards} build a "
+                "repro.serve.sharded.ShardedEngine (or make_engine(dataset, config))"
+            )
         self.config = config
         self.dataset = dataset
         self.io = IOCounter()
         buffer = LRUBuffer(config.buffer_pages) if config.buffer_pages > 0 else None
         self.store = PageStore(counter=self.io, buffer=buffer)
-        self.object_tree = MIRTree(
-            dataset.objects, dataset.relevance, fanout=config.fanout
-        )
+        if object_tree is not None:
+            # Share an existing (immutable at query time) MIR-tree built
+            # over the same object set — the sharded serving layer hands
+            # every shard engine the root engine's tree instead of
+            # paying N identical builds.  I/O still charges to *this*
+            # engine's store (read_node takes the store per call).
+            if object_tree._objects.keys() != {o.item_id for o in dataset.objects}:
+                raise ValueError(
+                    "shared object_tree was built over a different object set "
+                    "(object ids do not match this dataset)"
+                )
+            if object_tree.relevance is not dataset.relevance:
+                raise ValueError(
+                    "shared object_tree was built with a different relevance "
+                    "model; its baked-in term weights would disagree with "
+                    "this dataset's scoring"
+                )
+            if object_tree.fanout != config.fanout:
+                raise ValueError(
+                    f"shared object_tree fanout {object_tree.fanout} != "
+                    f"config fanout {config.fanout}"
+                )
+            self.object_tree = object_tree
+        else:
+            self.object_tree = MIRTree(
+                dataset.objects, dataset.relevance, fanout=config.fanout
+            )
         self.user_tree: Optional[MIURTree] = None
         if config.index_users:
             if not dataset.users:
@@ -277,6 +318,20 @@ class MaxBRSTkNNEngine:
         """Drop the shared phase-1 caches used by ``query_batch``."""
         self._shared_topk_cache.clear()
         self._traversal_pool = None
+
+    def prewarm_kernels(self) -> None:
+        """Build the numpy kernel caches up front (server startup hook).
+
+        ``DatasetArrays`` plus the object tree's ``TreeArrays`` — so the
+        first query pays no build cost and pool workers forked later
+        inherit them through copy-on-write.  No-op without numpy.
+        """
+        from .kernels import HAS_NUMPY, arrays_for, tree_arrays_for
+
+        if not HAS_NUMPY:
+            return
+        arrays_for(self.dataset)
+        tree_arrays_for(self.object_tree)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -72,12 +72,22 @@ def _node_rsk(
     bounds: BoundCalculator,
     summary: SuperUser,
     k: int,
+    pool_arrays=None,
 ) -> float:
     """``RSk(node)``: k-th best candidate lower bound w.r.t. the node.
 
     Lower bounds w.r.t. a subtree summary under-estimate every member
     user's STS, so the k-th best is <= every member's true ``RSk(u)``.
+
+    ``pool_arrays`` injects a per-query
+    :class:`~repro.core.kernels.CandidatePoolArrays` (numpy backend):
+    the per-node scalar loop over the candidate pool collapses into a
+    few array passes with **bitwise identical** bound values — the
+    PR 3 convention, so the best-first search visits the same nodes in
+    the same order either way.
     """
+    if pool_arrays is not None:
+        return pool_arrays.node_rsk(summary, k)
     lows: List[float] = []
     for cand in traversal.all_candidates():
         rect = Rect.from_point(cand.obj.location)
@@ -105,6 +115,10 @@ class RootTraversal:
     io_node_visits: int
     io_invfile_blocks: int
     hits: int = 0  # queries served from this entry (introspection)
+    #: Lazily cached flattened candidate pool for the vectorized
+    #: node-RSk kernel — pure, query-independent data, so batched
+    #: queries sharing this traversal build it once, not per query.
+    pool_arrays: Optional[object] = None
 
 
 def compute_root_traversal(
@@ -196,13 +210,26 @@ def indexed_users_maxbrstknn(
             rsk[u.item_id] = results[u.item_id].kth_score
             resolved_users[u.item_id] = u
 
-    # Node-level RSk cache.
+    # Node-level RSk cache, plus the flattened candidate pool the numpy
+    # backend evaluates it against (memoized on the RootTraversal: a
+    # batch sharing one traversal per k flattens the pool once).
     node_rsk_cache: Dict[int, float] = {}
+    pool_arrays = None
+    if backend == "numpy":
+        if shared.pool_arrays is None:
+            from .kernels import CandidatePoolArrays
+
+            shared.pool_arrays = CandidatePoolArrays(
+                dataset, traversal.all_candidates()
+            )
+        pool_arrays = shared.pool_arrays
 
     def rsk_of_node(view: UserNodeView) -> float:
         val = node_rsk_cache.get(view.page_id)
         if val is None:
-            val = _node_rsk(traversal, bounds, view.summary, query.k)
+            val = _node_rsk(
+                traversal, bounds, view.summary, query.k, pool_arrays=pool_arrays
+            )
             node_rsk_cache[view.page_id] = val
         return val
 

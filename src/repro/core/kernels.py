@@ -58,6 +58,7 @@ __all__ = [
     "HAS_NUMPY",
     "BACKENDS",
     "GUARD_EPS",
+    "CandidatePoolArrays",
     "DatasetArrays",
     "TreeArrays",
     "FrontierBounds",
@@ -700,6 +701,91 @@ class FrontierBounds:
             for j in range(ta.ent_indptr[entry], ta.ent_indptr[entry + 1])
             if in_union[j]
         }
+
+
+class CandidatePoolArrays:
+    """Flattened candidate pool for vectorized node-level ``RSk`` bounds.
+
+    The indexed-users pipeline (Section 7) computes, per visited
+    MIUR-tree node, the k-th best candidate *lower* bound w.r.t. the
+    node's summary (``_node_rsk`` in :mod:`repro.core.indexed_users`) —
+    a scalar loop over the whole candidate pool per node, the next
+    Python hot spot after the PR 3 frontier work.  This class flattens
+    the pool **once per query** (point coordinates plus one CSR of
+    ``(term, min weight)`` in ascending term order) and evaluates every
+    candidate's ``LB(o, node)`` as a few array passes per node.
+
+    Exactness contract — the PR 3 convention, not a guard band: every
+    expression mirrors the scalar :class:`~repro.core.bounds
+    .BoundCalculator` operation for operation (point-rect max distance
+    written exactly as ``LpMetric.max_distance_rects`` reads for a
+    degenerate rect; ``MinTS`` summed ascending-term, strictly left to
+    right via :func:`_masked_segment_sums`), so the returned lower
+    bounds — and hence every ``RSk(node)`` and every admission decision
+    of the best-first search — are **bitwise identical** to the scalar
+    path (property-tested in ``tests/core/test_node_rsk_kernel.py``).
+    """
+
+    def __init__(self, dataset: "Dataset", candidates: Sequence) -> None:
+        if not HAS_NUMPY:  # pragma: no cover - guarded by resolve_backend
+            raise RuntimeError("CandidatePoolArrays requires numpy")
+        self.dataset = dataset
+        self.size = len(candidates)
+        self.x = np.array([c.obj.location.x for c in candidates], dtype=np.float64)
+        self.y = np.array([c.obj.location.y for c in candidates], dtype=np.float64)
+        indptr: List[int] = [0]
+        term: List[int] = []
+        minw: List[float] = []
+        for c in candidates:
+            for tid in sorted(c.weights):
+                term.append(tid)
+                minw.append(c.weights[tid][1])
+            indptr.append(len(term))
+        self.indptr = np.array(indptr, dtype=np.intp)
+        self.term = np.array(term, dtype=np.int64)
+        self.minw = np.array(minw, dtype=np.float64)
+        self.max_term = int(self.term.max()) if term else -1
+
+    def node_lower_bounds(self, summary) -> "np.ndarray":
+        """``LB(o, summary)`` for every pooled candidate, scalar-bitwise.
+
+        Mirrors ``BoundCalculator.node_lower`` for a point rect:
+        ``alpha * MaxSS + (1 - alpha) * MinTS``.
+        """
+        ds = self.dataset
+        mbr = summary.mbr
+        # Point-rect max distance exactly as LpMetric.max_distance_rects
+        # with a degenerate rect (min == max == the candidate's point).
+        dx = np.maximum(np.abs(self.x - mbr.min_x), np.abs(mbr.max_x - self.x))
+        dy = np.maximum(np.abs(self.y - mbr.min_y), np.abs(mbr.max_y - self.y))
+        d = _pairwise_norm(dx, dy, ds.metric.p)
+        ss_worst = np.maximum(0.0, np.minimum(1.0, 1.0 - d / ds.dmax))
+        if summary.max_normalizer > 0.0 and summary.intersection_terms:
+            mask = np.zeros(self.max_term + 2, dtype=bool)
+            for t in summary.intersection_terms:
+                if 0 <= t <= self.max_term:
+                    mask[t] = True
+            sums = _masked_segment_sums(self.minw, mask[self.term], self.indptr)
+            mints = np.minimum(1.0, sums / summary.max_normalizer)
+        else:
+            mints = np.zeros(self.size)
+        alpha = ds.alpha
+        return alpha * ss_worst + (1.0 - alpha) * mints
+
+    def node_rsk(self, summary, k: int) -> float:
+        """k-th best candidate lower bound w.r.t. ``summary``.
+
+        Identical to the scalar ``_node_rsk``: the bound values are
+        bitwise-equal, and selecting the order statistic with an O(n)
+        ``np.partition`` returns the same element of the same multiset
+        the scalar sort-then-index picks (no NaNs can occur — every
+        bound is a finite combination of clamped [0, 1] terms).
+        """
+        if self.size < k:
+            return 0.0
+        lows = self.node_lower_bounds(summary)
+        idx = self.size - k
+        return float(np.partition(lows, idx)[idx])
 
 
 def _masked_segment_sums(values, mask, indptr):

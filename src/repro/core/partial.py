@@ -1,0 +1,329 @@
+"""Mergeable per-shard results for sharded MaxBRSTkNN execution.
+
+The sharded serving layer (``repro.serve.sharded``) partitions the
+*user* set across N engines and runs the two O(|U|) phases per shard:
+
+* **refine** (Algorithm 2): each shard resolves exact ``RSk(u)``
+  thresholds for *its* users against the one shared traversal pool —
+  per-user work, independent across users, so per-shard maps are a
+  disjoint cover of the sequential map and merge by plain union;
+* **shortlist** (Algorithm 3's per-user admission test): each shard
+  evaluates ``UBL(l, u) >= RSk(u)`` for its users at every surviving
+  candidate location — again per-user, so per-shard shortlists
+  concatenate into the sequential ``LU_l`` exactly.
+
+Everything *aggregate*-dependent (the group threshold ``RSk(us)``, the
+best-first search with its ``|LU_l|`` heap and tie-breaks) runs once on
+the merged data, which is why sharded answers are identical to the
+single-engine answers: the merge reconstructs the sequential inputs bit
+for bit, and the sequential code consumes them.
+
+Determinism contract of the merge
+---------------------------------
+* ``RSk(u)`` values merge keyed by original user id (stable remapping:
+  shards never renumber users), and a user id appearing in two partials
+  is an error, not a last-write-wins.
+* Each merged ``LU_l`` is ordered by the user's position in the full
+  dataset — the exact order the sequential shortlist scan emits — so
+  every downstream consumer (greedy coverage ties, winner scans) sees
+  the sequential iteration order regardless of shard count.  Within the
+  per-user top-k lists behind each ``RSk(u)``, ties were already broken
+  by (score desc, object id asc); the merge preserves those values
+  untouched, so the summed-RSk / object-id tie-breaking of the
+  sequential pipeline survives sharding exactly.
+* Per-phase times and I/O charges are *summed* across partials; the
+  counters a sequential run reports once (group pruning, location
+  survivors) must agree across shards and are asserted, then counted
+  once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..model.dataset import Dataset
+from ..model.objects import SuperUser
+from .candidate_selection import (
+    LocationShortlist,
+    search_shortlists,
+    shortlist_locations,
+)
+from .joint_topk import JointTraversalResult, individual_topk
+from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+
+__all__ = [
+    "PartialResult",
+    "ShortlistPartial",
+    "MergedThresholds",
+    "compute_partial",
+    "compute_shortlist_partial",
+    "merge_partials",
+    "merge_query_shortlist_ids",
+    "materialize_shortlists",
+    "merge_query_shortlists",
+    "run_merged_search",
+]
+
+
+@dataclass(slots=True)
+class PartialResult:
+    """One shard's phase-1 contribution at one ``k``.
+
+    ``rsk`` holds the exact ``RSk(u)`` of every user living on the
+    shard (original ids).  The values are computed against the globally
+    shared traversal pool, so they are bitwise identical to what the
+    sequential Algorithm 2 produces for the same users.
+    """
+
+    shard_id: int
+    k: int
+    rsk: Dict[int, float]
+    users_total: int
+    time_s: float
+
+
+@dataclass(slots=True)
+class ShortlistPartial:
+    """One shard's phase-2 shortlist contribution for one query.
+
+    ``kept`` lists the surviving candidate locations as
+    ``(location index, UBL(l, us), LBL(l, us))`` — identical on every
+    shard because the group bounds read only the *global* super-user
+    and threshold; ``users`` holds, per surviving location, the shard's
+    shortlisted user ids in the shard's (= dataset's) user order.
+    """
+
+    shard_id: int
+    kept: List[Tuple[int, float, float]]
+    users: List[List[int]]
+    locations_pruned: int
+    time_s: float
+
+
+@dataclass(slots=True)
+class MergedThresholds:
+    """The gathered phase-1 state: a full, sequential-identical rsk map."""
+
+    k: int
+    rsk: Dict[int, float]
+    users_total: int
+    time_s: float  # summed shard refine time (scatter work, not wall clock)
+    shards: int = 0
+    per_shard_users: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Shard-side computations (run in-process or inside pool workers)
+# ----------------------------------------------------------------------
+
+def compute_partial(
+    dataset: Dataset,
+    traversal: JointTraversalResult,
+    k: int,
+    backend: str = "python",
+    shard_id: int = 0,
+) -> PartialResult:
+    """Algorithm 2 for one shard: exact ``RSk(u)`` for the shard's users.
+
+    ``dataset`` is the shard's subset dataset (shared objects/relevance
+    /``dmax``); ``traversal`` is the *global* pool walked at
+    ``k_pool >= k`` (subsumption: every object any user can rank in a
+    top-``k`` survives the larger walk, see
+    :class:`repro.core.batch.SharedTraversalPool`).
+    """
+    t0 = time.perf_counter()
+    per_user = individual_topk(traversal, dataset, k, backend=backend)
+    return PartialResult(
+        shard_id=shard_id,
+        k=k,
+        rsk={uid: res.kth_score for uid, res in per_user.items()},
+        users_total=len(dataset.users),
+        time_s=time.perf_counter() - t0,
+    )
+
+
+def compute_shortlist_partial(
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    rsk: Mapping[int, float],
+    rsk_group: float,
+    super_user: SuperUser,
+    backend: str = "python",
+    shard_id: int = 0,
+) -> ShortlistPartial:
+    """Algorithm 3's shortlist phase for one shard.
+
+    ``super_user`` and ``rsk_group`` are the *global* aggregates: every
+    shard prunes the same locations (the group bound does not depend on
+    which users live here) and admits its own users with the same
+    per-user test the sequential scan applies.
+    """
+    t0 = time.perf_counter()
+    shortlists, pruned = shortlist_locations(
+        dataset, query, rsk, rsk_group, super_user=super_user, backend=backend
+    )
+    return ShortlistPartial(
+        shard_id=shard_id,
+        kept=[(sl.index, sl.upper_group, sl.lower_group) for sl in shortlists],
+        users=[[u.item_id for u in sl.users] for sl in shortlists],
+        locations_pruned=pruned,
+        time_s=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Gather-side reducers
+# ----------------------------------------------------------------------
+
+def merge_partials(partials: Sequence[PartialResult]) -> MergedThresholds:
+    """Union the per-shard ``RSk(u)`` maps into the sequential map.
+
+    Shard contributions are disjoint by construction (each user lives
+    on exactly one shard); an overlap means the partitioner or the
+    scatter is broken, so it raises instead of silently preferring one
+    shard's value.  Per-shard times are summed — the total refine work,
+    which equals the sequential refine cost modulo parallelism.
+    """
+    if not partials:
+        raise ValueError("merge_partials needs at least one partial")
+    ks = {p.k for p in partials}
+    if len(ks) > 1:
+        raise ValueError(f"cannot merge partials across k values {sorted(ks)}")
+    merged: Dict[int, float] = {}
+    total = 0
+    time_s = 0.0
+    per_shard: List[int] = []
+    for p in sorted(partials, key=lambda p: p.shard_id):
+        overlap = merged.keys() & p.rsk.keys()
+        if overlap:
+            raise ValueError(
+                f"shard {p.shard_id} re-reports users {sorted(overlap)[:5]} "
+                "already merged from another shard"
+            )
+        merged.update(p.rsk)
+        total += p.users_total
+        time_s += p.time_s
+        per_shard.append(p.users_total)
+    return MergedThresholds(
+        k=next(iter(ks)),
+        rsk=merged,
+        users_total=total,
+        time_s=time_s,
+        shards=len(partials),
+        per_shard_users=per_shard,
+    )
+
+
+def merge_query_shortlist_ids(
+    partials: Sequence[ShortlistPartial],
+    user_pos: Mapping[int, int],
+) -> Tuple[List[Tuple[int, float, float]], List[List[int]], int]:
+    """Merge shard shortlists at the user-*id* level.
+
+    Every shard must have kept the same locations with the same group
+    bounds (they compute them from identical global inputs; a mismatch
+    is a bug and raises).  The merged id list of each location is
+    ordered by position in the full dataset's user list — exactly the
+    order the sequential scan ``[u for u in users if ...]`` produces.
+    Returns ``(kept, ids_per_location, locations_pruned)`` — the
+    pickle-light form the root search pool ships to workers, which
+    re-materialize :class:`LocationShortlist`\\ s against their
+    copy-on-write full dataset.
+    """
+    if not partials:
+        raise ValueError("merge_query_shortlist_ids needs at least one partial")
+    first = partials[0]
+    for p in partials[1:]:
+        if p.kept != first.kept or p.locations_pruned != first.locations_pruned:
+            raise ValueError(
+                f"shard {p.shard_id} disagrees with shard {first.shard_id} on "
+                "group pruning — global super-user/threshold not shared?"
+            )
+    ids_per_location: List[List[int]] = []
+    for pos in range(len(first.kept)):
+        ids: List[int] = []
+        for p in partials:
+            ids.extend(p.users[pos])
+        ids.sort(key=lambda uid: user_pos[uid])
+        ids_per_location.append(ids)
+    return list(first.kept), ids_per_location, first.locations_pruned
+
+
+def materialize_shortlists(
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    kept: Sequence[Tuple[int, float, float]],
+    ids_per_location: Sequence[Sequence[int]],
+) -> List[LocationShortlist]:
+    """Id-level merged shortlists -> the :class:`LocationShortlist`\\ s
+    :func:`~repro.core.candidate_selection.search_shortlists` consumes.
+
+    ``dataset`` must be the *full* dataset (ids resolve against it).
+    """
+    return [
+        LocationShortlist(
+            location=query.locations[loc_index],
+            users=[dataset.user_by_id(uid) for uid in ids],
+            upper_group=upper_group,
+            lower_group=lower_group,
+            index=loc_index,
+        )
+        for (loc_index, upper_group, lower_group), ids in zip(kept, ids_per_location)
+    ]
+
+
+def run_merged_search(
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    kept: Sequence[Tuple[int, float, float]],
+    ids_per_location: Sequence[Sequence[int]],
+    pruned: int,
+    stats: QueryStats,
+    base_selection_s: float,
+    rsk: Mapping[int, float],
+    rsk_group: float,
+    method: str,
+    backend: str,
+) -> Tuple[MaxBRSTkNNResult, float]:
+    """Gather-side central search for one query over merged shortlists.
+
+    The ONE implementation both execution modes run — the sharded
+    engine's in-process loop and the root search pool's workers — so
+    pooled and in-process execution stay the same code path
+    structurally, not by hand-synced copies.  Materialization is timed
+    inside the search window; ``selection_time_s`` ends up as the
+    shards' shortlist work (``base_selection_s``) plus this call.
+    Returns ``(result, elapsed_s)``.
+    """
+    t0 = time.perf_counter()
+    shortlists = materialize_shortlists(dataset, query, kept, ids_per_location)
+    stats.locations_pruned += pruned
+    result = search_shortlists(
+        dataset, query, rsk, rsk_group, shortlists,
+        method=method, stats=stats, backend=backend,
+    )
+    elapsed = time.perf_counter() - t0
+    stats.selection_time_s = base_selection_s + elapsed
+    result.stats = stats
+    return result, elapsed
+
+
+def merge_query_shortlists(
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    partials: Sequence[ShortlistPartial],
+    user_pos: Optional[Mapping[int, int]] = None,
+) -> Tuple[List[LocationShortlist], int]:
+    """Rebuild the sequential ``LU_l`` shortlists from shard partials.
+
+    Composition of :func:`merge_query_shortlist_ids` (ordering and
+    agreement checks live there) and :func:`materialize_shortlists`.
+    Returns ``(shortlists, locations_pruned)`` with the pruned count
+    taken once (it is a per-query, not per-shard, statistic).
+    """
+    if user_pos is None:
+        user_pos = {u.item_id: i for i, u in enumerate(dataset.users)}
+    kept, ids_per_location, pruned = merge_query_shortlist_ids(partials, user_pos)
+    return materialize_shortlists(dataset, query, kept, ids_per_location), pruned

@@ -33,7 +33,13 @@ from .kernels import HAS_NUMPY
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import MaxBRSTkNNEngine
 
-__all__ = ["EngineCapabilities", "QueryPlan", "plan_query", "plan_batch"]
+__all__ = [
+    "EngineCapabilities",
+    "ShardPlan",
+    "QueryPlan",
+    "plan_query",
+    "plan_batch",
+]
 
 
 def _fork_available() -> bool:
@@ -56,6 +62,15 @@ class EngineCapabilities:
     num_users: int = 0
     num_objects: int = 0
     traversal_pool_k: Optional[int] = None
+    #: > 1 when the engine is a ShardedEngine scattering over user
+    #: partitions; plans then carry a ShardPlan and reject non-joint
+    #: modes (only the joint pipeline has a mergeable decomposition).
+    num_shards: int = 1
+    partitioner: Optional[str] = None
+    shard_users: Tuple[int, ...] = ()
+    #: Width of the sharded engine's gather-side search pool (0 = the
+    #: central searches run in-process).
+    search_workers: int = 0
 
     @classmethod
     def of(cls, engine: "MaxBRSTkNNEngine") -> "EngineCapabilities":
@@ -68,6 +83,37 @@ class EngineCapabilities:
             num_objects=len(engine.dataset.objects),
             traversal_pool_k=pool.k if pool is not None else None,
         )
+
+
+@dataclass(frozen=True, slots=True)
+class ShardPlan:
+    """How a batch scatters over user partitions and gathers back.
+
+    Attributes
+    ----------
+    num_shards / partitioner:
+        The ShardedEngine's layout (``EngineConfig.num_shards`` /
+        ``EngineConfig.partitioner``).
+    scatter_width:
+        Shards that actually receive work — shards with zero users are
+        skipped (their contribution to every merge is empty).
+    shard_users:
+        Per-shard user counts, for ``explain()`` skew reporting.
+    merge:
+        Name of the gather strategy.  ``"ordered-union"``: per-shard
+        ``RSk(u)`` maps union disjointly; per-location shortlists
+        concatenate and re-sort into dataset user order; the best-first
+        search then runs once over the merged inputs, reproducing the
+        sequential tie-breaking (summed RSk thresholds, object-id order
+        inside top-k ties) exactly.
+    """
+
+    num_shards: int
+    partitioner: str
+    scatter_width: int
+    shard_users: Tuple[int, ...] = ()
+    merge: str = "ordered-union"
+    search_workers: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -108,6 +154,9 @@ class QueryPlan:
         best-first search — per-k pools keep batch == sequential exact).
     workers:
         Resolved phase-2 fan-out width; 1 means in-process.
+    shard:
+        Scatter/gather layout when the executing engine is sharded
+        (:class:`ShardPlan`); ``None`` for single-engine execution.
     """
 
     mode: Mode
@@ -119,6 +168,7 @@ class QueryPlan:
     shared_traversal: bool
     workers: int
     shared_traversal_k: Optional[int] = None
+    shard: Optional[ShardPlan] = None
 
     # ------------------------------------------------------------------
     def explain(self) -> str:
@@ -155,6 +205,28 @@ class QueryPlan:
                 "  phase 1 (top-k): cold per query (single-query cost matches "
                 "the paper's per-query setting)"
             )
+        if self.shard is not None:
+            sp = self.shard
+            skew = ""
+            if sp.shard_users:
+                lo, hi = min(sp.shard_users), max(sp.shard_users)
+                skew = f", shard users min/max {lo}/{hi}"
+            lines.append(
+                f"  scatter: width {sp.scatter_width} of {sp.num_shards} shards "
+                f"(partitioner={sp.partitioner}{skew}); per-shard k-sharing: "
+                f"refine once per (walk, k), memoized across batches"
+            )
+            search = (
+                f"per-query searches fan out over the root pool x{sp.search_workers}"
+                if sp.search_workers > 1
+                else "per-query searches run in-process"
+            )
+            lines.append(
+                f"  gather: merge={sp.merge} — disjoint RSk union + per-location "
+                f"shortlist concat in dataset user order, then the sequential "
+                f"best-first search per query ({search}; tie-breaks identical "
+                f"to a single engine)"
+            )
         if self.mode is Mode.INDEXED:
             lines.append(
                 "  phase 2 (best-first MIUR search): in-process per query "
@@ -171,17 +243,44 @@ class QueryPlan:
 
 def _validate(options: QueryOptions, caps: EngineCapabilities) -> str:
     """Shared option/capability checks; returns the concrete backend."""
+    if caps.num_shards > 1 and options.mode is not Mode.JOINT:
+        raise ValueError(
+            f"sharded engines execute mode=joint only (got mode={options.mode}): "
+            "baseline/indexed pipelines have no mergeable per-user decomposition"
+        )
     if options.mode is Mode.INDEXED and not caps.has_user_tree:
         raise ValueError("engine built without index_users=True")
     # Backend.NUMPY without numpy raises resolve()'s canonical RuntimeError.
     return options.backend.resolve()
 
 
+def _shard_plan(caps: EngineCapabilities) -> Optional[ShardPlan]:
+    if caps.num_shards <= 1:
+        return None
+    users = caps.shard_users
+    return ShardPlan(
+        num_shards=caps.num_shards,
+        partitioner=caps.partitioner or "hash",
+        scatter_width=(
+            sum(1 for n in users if n > 0) if users else caps.num_shards
+        ),
+        shard_users=users,
+        search_workers=caps.search_workers,
+    )
+
+
 def plan_query(
     options: QueryOptions, caps: EngineCapabilities, k: int = 0
 ) -> QueryPlan:
-    """Plan one query.  Single queries never share or fan out."""
+    """Plan one query.  Single queries never share or fan out.
+
+    On a sharded engine a single query still scatters (it is executed
+    as a batch of one against the shared pool — ``shared_traversal_k``
+    names the walk, exactly like :func:`plan_batch` does).
+    """
     backend = _validate(options, caps)
+    if caps.num_shards > 1 and k:
+        return plan_batch(options, caps, [k])  # batch of one, shared pool
     return QueryPlan(
         mode=options.mode,
         method=options.method,
@@ -191,6 +290,7 @@ def plan_query(
         shared_topk=False,
         shared_traversal=False,
         workers=1,
+        shard=_shard_plan(caps),
     )
 
 
@@ -212,6 +312,11 @@ def plan_batch(
         and len(ks) > 1
         and not indexed
         and caps.fork_available
+        # Sharded engines get their parallelism from the scatter and
+        # the root search pool (ShardedEngine.start_pools), never from
+        # QueryOptions.workers — plan workers=1 so explain() stays
+        # truthful about what will execute.
+        and caps.num_shards == 1
     )
     distinct_ks = tuple(sorted(set(ks)))
     return QueryPlan(
@@ -234,4 +339,5 @@ def plan_batch(
             if options.mode is Mode.JOINT and distinct_ks
             else None
         ),
+        shard=_shard_plan(caps),
     )

@@ -11,21 +11,29 @@ The top layer of the typed API (see ``repro/core/config.py`` and
   amortizing the per-call fork cost of ``query_batch(workers=N)``;
 * :class:`MaxBRSTkNNServer` — asyncio front-end: ``await
   server.submit(query)`` futures are collected into micro-batches
-  (flush on ``max_batch`` or ``max_wait_ms``) and executed through
+  (flush on ``max_batch`` or ``max_wait_ms``; ``max_wait_ms="auto"``
+  tunes the window from the observed arrival rate) and executed through
   ``query_batch``, so concurrent callers share the top-k phase without
-  coordinating.
+  coordinating;
+* :class:`ShardedEngine` — N partitioned engines over user shards with
+  an exact scatter/gather merge; the server takes either engine type
+  unchanged (``make_engine`` picks by ``EngineConfig.num_shards``).
 
 >>> async with MaxBRSTkNNServer(engine) as server:
 ...     results = await asyncio.gather(*(server.submit(q) for q in qs))
 """
 
-from .config import ServerConfig, ServerStats
+from .config import AdaptiveWaitController, ServerConfig, ServerStats
 from .pool import PersistentWorkerPool
 from .server import MaxBRSTkNNServer
+from .sharded import ShardedEngine, make_engine
 
 __all__ = [
+    "AdaptiveWaitController",
     "MaxBRSTkNNServer",
     "PersistentWorkerPool",
     "ServerConfig",
     "ServerStats",
+    "ShardedEngine",
+    "make_engine",
 ]

@@ -2,11 +2,81 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
+from typing import Union
 
 from ..core.config import QueryOptions
 
-__all__ = ["ServerConfig", "ServerStats"]
+__all__ = ["AdaptiveWaitController", "ServerConfig", "ServerStats"]
+
+
+class AdaptiveWaitController:
+    """EWMA inter-arrival estimator driving ``max_wait_ms="auto"``.
+
+    A fixed micro-batch window is wrong at both ends: under a fast
+    arrival stream a tiny window already collects a full batch (any
+    extra wait is pure latency), while under a sparse stream *no*
+    affordable window collects a second query, so waiting buys nothing.
+    The controller keeps an exponentially weighted moving average of
+    observed inter-arrival times and sizes the window as
+
+    * ``0`` when no second arrival is expected within the ceiling
+      (``ewma >= ceiling_ms``) — flush immediately, batching is hopeless;
+    * otherwise the time to fill the batch at the observed rate,
+      ``ewma * (max_batch - 1)``, clamped into ``[0, ceiling_ms]``.
+
+    The controller is a pure function of the timestamps fed to
+    :meth:`observe` — no clock of its own — so tests drive it with a
+    fake clock (``tests/serve/test_adaptive.py``).
+    """
+
+    def __init__(
+        self, ceiling_ms: float, max_batch: int, smoothing: float = 0.2
+    ) -> None:
+        if not math.isfinite(ceiling_ms) or ceiling_ms < 0:
+            raise ValueError(f"ceiling_ms must be finite and >= 0, got {ceiling_ms!r}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch!r}")
+        if not 0.0 < smoothing <= 1.0:
+            raise ValueError(f"smoothing must be in (0, 1], got {smoothing!r}")
+        self.ceiling_ms = float(ceiling_ms)
+        self.max_batch = int(max_batch)
+        self.smoothing = float(smoothing)
+        self._last_arrival_s: float | None = None
+        self.ewma_ms: float | None = None
+
+    def observe(self, now_s: float) -> None:
+        """Record one arrival at ``now_s`` (seconds, any monotonic clock).
+
+        Inter-arrival gaps are capped at ``ceiling_ms`` before entering
+        the EWMA: a gap longer than the latency budget carries no more
+        information than "slower than the budget", and letting a long
+        idle period inflate the average would pin the window at zero
+        for the head of every post-idle burst (it would take ~1/
+        smoothing arrivals to recover).
+        """
+        if self._last_arrival_s is not None:
+            delta_ms = max(0.0, (now_s - self._last_arrival_s) * 1000.0)
+            delta_ms = min(delta_ms, self.ceiling_ms)
+            if self.ewma_ms is None:
+                self.ewma_ms = delta_ms
+            else:
+                self.ewma_ms = (
+                    self.smoothing * delta_ms
+                    + (1.0 - self.smoothing) * self.ewma_ms
+                )
+        self._last_arrival_s = now_s
+
+    def window_ms(self) -> float:
+        """Current flush window, clamped into ``[0, ceiling_ms]``."""
+        if self.ewma_ms is None:
+            # No inter-arrival signal yet: wait the full budget so the
+            # first burst has a chance to batch.
+            return self.ceiling_ms
+        if self.ewma_ms >= self.ceiling_ms:
+            return 0.0
+        return min(self.ceiling_ms, self.ewma_ms * (self.max_batch - 1))
 
 
 @dataclass(frozen=True, slots=True)
@@ -21,10 +91,19 @@ class ServerConfig:
         Flush at most this long after the first query of a batch
         arrived; ``0`` flushes immediately (micro-batching still picks
         up everything already pending, so concurrent bursts batch).
+        The string ``"auto"`` enables adaptive batching: the window is
+        tuned per batch from an EWMA of observed inter-arrival times
+        (:class:`AdaptiveWaitController`), clamped to
+        ``[0, auto_wait_ceiling_ms]``.
+    auto_wait_ceiling_ms:
+        Upper clamp (latency budget) for the adaptive window; only read
+        when ``max_wait_ms="auto"``.
     pool_workers:
         Size of the persistent fork pool answering selection; ``0``
         (default) runs phase 2 in-process — right for CPU-starved
-        hosts; the pool pays off once real cores are available.
+        hosts; the pool pays off once real cores are available.  For a
+        :class:`~repro.serve.sharded.ShardedEngine` this is the
+        *per-shard* worker count (the engine owns the pools).
     options:
         The :class:`QueryOptions` every submitted query is answered
         with (one server = one contract; run several servers for mixed
@@ -32,21 +111,47 @@ class ServerConfig:
     """
 
     max_batch: int = 32
-    max_wait_ms: float = 2.0
+    max_wait_ms: Union[float, str] = 2.0
     pool_workers: int = 0
     options: QueryOptions = field(default_factory=QueryOptions.default)
+    auto_wait_ceiling_ms: float = 10.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.max_batch, int) or self.max_batch < 1:
             raise ValueError(f"max_batch must be an int >= 1, got {self.max_batch!r}")
-        if self.max_wait_ms < 0:
-            raise ValueError(f"max_wait_ms must be >= 0, got {self.max_wait_ms!r}")
+        if isinstance(self.max_wait_ms, str):
+            if self.max_wait_ms != "auto":
+                raise ValueError(
+                    f"max_wait_ms must be a finite number >= 0 or 'auto', "
+                    f"got {self.max_wait_ms!r}"
+                )
+        elif not math.isfinite(self.max_wait_ms) or self.max_wait_ms < 0:
+            # inf would make partial batches wait forever; NaN fails
+            # every comparison and silently degrades to a zero window.
+            raise ValueError(
+                f"max_wait_ms must be finite and >= 0, got {self.max_wait_ms!r}"
+            )
+        if not math.isfinite(self.auto_wait_ceiling_ms) or self.auto_wait_ceiling_ms < 0:
+            raise ValueError(
+                f"auto_wait_ceiling_ms must be finite and >= 0, "
+                f"got {self.auto_wait_ceiling_ms!r}"
+            )
         if not isinstance(self.pool_workers, int) or self.pool_workers < 0:
             raise ValueError(
                 f"pool_workers must be a non-negative int, got {self.pool_workers!r}"
             )
         if not isinstance(self.options, QueryOptions):
             raise ValueError("options must be a QueryOptions")
+
+    @property
+    def adaptive(self) -> bool:
+        return self.max_wait_ms == "auto"
+
+    def make_wait_controller(self) -> AdaptiveWaitController:
+        """A fresh controller for this config (``"auto"`` mode only)."""
+        if not self.adaptive:
+            raise ValueError("max_wait_ms is fixed; no controller needed")
+        return AdaptiveWaitController(self.auto_wait_ceiling_ms, self.max_batch)
 
     def with_(self, **kwargs) -> "ServerConfig":
         """Functional update (frozen dataclass)."""
@@ -66,6 +171,8 @@ class ServerStats:
     full_flushes: int = 0      # batch reached max_batch
     timeout_flushes: int = 0   # max_wait_ms elapsed first
     drain_flushes: int = 0     # flushed during shutdown drain
+    queue_depth_peak: int = 0  # deepest pending queue seen at a flush
+    last_wait_ms: float = 0.0  # window used by the most recent batch
 
     @property
     def avg_batch_size(self) -> float:
@@ -89,4 +196,6 @@ class ServerStats:
             "full_flushes": self.full_flushes,
             "timeout_flushes": self.timeout_flushes,
             "drain_flushes": self.drain_flushes,
+            "queue_depth_peak": self.queue_depth_peak,
+            "last_wait_ms": round(self.last_wait_ms, 3),
         }

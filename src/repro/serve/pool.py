@@ -31,7 +31,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
     from ..model.dataset import Dataset
 
-__all__ = ["PersistentWorkerPool"]
+__all__ = ["PersistentWorkerPool", "execute_shard_payload"]
 
 #: One phase-2 work chunk: several queries sharing one phase-1 state,
 #: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
@@ -66,6 +66,65 @@ def _run_payload(payload: Payload) -> List["MaxBRSTkNNResult"]:
         _select_one(_WORKER_DATASET, query, shared, mode, method, backend)
         for query in queries
     ]
+
+
+#: One shard-scatter work item (see ``repro.serve.sharded``): either a
+#: refine round — exact RSk(u) for the shard's users at each requested
+#: k against the shared traversal pool — or a shortlist round covering
+#: a whole micro-batch of queries.  The shard's dataset itself never
+#: travels: workers hold it from the fork (COW), in-process execution
+#: passes it explicitly.
+ShardPayload = Tuple  # ("refine", traversal, ks, backend, shard_id) | ("shortlist", ...)
+
+
+def execute_shard_payload(dataset: "Dataset", payload: ShardPayload):
+    """Run one shard task against ``dataset`` (shard subset).
+
+    Shared by the fork-pool workers (``dataset`` = the inherited shard
+    dataset) and the in-process scatter fallback, so both execution
+    modes are the same code path and produce identical partials.
+    """
+    from ..core.partial import compute_partial, compute_shortlist_partial
+
+    kind = payload[0]
+    if kind == "refine":
+        _, traversal, ks, backend, shard_id = payload
+        return [
+            compute_partial(dataset, traversal, k, backend=backend, shard_id=shard_id)
+            for k in ks
+        ]
+    if kind == "shortlist":
+        _, su, queries, rsk_by_k, group_by_k, backend, shard_id = payload
+        return [
+            compute_shortlist_partial(
+                dataset, q, rsk_by_k[q.k], group_by_k[q.k], su,
+                backend=backend, shard_id=shard_id,
+            )
+            for q in queries
+        ]
+    if kind == "search":
+        # Gather-side fan-out: the central best-first searches of a
+        # flush are independent per query, so the sharded engine chunks
+        # them over its *root* pool (dataset = the FULL dataset here).
+        # Each item carries the id-level merged shortlists; the chunk
+        # shares one rsk map (items are grouped per k).  Execution is
+        # the same run_merged_search the in-process loop calls.
+        from ..core.partial import run_merged_search
+
+        _, items, rsk, rsk_group, method, backend = payload
+        out = []
+        for query, kept, ids_per_location, pruned, stats, base_selection_s in items:
+            result, _elapsed = run_merged_search(
+                dataset, query, kept, ids_per_location, pruned, stats,
+                base_selection_s, rsk, rsk_group, method, backend,
+            )
+            out.append(result)
+        return out
+    raise ValueError(f"unknown shard payload kind {kind!r}")
+
+
+def _run_shard_payload(payload: ShardPayload):
+    return execute_shard_payload(_WORKER_DATASET, payload)
 
 
 class PersistentWorkerPool:
@@ -117,6 +176,17 @@ class PersistentWorkerPool:
         if self._closed:
             raise RuntimeError("pool is closed")
         return self._pool.map(_run_payload, list(payloads))
+
+    def run_shard_tasks_async(self, payloads: Sequence[ShardPayload]):
+        """Dispatch shard scatter tasks without blocking.
+
+        Returns the ``multiprocessing`` async result; the sharded
+        engine dispatches to *every* shard's pool first and only then
+        collects, so shards run concurrently even with one worker each.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        return self._pool.map_async(_run_shard_payload, list(payloads))
 
     def close(self) -> None:
         """Shut the workers down (idempotent)."""

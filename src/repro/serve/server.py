@@ -26,7 +26,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from ..core.engine import MaxBRSTkNNEngine
 from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
-from .config import ServerConfig, ServerStats
+from .config import AdaptiveWaitController, ServerConfig, ServerStats
 from .pool import PersistentWorkerPool
 
 __all__ = ["MaxBRSTkNNServer"]
@@ -46,6 +46,12 @@ class MaxBRSTkNNServer:
     One server owns one engine and one :class:`ServerConfig`; every
     submitted query runs with ``config.options``.  All ``submit`` calls
     must come from the event loop the server was started on.
+
+    The engine may be a plain :class:`MaxBRSTkNNEngine` or a
+    :class:`~repro.serve.sharded.ShardedEngine` — the submit/flush path
+    is identical; only worker-pool ownership differs (a sharded engine
+    declares ``manages_own_pools`` and the server starts *its* per-shard
+    pools instead of wrapping it in a selection pool).
     """
 
     def __init__(
@@ -59,6 +65,10 @@ class MaxBRSTkNNServer:
         self._wakeup: Optional[asyncio.Event] = None
         self._flusher: Optional["asyncio.Task[None]"] = None
         self._pool: Optional[PersistentWorkerPool] = None
+        self._wait: Optional[AdaptiveWaitController] = (
+            self.config.make_wait_controller() if self.config.adaptive else None
+        )
+        self._engine_pools_started = False
         self._stopping = False
         self._started = False
 
@@ -82,14 +92,19 @@ class MaxBRSTkNNServer:
         self._loop = asyncio.get_running_loop()
         self._wakeup = asyncio.Event()
         if self.config.options.backend.resolve() == "numpy":
-            from ..core.kernels import arrays_for, tree_arrays_for
-
-            arrays_for(self.engine.dataset)
-            tree_arrays_for(self.engine.object_tree)
+            # Both engine types declare this hook (sharded engines also
+            # build per-shard arrays behind it).
+            self.engine.prewarm_kernels()
         if self.config.pool_workers > 0:
-            self._pool = PersistentWorkerPool(
-                self.engine.dataset, self.config.pool_workers
-            )
+            if self.engine.manages_own_pools:
+                # Sharded engines scatter to their own per-shard pools;
+                # pool_workers sizes each of them.
+                self.engine.start_pools(self.config.pool_workers)
+                self._engine_pools_started = True
+            else:
+                self._pool = PersistentWorkerPool(
+                    self.engine.dataset, self.config.pool_workers
+                )
         self._flusher = asyncio.create_task(self._flush_loop())
         return self
 
@@ -106,6 +121,9 @@ class MaxBRSTkNNServer:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._engine_pools_started:
+            self.engine.close_pools()
+            self._engine_pools_started = False
         self._started = False
 
     async def __aenter__(self) -> "MaxBRSTkNNServer":
@@ -125,6 +143,8 @@ class MaxBRSTkNNServer:
             raise RuntimeError("server is stopping; no new queries accepted")
         assert self._loop is not None and self._wakeup is not None
         future: "asyncio.Future[MaxBRSTkNNResult]" = self._loop.create_future()
+        if self._wait is not None:
+            self._wait.observe(self._loop.time())
         self._pending.append((query, future))
         self.stats.queries_submitted += 1
         self._wakeup.set()
@@ -135,6 +155,24 @@ class MaxBRSTkNNServer:
     ) -> List[MaxBRSTkNNResult]:
         """Submit concurrently; results come back in submission order."""
         return list(await asyncio.gather(*(self.submit(q) for q in queries)))
+
+    def stats_snapshot(self) -> dict:
+        """Server counters plus per-shard and adaptive-window detail.
+
+        Extends :meth:`ServerStats.snapshot` with the sharded engine's
+        per-shard queue depth / flush counters (when the engine exposes
+        ``shard_stats``) and the adaptive controller's current state
+        (when ``max_wait_ms="auto"``).
+        """
+        snap = self.stats.snapshot()
+        shard_stats = getattr(self.engine, "shard_stats", None)
+        if shard_stats is not None:
+            snap["shards"] = shard_stats()
+        if self._wait is not None:
+            snap["adaptive_wait_ms"] = round(self._wait.window_ms(), 3)
+            if self._wait.ewma_ms is not None:
+                snap["adaptive_ewma_ms"] = round(self._wait.ewma_ms, 3)
+        return snap
 
     # ------------------------------------------------------------------
     # Flusher
@@ -151,11 +189,17 @@ class MaxBRSTkNNServer:
                     continue  # raced with a submit between check and clear
                 await self._wakeup.wait()
                 continue
-            # A batch is open: hold it for up to max_wait_ms while more
-            # queries trickle in, unless it fills or we are draining.
+            # A batch is open: hold it for up to the flush window while
+            # more queries trickle in, unless it fills or we are
+            # draining.  The window is the configured max_wait_ms, or —
+            # in "auto" mode — whatever the adaptive controller derives
+            # from the observed arrival rate for *this* batch.
             timed_out = False
-            if cfg.max_wait_ms > 0:
-                deadline = self._loop.time() + cfg.max_wait_ms / 1000.0
+            wait_ms = self._wait.window_ms() if self._wait is not None \
+                else cfg.max_wait_ms
+            self.stats.last_wait_ms = wait_ms
+            if wait_ms > 0:
+                deadline = self._loop.time() + wait_ms / 1000.0
                 while len(self._pending) < cfg.max_batch and not self._stopping:
                     remaining = deadline - self._loop.time()
                     if remaining <= 0:
@@ -167,6 +211,9 @@ class MaxBRSTkNNServer:
                     except asyncio.TimeoutError:
                         timed_out = True
                         break
+            self.stats.queue_depth_peak = max(
+                self.stats.queue_depth_peak, len(self._pending)
+            )
             size = min(cfg.max_batch, len(self._pending))
             batch = [self._pending.popleft() for _ in range(size)]
             if size >= cfg.max_batch:
@@ -175,7 +222,7 @@ class MaxBRSTkNNServer:
                 self.stats.drain_flushes += 1
             elif timed_out:
                 self.stats.timeout_flushes += 1
-            else:  # max_wait_ms == 0: immediate flush of whatever burst arrived
+            else:  # zero window (fixed or adaptive): flush the pending burst
                 self.stats.timeout_flushes += 1
             await self._execute(batch)
 

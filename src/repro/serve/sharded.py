@@ -1,0 +1,626 @@
+"""Sharded execution: N partitioned engines behind one engine facade.
+
+A single :class:`~repro.core.engine.MaxBRSTkNNEngine` is the
+scalability ceiling of the serving stack: however fast the kernels,
+every query's O(|U|) phases — Algorithm 2 refinement and Algorithm 3's
+per-user shortlist — walk the whole user set in one process.  Because
+both phases are *per-user* computations against shared global state,
+the user set partitions cleanly:
+
+* **scatter** — each shard (a full ``MaxBRSTkNNEngine`` over a
+  user-subset dataset sharing the root's object MIR-tree) refines
+  ``RSk(u)`` for its users against the one globally shared traversal
+  pool, and shortlists its users at every surviving candidate location;
+* **gather** — per-shard partials merge back into the exact sequential
+  inputs (:mod:`repro.core.partial`): disjoint ``RSk(u)`` union,
+  per-location shortlists re-ordered into dataset user order;
+* everything **aggregate**-dependent stays central and sequential: the
+  one MIR-tree walk (same I/O trace as a single engine), the group
+  threshold ``RSk(us)``, and the best-first search over merged
+  shortlists (:func:`~repro.core.candidate_selection.search_shortlists`).
+
+The headline guarantee is **result identity**: locations, keyword
+sets, BRSTkNN sets, I/O counters and selection stats all equal the
+single-engine answer, for any shard count and either partitioner —
+property-tested in ``tests/serve/test_sharded.py``.
+
+Execution is in-process by default (deterministic, zero setup); call
+:meth:`ShardedEngine.start_pools` to give every populated shard its own
+:class:`~repro.serve.pool.PersistentWorkerPool` — fork-once workers
+that inherit the shard dataset and its pre-built ``DatasetArrays``
+through copy-on-write — plus a **root search pool** over the full
+dataset: after the gather, the batch's central best-first searches are
+independent per query and fan out there (each worker re-materializes
+the id-level merged shortlists against its copy-on-write dataset and
+runs the *sequential* search code, so exactness is untouched).  A
+whole micro-batch therefore fans out once per shard per phase (one
+refine round, one shortlist round) plus one search round, which is
+what the :class:`~repro.serve.server.MaxBRSTkNNServer` flush path
+rides: the server detects ``manages_own_pools`` and leaves pool
+ownership here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.batch import _ensure_traversal_pool, derive_rsk_group
+from ..core.config import EngineConfig, QueryOptions, coerce_options
+from ..core.engine import MaxBRSTkNNEngine
+from ..core.partial import (
+    MergedThresholds,
+    merge_partials,
+    merge_query_shortlist_ids,
+    run_merged_search,
+)
+from ..core.planner import EngineCapabilities, QueryPlan, plan_batch, plan_query
+from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+from ..datagen.partition import ShardAssignment, UserPartitioner
+from ..model.dataset import Dataset
+from .pool import PersistentWorkerPool, execute_shard_payload
+
+__all__ = ["ShardRuntimeStats", "ShardedEngine", "make_engine"]
+
+
+@dataclass(slots=True)
+class ShardRuntimeStats:
+    """Mutable per-shard counters (surfaced via ``shard_stats()``)."""
+
+    shard_id: int
+    users: int
+    scatter_flushes: int = 0   # scatter rounds dispatched to this shard
+    refine_tasks: int = 0      # (walk, k) refinements executed
+    queries: int = 0           # queries shortlisted on this shard
+    refine_time_s: float = 0.0
+    shortlist_time_s: float = 0.0
+    #: Most work items (queries of a shortlist round, ks of a refine
+    #: round) queued for this shard at the instant of a scatter
+    #: dispatch — the per-shard load signal behind the flush.
+    queue_depth_peak: int = 0
+    pool_workers: int = 0      # 0 = in-process scatter
+
+    def snapshot(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "users": self.users,
+            "pool_workers": self.pool_workers,
+            "scatter_flushes": self.scatter_flushes,
+            "refine_tasks": self.refine_tasks,
+            "queries": self.queries,
+            "queue_depth_peak": self.queue_depth_peak,
+            "refine_ms": round(1000 * self.refine_time_s, 2),
+            "shortlist_ms": round(1000 * self.shortlist_time_s, 2),
+        }
+
+
+@dataclass(slots=True)
+class _Shard:
+    """One partition: engine, pool (optional), counters, rsk cache."""
+
+    shard_id: int
+    engine: MaxBRSTkNNEngine
+    stats: ShardRuntimeStats
+    pool: Optional[PersistentWorkerPool] = None
+    #: Per-k RSk(u) maps for this shard's users (filled by refine
+    #: rounds, value-stable across pool re-walks by subsumption).
+    rsk_by_k: Dict[int, Dict[int, float]] = field(default_factory=dict)
+
+    @property
+    def users(self) -> int:
+        return len(self.engine.dataset.users)
+
+
+class ShardedEngine:
+    """N partitioned engines + scatter/gather merge, one engine surface.
+
+    Drop-in for :class:`MaxBRSTkNNEngine` wherever ``Mode.JOINT``
+    queries are served: ``query`` / ``query_batch`` / ``plan`` /
+    ``capabilities`` / ``clear_topk_cache`` match, and
+    :class:`~repro.serve.server.MaxBRSTkNNServer` takes either engine
+    type unchanged.
+
+    Parameters
+    ----------
+    dataset:
+        The full bichromatic dataset.
+    config:
+        :class:`EngineConfig` with ``num_shards`` (>= 1) and
+        ``partitioner``.  The root engine and every shard engine are
+        built with the same config minus the shard fields; shard
+        engines share the root's object MIR-tree (built once).
+    """
+
+    #: The serving layer must not wrap this engine in its own worker
+    #: pool — scatter parallelism is owned here, per shard.
+    manages_own_pools = True
+
+    def __init__(self, dataset: Dataset, config: Optional[EngineConfig] = None) -> None:
+        config = config if config is not None else EngineConfig()
+        if not isinstance(config, EngineConfig):
+            raise TypeError(f"config must be an EngineConfig, got {type(config).__name__}")
+        if config.index_users:
+            raise ValueError(
+                "sharded serving executes mode=joint only; build with "
+                "index_users=False (the MIUR pipeline has no mergeable split)"
+            )
+        self.config = config
+        self.dataset = dataset
+        base = config.with_(num_shards=1)
+        #: Full-dataset engine: owns the object tree, the page store /
+        #: I/O counter, and the memoized cross-k traversal pool.  The
+        #: one tree walk per pool generation happens HERE — identical
+        #: cost and I/O trace to single-engine serving.
+        self.root = MaxBRSTkNNEngine(dataset, base)
+        partitioner = UserPartitioner(config.partitioner.value, config.num_shards)
+        self.assignment: ShardAssignment
+        self.assignment, shard_datasets = partitioner.split(dataset)
+        self._shards: List[_Shard] = [
+            _Shard(
+                shard_id=i,
+                engine=MaxBRSTkNNEngine(ds, base, object_tree=self.root.object_tree),
+                stats=ShardRuntimeStats(shard_id=i, users=len(ds.users)),
+            )
+            for i, ds in enumerate(shard_datasets)
+        ]
+        self._user_pos: Dict[int, int] = {
+            u.item_id: i for i, u in enumerate(dataset.users)
+        }
+        # Global super-user, built eagerly so (a) every scatter round
+        # ships the same object and (b) fork pools inherit it instead
+        # of rebuilding per worker.
+        self._su = dataset.super_user if dataset.users else None
+        self._merged_by_k: Dict[int, MergedThresholds] = {}
+        self._rsk_group_by_k: Dict[Tuple[int, int], float] = {}
+        self._search_pool: Optional[PersistentWorkerPool] = None
+        self._pools_started = False
+        #: Gather-side accounting: merge + central search wall time and
+        #: search fan-out rounds (``gather_stats()``).
+        self._merge_s = 0.0
+        self._search_s = 0.0
+        self._search_flushes = 0
+
+    # ------------------------------------------------------------------
+    # Introspection / engine-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def object_tree(self):
+        return self.root.object_tree
+
+    @property
+    def io(self):
+        return self.root.io
+
+    @property
+    def traversal_runs(self) -> int:
+        """Tree walks executed — one per pool generation, like a
+        single engine's batch path (shards never walk)."""
+        return self.root.traversal_runs
+
+    @property
+    def shards(self) -> Tuple[_Shard, ...]:
+        return tuple(self._shards)
+
+    def capabilities(self) -> EngineCapabilities:
+        return replace(
+            EngineCapabilities.of(self.root),
+            num_shards=self.config.num_shards,
+            partitioner=self.config.partitioner.value,
+            shard_users=tuple(self.assignment.counts()),
+            search_workers=(
+                self._search_pool.workers if self._search_pool is not None else 0
+            ),
+        )
+
+    def plan(
+        self, options: Optional[QueryOptions] = None, ks: Sequence[int] = ()
+    ) -> QueryPlan:
+        """Resolve options against the sharded layout without executing."""
+        options = options if options is not None else QueryOptions.default()
+        caps = self.capabilities()
+        if ks:
+            return plan_batch(options, caps, list(ks))
+        return plan_query(options, caps)
+
+    def shard_stats(self) -> List[dict]:
+        """Per-shard runtime counters (queue depth, flushes, times)."""
+        return [shard.stats.snapshot() for shard in self._shards]
+
+    def gather_stats(self) -> dict:
+        """Gather-side counters: merge and central-search accounting."""
+        return {
+            "merge_ms": round(1000 * self._merge_s, 2),
+            "search_ms": round(1000 * self._search_s, 2),
+            "search_flushes": self._search_flushes,
+            "search_workers": (
+                self._search_pool.workers if self._search_pool is not None else 0
+            ),
+        }
+
+    def clear_topk_cache(self) -> None:
+        """Drop the shared pool and every merged/per-shard threshold."""
+        self.root.clear_topk_cache()
+        self._merged_by_k.clear()
+        self._rsk_group_by_k.clear()
+        for shard in self._shards:
+            shard.rsk_by_k.clear()
+
+    def reset_io(self) -> None:
+        self.root.reset_io()
+
+    def prewarm_kernels(self) -> None:
+        """Build every numpy cache up front (server startup hook).
+
+        Full-dataset arrays, the shared tree arrays, and each shard's
+        ``DatasetArrays`` — so first-query latency pays no build cost
+        and pools forked later inherit everything via copy-on-write.
+        """
+        from ..core.kernels import HAS_NUMPY, arrays_for, tree_arrays_for
+
+        if not HAS_NUMPY:
+            return
+        arrays_for(self.dataset)
+        tree_arrays_for(self.root.object_tree)
+        for shard in self._shards:
+            if shard.users:
+                arrays_for(shard.engine.dataset)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def start_pools(
+        self,
+        workers_per_shard: int = 1,
+        search_workers: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Fork one persistent pool per populated shard + a search pool.
+
+        Workers inherit their shard dataset (and its pre-built
+        ``DatasetArrays``) via copy-on-write at fork time; scatter
+        rounds then ship only the small per-batch payloads.  The root
+        **search pool** holds the full dataset and answers the
+        gather-side central searches, ``search_workers`` wide (defaults
+        to ``num_shards``; 0 disables it, keeping the searches
+        in-process).  Idempotent start is an error (mirrors the server
+        lifecycle).
+        """
+        if self._pools_started:
+            raise RuntimeError("shard pools already started")
+        if workers_per_shard < 1:
+            raise ValueError(f"workers_per_shard must be >= 1, got {workers_per_shard}")
+        if search_workers is None:
+            search_workers = self.config.num_shards
+        if search_workers < 0:
+            raise ValueError(f"search_workers must be >= 0, got {search_workers}")
+        for shard in self._shards:
+            if shard.users == 0:
+                continue  # nothing will ever be scattered here
+            shard.pool = PersistentWorkerPool(shard.engine.dataset, workers_per_shard)
+            shard.stats.pool_workers = workers_per_shard
+        if search_workers > 0:
+            self._search_pool = PersistentWorkerPool(self.dataset, search_workers)
+        self._pools_started = True
+        return self
+
+    def close_pools(self) -> None:
+        """Shut every shard pool (and the search pool) down (idempotent)."""
+        for shard in self._shards:
+            if shard.pool is not None:
+                shard.pool.close()
+                shard.pool = None
+                shard.stats.pool_workers = 0
+        if self._search_pool is not None:
+            self._search_pool.close()
+            self._search_pool = None
+        self._pools_started = False
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close_pools()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        query: MaxBRSTkNNQuery,
+        options: Union[QueryOptions, str, None] = None,
+        *,
+        method: Optional[str] = None,
+        mode: Optional[str] = None,
+        backend: Optional[str] = None,
+    ) -> MaxBRSTkNNResult:
+        """Answer one query (executed as a scatter/gather batch of one).
+
+        Unlike a cold single-engine ``query``, the shared traversal
+        pool is memoized across calls — thresholds derived from it are
+        value-identical to dedicated walks (PR 3's subsumption
+        guarantee), so results still match sequential queries exactly.
+        """
+        opts = coerce_options(
+            options, method=method, mode=mode, backend=backend,
+            api="ShardedEngine.query",
+        )
+        # Plan as a batch of one directly (not plan_query): a 1-shard
+        # ShardedEngine is indistinguishable from a single engine in
+        # the capabilities, but execution always needs the shared-pool
+        # batch plan (shared_traversal_k) regardless of shard count.
+        plan = plan_batch(opts, self.capabilities(), [query.k])
+        return self._execute_batch([query], plan)[0]
+
+    def query_batch(
+        self,
+        queries: Sequence[MaxBRSTkNNQuery],
+        options: Union[QueryOptions, str, None] = None,
+        *,
+        method: Optional[str] = None,
+        mode: Optional[str] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        pool=None,
+    ) -> List[MaxBRSTkNNResult]:
+        """Answer a batch: one shared walk, one scatter round per phase.
+
+        ``QueryOptions.workers`` does not apply here — parallelism
+        comes from the per-shard and search pools
+        (:meth:`start_pools`); the planner resolves sharded plans to
+        ``workers=1`` so ``explain()`` reflects that.
+        """
+        if pool is not None:
+            raise TypeError(
+                "ShardedEngine owns its per-shard pools (start_pools()); "
+                "an external selection pool cannot be injected"
+            )
+        opts = coerce_options(
+            options, method=method, mode=mode, backend=backend, workers=workers,
+            api="ShardedEngine.query_batch",
+        )
+        if opts.workers != 1:
+            # Scatter/search pools are the only parallelism here; drop
+            # the fork fan-out request before planning so the plan (and
+            # explain()) never claims a pool this engine will not run.
+            opts = opts.with_(workers=1)
+        queries = list(queries)
+        if not queries:
+            return []
+        plan = plan_batch(opts, self.capabilities(), [q.k for q in queries])
+        return self._execute_batch(queries, plan)
+
+    # ------------------------------------------------------------------
+    # Scatter/gather execution
+    # ------------------------------------------------------------------
+    def _execute_batch(
+        self, queries: List[MaxBRSTkNNQuery], plan: QueryPlan
+    ) -> List[MaxBRSTkNNResult]:
+        if self._su is None:
+            raise ValueError("dataset has no users to aggregate")
+        backend = plan.backend
+        if plan.shared_traversal_k is None:
+            # The planner rejects non-joint modes for num_shards > 1;
+            # a 1-shard ShardedEngine is indistinguishable there, so
+            # enforce the joint-only contract here too.
+            raise ValueError(
+                f"sharded execution covers mode=joint only (got mode={plan.mode})"
+            )
+        pool_state = _ensure_traversal_pool(self.root, plan.shared_traversal_k, backend)
+        engaged = [s for s in self._shards if s.users > 0]
+
+        # Phase 1 scatter: refine RSk(u) per shard for every k this
+        # engine has not merged yet (memoized across batches; values
+        # are walk-independent by subsumption, so a pool re-walk does
+        # not invalidate them).
+        need_ks = [k for k in plan.distinct_ks if k not in self._merged_by_k]
+        if need_ks:
+            self._scatter_refine(engaged, pool_state, need_ks, backend)
+        group_by_k = {
+            k: self._group_threshold(pool_state, k) for k in plan.distinct_ks
+        }
+
+        # Phase 2 scatter: one shortlist round covers the whole batch.
+        per_shard_partials = self._scatter_shortlist(
+            engaged, queries, group_by_k, backend
+        )
+
+        # Gather: merge each query's shard shortlists at the id level
+        # (sequential user order restored here).
+        merged_inputs = []
+        for qi, q in enumerate(queries):
+            merged = self._merged_by_k[q.k]
+            stats = QueryStats(
+                users_total=merged.users_total,
+                topk_time_s=pool_state.topk_time_s + merged.time_s,
+                io_node_visits=pool_state.io_node_visits,
+                io_invfile_blocks=pool_state.io_invfile_blocks,
+            )
+            partials = [per_shard[qi] for per_shard in per_shard_partials]
+            t0 = time.perf_counter()
+            kept, ids_per_location, pruned = merge_query_shortlist_ids(
+                partials, self._user_pos
+            )
+            self._merge_s += time.perf_counter() - t0
+            base_selection_s = sum(p.time_s for p in partials)
+            merged_inputs.append(
+                (q, kept, ids_per_location, pruned, stats, base_selection_s)
+            )
+
+        # Central search per query: independent across queries, so the
+        # flush fans out once more over the root search pool when one
+        # is running; otherwise the sequential in-process loop.
+        if self._search_pool is not None and len(queries) > 1:
+            return self._fan_out_searches(merged_inputs, group_by_k, plan)
+        results: List[MaxBRSTkNNResult] = []
+        for q, kept, ids_per_location, pruned, stats, base_selection_s in merged_inputs:
+            merged = self._merged_by_k[q.k]
+            result, elapsed = run_merged_search(
+                self.dataset, q, kept, ids_per_location, pruned, stats,
+                base_selection_s, merged.rsk, group_by_k[q.k],
+                plan.method.value, backend,
+            )
+            self._search_s += elapsed
+            results.append(result)
+        return results
+
+    def _fan_out_searches(
+        self, merged_inputs: List[tuple], group_by_k: Dict[int, float], plan: QueryPlan
+    ) -> List[MaxBRSTkNNResult]:
+        """Chunk the flush's central searches over the root search pool.
+
+        Items are grouped per k so each chunk ships the (O(|U|)-sized)
+        merged rsk map once; within a k group, round-robin chunks keep
+        every worker busy.  Workers run the sequential search code over
+        re-materialized shortlists — results identical to the
+        in-process loop by construction.
+        """
+        assert self._search_pool is not None
+        self._search_flushes += 1
+        by_k: Dict[int, List[int]] = {}
+        for i, item in enumerate(merged_inputs):
+            by_k.setdefault(item[0].k, []).append(i)
+        payloads, index_groups = [], []
+        for k, indices in by_k.items():
+            n_chunks = min(self._search_pool.workers, len(indices))
+            merged = self._merged_by_k[k]
+            for c in range(n_chunks):
+                chunk = indices[c::n_chunks]
+                payloads.append(
+                    ("search", [merged_inputs[i] for i in chunk], merged.rsk,
+                     group_by_k[k], plan.method.value, plan.backend)
+                )
+                index_groups.append(chunk)
+        t0 = time.perf_counter()
+        groups = self._search_pool.run_shard_tasks_async(payloads).get()
+        self._search_s += time.perf_counter() - t0
+        results: List[Optional[MaxBRSTkNNResult]] = [None] * len(merged_inputs)
+        for indices, group in zip(index_groups, groups):
+            for i, result in zip(indices, group):
+                results[i] = result
+        return results  # type: ignore[return-value]
+
+    def _group_threshold(self, pool_state, k: int) -> float:
+        """``RSk(us)`` memoized per (walk, k) — central, O(pool)."""
+        key = (pool_state.k, k)
+        value = self._rsk_group_by_k.get(key)
+        if value is None:
+            value = derive_rsk_group(pool_state, k)
+            self._rsk_group_by_k[key] = value
+        return value
+
+    def _scatter_refine(
+        self, engaged: List[_Shard], pool_state, ks: List[int], backend: str
+    ) -> None:
+        """One refine round: every engaged shard, all missing ks.
+
+        The k list is chunked across each shard pool's workers (like
+        the shortlist round) so a multi-worker shard refines several ks
+        concurrently; with one worker the whole list rides one payload
+        and the traversal pool pickles once.
+        """
+
+        def payloads_for(shard: _Shard) -> List[tuple]:
+            n_chunks = max(1, min(
+                shard.pool.workers if shard.pool is not None else 1, len(ks)
+            ))
+            return [
+                ("refine", pool_state.traversal, ks[c::n_chunks], backend,
+                 shard.shard_id)
+                for c in range(n_chunks)
+            ]
+
+        for shard in engaged:
+            shard.stats.queue_depth_peak = max(
+                shard.stats.queue_depth_peak, len(ks)
+            )
+        returned = self._dispatch(engaged, payloads_for)
+        by_k: Dict[int, List] = {k: [] for k in ks}
+        for shard, chunks in zip(engaged, returned):
+            shard.stats.refine_tasks += len(ks)
+            for partial in (p for chunk in chunks for p in chunk):
+                shard.stats.refine_time_s += partial.time_s
+                shard.rsk_by_k[partial.k] = partial.rsk
+                by_k[partial.k].append(partial)
+        for k in ks:
+            self._merged_by_k[k] = merge_partials(by_k[k])
+
+    def _scatter_shortlist(
+        self,
+        engaged: List[_Shard],
+        queries: List[MaxBRSTkNNQuery],
+        group_by_k: Dict[int, float],
+        backend: str,
+    ) -> List[List]:
+        """One shortlist round: the whole batch fans out once per shard.
+
+        Returns, per engaged shard, the per-query
+        :class:`~repro.core.partial.ShortlistPartial` list in query
+        order.  Shards with multi-worker pools split the batch into
+        per-worker chunks; order is restored on collect.
+        """
+
+        def payloads_for(shard: _Shard) -> List[tuple]:
+            rsk_by_k = {k: shard.rsk_by_k[k] for k in group_by_k}
+            n_chunks = max(1, min(
+                shard.pool.workers if shard.pool is not None else 1, len(queries)
+            ))
+            return [
+                ("shortlist", self._su, queries[c::n_chunks], rsk_by_k,
+                 group_by_k, backend, shard.shard_id)
+                for c in range(n_chunks)
+            ]
+
+        for shard in engaged:
+            shard.stats.queue_depth_peak = max(
+                shard.stats.queue_depth_peak, len(queries)
+            )
+        returned = self._dispatch(engaged, payloads_for)
+        results: List[List] = []
+        for shard, chunks in zip(engaged, returned):
+            n_chunks = len(chunks)
+            ordered = [None] * len(queries)
+            for c, chunk in enumerate(chunks):
+                for offset, partial in enumerate(chunk):
+                    ordered[c + offset * n_chunks] = partial
+                    shard.stats.shortlist_time_s += partial.time_s
+            shard.stats.queries += len(queries)
+            results.append(ordered)
+        return results
+
+    def _dispatch(self, engaged: List[_Shard], payloads_for) -> List[List]:
+        """Scatter payloads to every engaged shard, collect in order.
+
+        Pool-backed shards receive their payloads via ``map_async`` —
+        all dispatches happen before any collect, so shard pools run
+        concurrently — while pool-less shards execute in-process (the
+        deterministic fallback; identical partials either way because
+        both run :func:`~repro.serve.pool.execute_shard_payload`).
+        """
+        async_handles: List[Tuple[int, object]] = []
+        returned: List[Optional[List]] = [None] * len(engaged)
+        plans: List[List[tuple]] = []
+        for i, shard in enumerate(engaged):
+            payloads = payloads_for(shard)
+            plans.append(payloads)
+            shard.stats.scatter_flushes += 1
+            if shard.pool is not None:
+                async_handles.append((i, shard.pool.run_shard_tasks_async(payloads)))
+        for i, shard in enumerate(engaged):
+            if shard.pool is None:
+                returned[i] = [
+                    execute_shard_payload(shard.engine.dataset, payload)
+                    for payload in plans[i]
+                ]
+        for i, handle in async_handles:
+            returned[i] = handle.get()
+        return returned  # type: ignore[return-value]
+
+
+def make_engine(
+    dataset: Dataset, config: Optional[EngineConfig] = None
+) -> Union[MaxBRSTkNNEngine, ShardedEngine]:
+    """Build the right engine for ``config``: sharded iff ``num_shards > 1``."""
+    config = config if config is not None else EngineConfig()
+    if config.num_shards > 1:
+        return ShardedEngine(dataset, config)
+    return MaxBRSTkNNEngine(dataset, config)

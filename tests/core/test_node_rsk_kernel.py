@@ -1,0 +1,87 @@
+"""Vectorized ``_node_rsk``: bitwise identity with the scalar path."""
+
+import random
+
+import pytest
+
+from repro import Dataset, EngineConfig, MaxBRSTkNNEngine
+from repro.core.bounds import BoundCalculator
+from repro.core.indexed_users import _node_rsk, compute_root_traversal
+from repro.core.kernels import HAS_NUMPY
+
+from ..conftest import make_random_objects, make_random_users
+
+pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy kernels")
+
+
+def walk_summaries(user_tree):
+    """Every node summary of the MIUR-tree (root to leaves)."""
+    stack = [user_tree.root]
+    while stack:
+        node = stack.pop()
+        yield node.summary
+        children, _ = user_tree.read_children(node, None)
+        stack.extend(children)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_node_rsk_bitwise_identical_on_random_trees(seed):
+    rng = random.Random(seed)
+    measure = ["LM", "TF", "KO"][seed % 3]
+    dataset = Dataset(
+        make_random_objects(50 + 10 * (seed % 3), 18, rng),
+        make_random_users(18 + seed, 18, rng),
+        relevance=measure,
+        alpha=0.3 + 0.2 * (seed % 3),
+    )
+    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+    bounds = BoundCalculator(dataset)
+    from repro.core.kernels import CandidatePoolArrays
+
+    for k in (1, 2, 5, 9):
+        shared = compute_root_traversal(
+            engine.object_tree, engine.user_tree, dataset, k, store=engine.store
+        )
+        arrays = CandidatePoolArrays(dataset, shared.traversal.all_candidates())
+        checked = 0
+        for summary in walk_summaries(engine.user_tree):
+            scalar = _node_rsk(shared.traversal, bounds, summary, k)
+            vectorized = _node_rsk(
+                shared.traversal, bounds, summary, k, pool_arrays=arrays
+            )
+            assert scalar == vectorized  # bitwise, not approx
+            checked += 1
+        assert checked >= 1
+
+
+def test_empty_pool_returns_zero():
+    rng = random.Random(1)
+    dataset = Dataset(
+        make_random_objects(20, 10, rng),
+        make_random_users(6, 10, rng),
+        relevance="LM",
+    )
+    from repro.core.kernels import CandidatePoolArrays
+
+    arrays = CandidatePoolArrays(dataset, [])
+    assert arrays.node_rsk(dataset.super_user, 1) == 0.0
+
+
+def test_pool_smaller_than_k_matches_scalar():
+    rng = random.Random(2)
+    dataset = Dataset(
+        make_random_objects(25, 10, rng),
+        make_random_users(8, 10, rng),
+        relevance="LM",
+    )
+    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+    shared = compute_root_traversal(
+        engine.object_tree, engine.user_tree, dataset, 2, store=engine.store
+    )
+    from repro.core.kernels import CandidatePoolArrays
+
+    arrays = CandidatePoolArrays(dataset, shared.traversal.all_candidates())
+    big_k = len(shared.traversal.all_candidates()) + 1
+    bounds = BoundCalculator(dataset)
+    assert _node_rsk(shared.traversal, bounds, dataset.super_user, big_k) == 0.0
+    assert arrays.node_rsk(dataset.super_user, big_k) == 0.0

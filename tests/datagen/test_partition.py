@@ -1,0 +1,144 @@
+"""UserPartitioner: strategies, stability, and edge cases."""
+
+import random
+
+import pytest
+
+from repro import Dataset, User
+from repro.datagen.partition import (
+    PARTITIONERS,
+    UserPartitioner,
+    partition_users,
+)
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build_dataset(n_users=24, seed=0, users=None):
+    rng = random.Random(seed)
+    objects = make_random_objects(30, 12, rng)
+    if users is None:
+        users = make_random_users(n_users, 12, rng)
+    return Dataset(objects, users, relevance="LM", alpha=0.5)
+
+
+class TestAssignmentInvariants:
+    @pytest.mark.parametrize("strategy", PARTITIONERS)
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 4, 7])
+    def test_disjoint_cover_in_dataset_order(self, strategy, num_shards):
+        dataset = build_dataset()
+        assignment = UserPartitioner(strategy, num_shards).assign(dataset)
+        assert len(assignment.shard_user_ids) == num_shards
+        all_ids = [uid for ids in assignment.shard_user_ids for uid in ids]
+        assert sorted(all_ids) == sorted(u.item_id for u in dataset.users)
+        assert len(all_ids) == len(set(all_ids))  # disjoint
+        order = {u.item_id: i for i, u in enumerate(dataset.users)}
+        for ids in assignment.shard_user_ids:
+            # every shard keeps the dataset's user order (the merge relies on it)
+            assert ids == sorted(ids, key=lambda uid: order[uid])
+        for uid in all_ids:
+            assert uid in assignment.shard_of
+
+    @pytest.mark.parametrize("strategy", PARTITIONERS)
+    def test_stable_across_calls(self, strategy):
+        dataset = build_dataset(seed=3)
+        a = UserPartitioner(strategy, 4).assign(dataset)
+        b = UserPartitioner(strategy, 4).assign(dataset)
+        assert a.shard_user_ids == b.shard_user_ids
+        assert a.shard_of == b.shard_of
+
+    @pytest.mark.parametrize("strategy", PARTITIONERS)
+    def test_split_shares_scoring_context(self, strategy):
+        dataset = build_dataset(seed=1)
+        _, shard_datasets = partition_users(dataset, 3, strategy)
+        assert len(shard_datasets) == 3
+        for shard_ds in shard_datasets:
+            assert shard_ds.objects is dataset.objects
+            assert shard_ds.relevance is dataset.relevance
+            assert shard_ds.dmax == dataset.dmax
+            for u in shard_ds.users:  # same User objects, same ids
+                assert dataset.user_by_id(u.item_id) is u
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            UserPartitioner("zorp", 2)
+        with pytest.raises(ValueError, match="num_shards"):
+            UserPartitioner("hash", 0)
+
+
+class TestEdgeCases:
+    def test_more_shards_than_users_leaves_empty_shards(self):
+        dataset = build_dataset(n_users=3, seed=5)
+        for strategy in PARTITIONERS:
+            assignment = UserPartitioner(strategy, 8).assign(dataset)
+            assert sum(assignment.counts()) == 3
+            assert len([c for c in assignment.counts() if c == 0]) >= 5
+
+    def test_single_user(self):
+        dataset = build_dataset(n_users=1, seed=6)
+        for strategy in PARTITIONERS:
+            assignment = UserPartitioner(strategy, 4).assign(dataset)
+            assert sum(assignment.counts()) == 1
+
+    def test_zero_users(self):
+        dataset = build_dataset().with_users([])
+        for strategy in PARTITIONERS:
+            assignment = UserPartitioner(strategy, 4).assign(dataset)
+            assert assignment.counts() == [0, 0, 0, 0]
+            assert assignment.largest_skew() == 1.0
+
+    def test_grid_all_users_in_one_cell(self):
+        # Identical locations -> one grid cell -> one shard gets all.
+        users = [
+            User(item_id=i, location=Point(2.0, 2.0), terms={i % 3: 1})
+            for i in range(10)
+        ]
+        dataset = build_dataset(users=users)
+        assignment = UserPartitioner("grid", 4).assign(dataset)
+        assert sorted(assignment.counts()) == [0, 0, 0, 10]
+
+    def test_duplicate_user_locations_split_by_hash(self):
+        users = [
+            User(item_id=i, location=Point(1.0, 1.0), terms={i % 3: 1})
+            for i in range(16)
+        ]
+        dataset = build_dataset(users=users)
+        assignment = UserPartitioner("hash", 4).assign(dataset)
+        # hash ignores geometry: colocated users still spread out
+        assert max(assignment.counts()) < 16
+
+    def test_grid_prefers_colocation(self):
+        # Two tight clusters far apart: grid keeps each on one shard.
+        users = [
+            User(item_id=i, location=Point(0.1 + 0.001 * i, 0.1), terms={0: 1})
+            for i in range(8)
+        ] + [
+            User(item_id=100 + i, location=Point(9.9 - 0.001 * i, 9.9), terms={1: 1})
+            for i in range(8)
+        ]
+        dataset = build_dataset(users=users)
+        assignment = UserPartitioner("grid", 2).assign(dataset)
+        shards_of_cluster_a = {assignment.shard_of[i] for i in range(8)}
+        shards_of_cluster_b = {assignment.shard_of[100 + i] for i in range(8)}
+        assert len(shards_of_cluster_a) == 1
+        assert len(shards_of_cluster_b) == 1
+        assert shards_of_cluster_a != shards_of_cluster_b
+
+
+class TestSubsetUsers:
+    def test_subset_preserves_order_and_ids(self):
+        dataset = build_dataset(seed=2)
+        wanted = [u.item_id for u in dataset.users[::2]]
+        subset = dataset.subset_users(reversed(wanted))
+        assert [u.item_id for u in subset.users] == wanted  # dataset order
+        assert subset.dmax == dataset.dmax
+
+    def test_subset_unknown_id_raises(self):
+        dataset = build_dataset()
+        with pytest.raises(KeyError):
+            dataset.subset_users([10**9])
+
+    def test_empty_subset_allowed(self):
+        dataset = build_dataset()
+        assert dataset.subset_users([]).users == []

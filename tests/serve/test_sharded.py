@@ -1,0 +1,341 @@
+"""ShardedEngine: result identity with a single engine, plus plumbing.
+
+The headline property: for randomized datasets and mixed-k batches, a
+``ShardedEngine`` returns *exactly* the single-engine answer — results
+(location, keywords, BRSTkNN), I/O counters and selection stats — for
+shards in {1, 2, 4}, both partitioners, both backends and both keyword
+selectors.
+"""
+
+import asyncio
+import multiprocessing
+import random
+
+import pytest
+
+from repro import (
+    Dataset,
+    EngineConfig,
+    MaxBRSTkNNEngine,
+    MaxBRSTkNNQuery,
+    QueryOptions,
+    STObject,
+)
+from repro.core.kernels import HAS_NUMPY
+from repro.serve import MaxBRSTkNNServer, ServerConfig, ShardedEngine, make_engine
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def build_dataset(seed=0, n_obj=70, n_users=24, vocab=18):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    measure = ["LM", "TF", "KO"][seed % 3]
+    return Dataset(objects, users, relevance=measure, alpha=0.5), rng, vocab
+
+
+def make_queries(rng, vocab, count, ks=(3, 5)):
+    queries = []
+    for i in range(count):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(4)
+                ],
+                keywords=sorted(rng.sample(range(vocab), 6)),
+                ws=2,
+                k=ks[i % len(ks)],
+            )
+        )
+    return queries
+
+
+def assert_results_equal(a, b):
+    assert a.location == b.location
+    assert a.keywords == b.keywords
+    assert a.brstknn == b.brstknn
+
+
+def assert_stats_equal(a, b):
+    """Non-time stats must match the single-engine batch exactly."""
+    assert a.stats.users_total == b.stats.users_total
+    assert a.stats.io_node_visits == b.stats.io_node_visits
+    assert a.stats.io_invfile_blocks == b.stats.io_invfile_blocks
+    assert a.stats.locations_pruned == b.stats.locations_pruned
+    assert a.stats.keyword_combinations_scored == b.stats.keyword_combinations_scored
+
+
+class TestEquivalenceProperty:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("partitioner", ["hash", "grid"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_sharded_equals_single_engine_batch(self, seed, partitioner, num_shards):
+        dataset, rng, vocab = build_dataset(seed=seed)
+        queries = make_queries(rng, vocab, 6, ks=(2, 4, 6))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        options = QueryOptions(backend="python")
+        reference = single.query_batch(queries, options)
+
+        sharded = ShardedEngine(
+            dataset,
+            EngineConfig(fanout=4, num_shards=num_shards, partitioner=partitioner),
+        )
+        results = sharded.query_batch(queries, options)
+        assert sharded.traversal_runs == 1  # one walk, like the single engine
+        for a, b in zip(reference, results):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    @pytest.mark.parametrize("method", ["approx", "exact"])
+    def test_both_selectors(self, method):
+        dataset, rng, vocab = build_dataset(seed=7)
+        queries = make_queries(rng, vocab, 4, ks=(3,))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        options = QueryOptions(method=method, backend="python")
+        reference = single.query_batch(queries, options)
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=3))
+        for a, b in zip(reference, sharded.query_batch(queries, options)):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend")
+    def test_numpy_backend_matches_python_reference(self):
+        dataset, rng, vocab = build_dataset(seed=4)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = single.query_batch(queries, QueryOptions(backend="python"))
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=2, partitioner="grid")
+        )
+        for a, b in zip(
+            reference, sharded.query_batch(queries, QueryOptions(backend="numpy"))
+        ):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    def test_single_query_matches_sequential(self):
+        dataset, rng, vocab = build_dataset(seed=2)
+        query = make_queries(rng, vocab, 1, ks=(4,))[0]
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        solo = single.query(query, QueryOptions(backend="python"))
+        # num_shards=1 included: query() must work on the degenerate
+        # sharded layout too (it plans as a batch of one either way).
+        for num_shards in (1, 2):
+            sharded = ShardedEngine(
+                dataset, EngineConfig(fanout=4, num_shards=num_shards)
+            )
+            assert_results_equal(
+                solo, sharded.query(query, QueryOptions(backend="python"))
+            )
+
+    def test_consecutive_batches_reuse_the_walk_and_thresholds(self):
+        dataset, rng, vocab = build_dataset(seed=1)
+        queries = make_queries(rng, vocab, 4, ks=(3,))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = single.query_batch(queries, QueryOptions(backend="python"))
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        first = sharded.query_batch(queries, QueryOptions(backend="python"))
+        second = sharded.query_batch(queries, QueryOptions(backend="python"))
+        assert sharded.traversal_runs == 1
+        for shard in sharded.shards:
+            assert shard.stats.refine_tasks == 1  # memoized across batches
+        for a, b, c in zip(reference, first, second):
+            assert_results_equal(a, b)
+            assert_results_equal(a, c)
+
+
+class TestEdgeCases:
+    def test_more_shards_than_users(self):
+        dataset, rng, vocab = build_dataset(seed=3, n_users=3)
+        queries = make_queries(rng, vocab, 3, ks=(2,))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = single.query_batch(queries, QueryOptions(backend="python"))
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=8))
+        plan = sharded.plan(QueryOptions(), ks=[2])
+        assert plan.shard is not None
+        assert plan.shard.scatter_width <= 3  # empty shards never engaged
+        for a, b in zip(
+            reference, sharded.query_batch(queries, QueryOptions(backend="python"))
+        ):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    def test_colocated_users_on_grid(self):
+        rng = random.Random(9)
+        from repro.model.objects import User
+
+        objects = make_random_objects(50, 14, rng)
+        users = [
+            User(item_id=i, location=Point(3.0, 3.0), terms={t: 1})
+            for i, t in enumerate(rng.choices(range(14), k=12))
+        ]
+        dataset = Dataset(objects, users, relevance="LM", alpha=0.5)
+        queries = make_queries(rng, 14, 3, ks=(3,))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = single.query_batch(queries, QueryOptions(backend="python"))
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=4, partitioner="grid")
+        )
+        # every user in one grid cell -> a single engaged shard
+        assert sorted(sharded.assignment.counts()) == [0, 0, 0, 12]
+        for a, b in zip(
+            reference, sharded.query_batch(queries, QueryOptions(backend="python"))
+        ):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    def test_empty_batch(self):
+        dataset, _, _ = build_dataset(seed=5)
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        assert sharded.query_batch([]) == []
+
+
+class TestValidation:
+    def test_plain_engine_rejects_shard_config(self):
+        dataset, _, _ = build_dataset()
+        with pytest.raises(ValueError, match="ShardedEngine"):
+            MaxBRSTkNNEngine(dataset, EngineConfig(num_shards=2))
+
+    def test_sharded_rejects_non_joint_modes(self):
+        dataset, rng, vocab = build_dataset()
+        query = make_queries(rng, vocab, 1)[0]
+        # num_shards=1 included: the planner cannot tell a 1-shard
+        # ShardedEngine apart, so the engine enforces joint-only itself.
+        for num_shards in (1, 2):
+            sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=num_shards))
+            for mode in ("baseline", "indexed"):
+                # (1, indexed) trips the planner's user-tree check first;
+                # every other combination hits the joint-only guard.
+                with pytest.raises(ValueError, match="joint|index_users"):
+                    sharded.query(query, QueryOptions(mode=mode))
+
+    def test_sharded_rejects_index_users(self):
+        dataset, _, _ = build_dataset()
+        with pytest.raises(ValueError, match="joint"):
+            ShardedEngine(dataset, EngineConfig(num_shards=2, index_users=True))
+
+    def test_sharded_rejects_external_pool(self):
+        dataset, rng, vocab = build_dataset()
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        with pytest.raises(TypeError, match="per-shard pools"):
+            sharded.query_batch(make_queries(rng, vocab, 2), pool=object())
+
+    def test_make_engine_dispatch(self):
+        dataset, _, _ = build_dataset()
+        assert isinstance(make_engine(dataset, EngineConfig(fanout=4)), MaxBRSTkNNEngine)
+        assert isinstance(
+            make_engine(dataset, EngineConfig(fanout=4, num_shards=2)), ShardedEngine
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            EngineConfig(num_shards=0)
+        with pytest.raises(ValueError, match="partitioner"):
+            EngineConfig(partitioner="zorp")
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="shard pools require fork")
+class TestPools:
+    def test_pool_backed_scatter_matches_in_process(self):
+        dataset, rng, vocab = build_dataset(seed=6)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = single.query_batch(queries, QueryOptions(backend="python"))
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        sharded.start_pools(1, search_workers=2)
+        try:
+            results = sharded.query_batch(queries, QueryOptions(backend="python"))
+        finally:
+            sharded.close_pools()
+        for a, b in zip(reference, results):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+        for shard in sharded.shards:
+            if shard.users:
+                assert shard.stats.scatter_flushes >= 1
+
+    def test_double_start_raises_and_close_is_idempotent(self):
+        dataset, _, _ = build_dataset()
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        sharded.start_pools(1, search_workers=0)
+        with pytest.raises(RuntimeError):
+            sharded.start_pools(1)
+        sharded.close_pools()
+        sharded.close_pools()
+
+
+class TestServerIntegration:
+    def test_server_takes_sharded_engine_unchanged(self):
+        dataset, rng, vocab = build_dataset(seed=8)
+        queries = make_queries(rng, vocab, 8, ks=(3, 5))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        reference = [
+            single.query(q, QueryOptions(backend="python")) for q in queries
+        ]
+        engine = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+
+        async def run():
+            async with MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=4, max_wait_ms=2.0)
+            ) as server:
+                results = await server.submit_many(queries)
+                snapshot = server.stats_snapshot()
+            return results, snapshot
+
+        results, snapshot = asyncio.run(run())
+        for a, b in zip(reference, results):
+            assert_results_equal(a, b)
+        # satellite: per-shard queue depth / flush counters surfaced
+        assert "shards" in snapshot
+        assert len(snapshot["shards"]) == 2
+        for row in snapshot["shards"]:
+            assert row["scatter_flushes"] >= 1
+            assert "queue_depth_peak" in row
+        assert snapshot["queue_depth_peak"] >= 1
+
+    @pytest.mark.skipif(not HAS_FORK, reason="shard pools require fork")
+    def test_server_starts_and_stops_engine_pools(self):
+        dataset, rng, vocab = build_dataset(seed=9)
+        queries = make_queries(rng, vocab, 4, ks=(3,))
+        engine = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+
+        async def run():
+            async with MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=4, max_wait_ms=1.0, pool_workers=1)
+            ) as server:
+                assert engine._pools_started
+                return await server.submit_many(queries)
+
+        results = asyncio.run(run())
+        assert len(results) == 4
+        assert not engine._pools_started  # closed on server stop
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        for q, served in zip(queries, results):
+            assert_results_equal(single.query(q, QueryOptions(backend="python")), served)
+
+
+class TestPlanner:
+    def test_plan_reports_scatter_and_merge(self):
+        dataset, _, _ = build_dataset()
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=4, partitioner="grid")
+        )
+        text = sharded.plan(QueryOptions(), ks=[3, 5]).explain()
+        assert "scatter: width" in text
+        assert "partitioner=grid" in text
+        assert "merge=ordered-union" in text
+        assert "k-sharing" in text
+
+    def test_shard_plan_absent_on_single_engine(self):
+        dataset, _, _ = build_dataset()
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        assert engine.plan(QueryOptions(), ks=[3]).shard is None

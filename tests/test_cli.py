@@ -57,6 +57,34 @@ class TestCLI:
         assert "served 6 concurrent queries" in out
         assert "verify: served results == sequential" in out
 
+    def test_serve_sharded_with_auto_wait_verifies(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--queries", "6", "--max-batch", "4",
+            "--shards", "2", "--partitioner", "grid", "--max-wait-ms", "auto",
+            "--verify", "--explain",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scatter: width" in out
+        assert "shard[0]:" in out  # per-shard counters surfaced
+        assert "adaptive_wait_ms" in out
+        assert "verify: served results == sequential on 6 queries (shards=2)" in out
+
+    def test_serve_rejects_bad_max_wait(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--queries", "2",
+            "--max-wait-ms", "soon",
+        ])
+        assert rc == 2
+
+    def test_serve_rejects_sharded_non_joint(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--queries", "2",
+            "--shards", "2", "--mode", "indexed",
+        ])
+        assert rc == 2
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
