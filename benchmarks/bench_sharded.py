@@ -20,10 +20,17 @@ dispatch) — and the ≥ 1.5x acceptance gate applies only on hosts with
 enough cores to express the parallelism (``os.cpu_count() >= 2``, full
 run only).
 
+``--mode indexed`` runs the same sweep through the MIUR pipeline: one
+central root walk per flush (cross-k shared), per-query best-first
+searches fanned out over the root search pool with I/O-charge ledgers;
+the scatter column is 0 by design (MIUR pruning replaces the O(|U|)
+refine), so the parallel share of the model is the search fan-out.
+
 Run::
 
     python benchmarks/bench_sharded.py                  # full sweep
     python benchmarks/bench_sharded.py --tiny --shards 1 2   # CI smoke
+    python benchmarks/bench_sharded.py --tiny --shards 2 --mode indexed
 """
 
 from __future__ import annotations
@@ -83,6 +90,9 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULTS.seed)
     parser.add_argument("--backend", choices=["python", "numpy", "auto"],
                         default="auto")
+    parser.add_argument("--mode", choices=["joint", "indexed"], default="joint",
+                        help="query pipeline; indexed shares one MIUR-root "
+                             "walk per flush and fans the searches out")
     parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
     parser.add_argument("--partitioner", choices=["hash", "grid"], default="hash")
     parser.add_argument("--pool-workers", type=int, default=1,
@@ -110,7 +120,8 @@ def main(argv=None) -> int:
         args.queries = 16
         args.batch_size = 8
 
-    print(f"dataset: {config.label()}  (queries={args.queries}, "
+    print(f"dataset: {config.label()}  (mode={args.mode}, "
+          f"queries={args.queries}, "
           f"batch={args.batch_size}, partitioner={args.partitioner}, "
           f"pool_workers/shard={args.pool_workers}, cpus={os.cpu_count()})",
           flush=True)
@@ -131,11 +142,15 @@ def main(argv=None) -> int:
         for i, q in enumerate(queries):
             if i % 2:
                 q.k = max(1, config.k // 2)
-    options = QueryOptions(backend=args.backend)
+    options = QueryOptions(mode=args.mode, backend=args.backend)
+    index_users = args.mode == "indexed"
 
     # Sequential single-engine reference for the equivalence assertion.
-    reference_engine = MaxBRSTkNNEngine(bench.dataset, fanout=config.fanout)
-    ref_options = QueryOptions(backend="python")
+    reference_engine = MaxBRSTkNNEngine(
+        bench.dataset,
+        EngineConfig(fanout=config.fanout, index_users=index_users),
+    )
+    ref_options = QueryOptions(mode=args.mode, backend="python")
     reference = [reference_engine.query(q, ref_options) for q in queries]
 
     print(f"\n{'configuration':<30} {'q/s':>8} {'total ms':>10} "
@@ -146,7 +161,7 @@ def main(argv=None) -> int:
     for num_shards in args.shards:
         ecfg = EngineConfig(
             fanout=config.fanout, num_shards=num_shards,
-            partitioner=args.partitioner,
+            partitioner=args.partitioner, index_users=index_users,
         )
         if num_shards == 1:
             engine = MaxBRSTkNNEngine(bench.dataset, ecfg)
@@ -200,7 +215,8 @@ def main(argv=None) -> int:
         ip_engine = ShardedEngine(
             bench.dataset,
             EngineConfig(fanout=config.fanout, num_shards=peak,
-                         partitioner=args.partitioner),
+                         partitioner=args.partitioner,
+                         index_users=index_users),
         )
         ip_elapsed, ip_results = run_engine(
             ip_engine, queries, options, args.batch_size
@@ -241,6 +257,7 @@ def main(argv=None) -> int:
     if args.json:
         payload = {
             "benchmark": "sharded_scatter_gather",
+            "mode": args.mode,
             "dataset": config.label(),
             "partitioner": args.partitioner,
             "pool_workers_per_shard": args.pool_workers,

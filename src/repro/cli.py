@@ -141,8 +141,9 @@ def _cmd_serve(args) -> int:
     if args.shards < 1:
         print("serve: --shards must be >= 1", file=sys.stderr)
         return 2
-    if args.shards > 1 and args.mode != "joint":
-        print("serve: --shards requires --mode joint", file=sys.stderr)
+    if args.shards > 1 and args.mode == "baseline":
+        print("serve: --shards requires --mode joint or --mode indexed",
+              file=sys.stderr)
         return 2
     try:
         max_wait_ms = "auto" if args.max_wait_ms == "auto" else float(args.max_wait_ms)
@@ -214,15 +215,18 @@ def _cmd_serve(args) -> int:
         reference = QueryOptions(
             method=options.method, mode=options.mode, backend="python"
         )
-        # Verify against an independent single engine: for a sharded
-        # front-end this compares the scatter/gather answer to the
-        # plain sequential pipeline, not to itself.  The immutable
-        # MIR-tree is shared (same objects/relevance/fanout), so the
-        # reference engine costs no second index build.
-        ref_engine = (
-            MaxBRSTkNNEngine(dataset, EngineConfig(), object_tree=engine.object_tree)
-            if args.shards > 1
-            else engine
+        # Verify against an INDEPENDENT sequential single engine — for
+        # both the sharded front-end and the plain one, and for
+        # mode=indexed as well as joint (the reference engine builds
+        # its own MIUR-tree when the served mode needs one; the
+        # immutable object MIR-tree is shared, so that is the only
+        # extra index build).  Comparing the served answers to a fresh
+        # engine's cold sequential queries is the strongest check: no
+        # memoized pool or cache is shared between the two sides.
+        ref_engine = MaxBRSTkNNEngine(
+            dataset,
+            EngineConfig(index_users=(args.mode == "indexed")),
+            object_tree=engine.object_tree,
         )
         for query, served in zip(queries, results):
             solo = ref_engine.query(query, reference)
@@ -233,10 +237,11 @@ def _cmd_serve(args) -> int:
             ):
                 mismatches += 1
         if mismatches:
-            print(f"VERIFY FAILURE: {mismatches} served results != sequential")
+            print(f"VERIFY FAILURE: {mismatches} served results != sequential "
+                  f"(mode={args.mode})")
             return 1
         print(f"verify: served results == sequential on {len(queries)} queries "
-              f"(shards={args.shards})")
+              f"(mode={args.mode}, shards={args.shards})")
     return 0
 
 

@@ -18,16 +18,20 @@ the shared pool by Algorithm 2 (:class:`SharedTraversalPool`, memoized
 on the engine across batches).  A mixed-k batch therefore pays for a
 *single* tree walk.  Candidate selection stays per query, optionally
 vectorized (``Backend.NUMPY``) and optionally fanned out over a
-process pool (``QueryOptions.workers``).  ``Mode.INDEXED`` batches
-share the MIUR-root joint traversal per distinct k (see
-:class:`repro.core.indexed_users.RootTraversal` and the
-``shared_traversal_k`` docs in :mod:`repro.core.planner` for why they
-do not pool across k); their best-first search stays per query and
-in-process.  ``Mode.BASELINE`` shares its per-user top-k per distinct
-k as before.
+process pool (``QueryOptions.workers``).  Since PR 5, ``Mode.INDEXED``
+batches pool across k the same way: the node-RSk reformulation
+(:mod:`repro.core.indexed_users`) made every per-k quantity derive
+pool-independently from one MIUR-root walk at ``k_max``, memoized on
+the engine as ``engine._root_pool``.  ``Mode.BASELINE`` shares its
+per-user top-k per distinct k as before.
 
-Execution strategy is decided by :func:`repro.core.planner.plan_batch`;
-this module only carries the plan out.
+Execution strategy is decided by :func:`repro.core.planner.plan_batch`
+and carried out by the unified phase pipeline
+(:class:`repro.core.pipeline.LocalExecutor` here; the sharded serving
+layer drives the same stages through a
+:class:`~repro.core.pipeline.ShardedExecutor`).  This module keeps the
+phase-1 sharing primitives (pool ensure/derive, the per-query select)
+those stages are built from.
 
 Result contract: every result — location, keywords, BRSTkNN set, and
 every *selection-phase* :class:`QueryStats` counter (pruning,
@@ -48,15 +52,18 @@ from __future__ import annotations
 import multiprocessing
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from .baseline import baseline_select_candidate
 from .candidate_selection import select_candidate
 from .config import QueryOptions, coerce_options
-from .indexed_users import RootTraversal, compute_root_traversal, indexed_users_maxbrstknn
-from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
-from .kernels import arrays_for
+from .joint_topk import (
+    JointTraversalResult,
+    derive_rsk_group as _derive_rsk_group_at,
+    individual_topk,
+    joint_traversal,
+)
 from .planner import EngineCapabilities, QueryPlan, plan_batch
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
@@ -108,6 +115,16 @@ class SharedTraversalPool:
     io_invfile_blocks: int
     by_k: Dict[int, SharedTopK]
     hits: int = 0  # queries served from this pool (introspection)
+    #: Memoized per-k group thresholds (RSk(us) is an O(pool log pool)
+    #: sort to derive; a serving loop asks for the same ks every flush).
+    group_by_k: Dict[int, float] = field(default_factory=dict)
+
+    def rsk_group_for(self, k: int) -> float:
+        value = self.group_by_k.get(k)
+        if value is None:
+            value = _derive_rsk_group_at(self.traversal, self.k, k)
+            self.group_by_k[k] = value
+        return value
 
 
 def _compute_shared_baseline(engine: "MaxBRSTkNNEngine", k: int) -> SharedTopK:
@@ -166,20 +183,12 @@ def _ensure_traversal_pool(
 def derive_rsk_group(pool: SharedTraversalPool, k: int) -> float:
     """``RSk(us)`` at ``k`` from a pool walked at ``pool.k >= k``.
 
-    For ``k == pool.k`` it is the walk's own threshold; for smaller k
-    it is the k-th best candidate lower bound over the pool — exactly
-    the value a dedicated ``k``-walk would have converged to, since any
-    object with a top-k lower bound survives the larger walk.  Shared
-    by the per-k derivation below and the sharded gather
-    (``repro.serve.sharded``), which computes the group threshold once
-    centrally while shards refine per-user thresholds.
+    Thin wrapper over the shared, pool-independent derivation
+    (:func:`repro.core.joint_topk.derive_rsk_group`), memoized per k on
+    the pool — kept here because the sharded gather and the per-k
+    threshold derivation below both address pools through this module.
     """
-    if k > pool.k:
-        raise ValueError(f"pool walked at k={pool.k} cannot serve k={k}")
-    if k == pool.k:
-        return pool.traversal.rsk_group
-    lows = sorted((c.lower for c in pool.traversal.all_candidates()), reverse=True)
-    return lows[k - 1] if 0 < k <= len(lows) else 0.0
+    return pool.rsk_group_for(k)
 
 
 def _derive_shared_topk(
@@ -252,6 +261,20 @@ def _select_one(
 # Process-pool fan-out (fork only: workers inherit the indexes for free)
 # ----------------------------------------------------------------------
 
+def _select_chunk(dataset, payload: Tuple) -> List[MaxBRSTkNNResult]:
+    """One select-stage chunk: several queries against one shared state.
+
+    The in-process / forked twin of the persistent pool's payload
+    runner (``repro.serve.pool._run_payload``) — same tuple layout, so
+    every execution mode runs identical code.
+    """
+    queries, shared, mode, method, backend = payload
+    return [
+        _select_one(dataset, query, shared, mode, method, backend)
+        for query in queries
+    ]
+
+
 #: State handed to forked workers via copy-on-write memory, not pickling.
 #: Guarded by _FORK_LOCK: concurrent query_batch calls (e.g. a serving
 #: layer with one engine per thread) must not interleave set/fork/clear.
@@ -259,10 +282,27 @@ _FORK_STATE: Optional[Tuple] = None
 _FORK_LOCK = threading.Lock()
 
 
-def _run_forked(i: int) -> MaxBRSTkNNResult:
-    dataset, queries, shared_by_key, mode, method, backend = _FORK_STATE
-    query, key = queries[i]
-    return _select_one(dataset, query, shared_by_key[key], mode, method, backend)
+def _run_forked(i: int) -> List[MaxBRSTkNNResult]:
+    dataset, payloads = _FORK_STATE
+    return _select_chunk(dataset, payloads[i])
+
+
+def _fork_execute(dataset, payloads: List[Tuple], workers: int) -> List[list]:
+    """Run select-stage chunks over an ephemeral fork pool.
+
+    Workers inherit ``dataset`` (and its pre-built kernel arrays)
+    through copy-on-write at fork time; only the chunk index crosses
+    the worker pipe.
+    """
+    global _FORK_STATE
+    with _FORK_LOCK:
+        _FORK_STATE = (dataset, payloads)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(min(workers, len(payloads))) as fork_pool:
+                return fork_pool.map(_run_forked, range(len(payloads)))
+        finally:
+            _FORK_STATE = None
 
 
 def query_batch(
@@ -309,108 +349,17 @@ def execute_batch(
     plan: QueryPlan,
     pool: Optional["PersistentWorkerPool"] = None,
 ) -> List[MaxBRSTkNNResult]:
-    """Carry out a planned batch (see :func:`repro.core.planner.plan_batch`)."""
-    mode, method, backend = plan.mode.value, plan.method.value, plan.backend
-    cache = engine._shared_topk_cache
+    """Carry out a planned batch through the unified phase pipeline.
 
-    if plan.shared_traversal:
-        # Indexed batches: share the MIUR-root joint traversal per
-        # distinct k; the per-query best-first search starts from fresh
-        # caches so results and stats match sequential queries exactly.
-        assert engine.user_tree is not None  # planner validated
-        results: List[MaxBRSTkNNResult] = []
-        for q in queries:
-            key = (mode, q.k)
-            entry = cache.get(key)
-            if entry is None:
-                entry = compute_root_traversal(
-                    engine.object_tree, engine.user_tree, engine.dataset,
-                    q.k, store=engine.store, backend=backend,
-                )
-                engine.traversal_runs += 1
-                cache[key] = entry
-            assert isinstance(entry, RootTraversal)
-            entry.hits += 1
-            results.append(
-                indexed_users_maxbrstknn(
-                    engine.object_tree,
-                    engine.user_tree,
-                    engine.dataset,
-                    q,
-                    method=method,
-                    store=engine.store,
-                    backend=backend,
-                    shared=entry,
-                )
-            )
-        return results
+    Thin wrapper: a :class:`repro.core.pipeline.LocalExecutor` drives
+    the mode's stage list (traverse → refine → select for joint,
+    root-traverse → search for indexed, topk → select for baseline) on
+    this one engine; per-stage accounting lands on
+    ``engine.last_flush_report``.
+    """
+    from .pipeline import LocalExecutor
 
-    # Phase 1.  Joint batches: ONE tree walk at k_max feeds every k in
-    # the batch (cross-k pool sharing); baseline batches: per-user
-    # top-k once per distinct k.  Both memoized on the engine.
-    keyed: List[Tuple[MaxBRSTkNNQuery, Tuple[str, int]]] = []
-    shared_by_key: Dict[Tuple[str, int], SharedTopK] = {}
-    if plan.shared_traversal_k is not None:
-        pool_state = _ensure_traversal_pool(
-            engine, plan.shared_traversal_k, backend
-        )
-        pool_state.hits += len(queries)
-        for q in queries:
-            key = (mode, q.k)
-            entry = _derive_shared_topk(engine, pool_state, q.k, backend)
-            entry.hits += 1
-            shared_by_key[key] = entry
-            keyed.append((q, key))
-    else:
-        for q in queries:
-            key = (mode, q.k)
-            if key not in cache:
-                cache[key] = _compute_shared_baseline(engine, q.k)
-            entry = cache[key]
-            assert isinstance(entry, SharedTopK)
-            entry.hits += 1
-            shared_by_key[key] = entry
-            keyed.append((q, key))
-
-    if backend == "numpy":
-        arrays_for(engine.dataset)  # build before forking: shared via COW
-
-    if pool is not None and len(keyed) > 1:
-        # Chunk per (mode, k) group so each SharedTopK — O(num_users)
-        # of thresholds — is pickled once per chunk, not per query,
-        # while every worker still gets work for single-k batches.
-        by_key: Dict[Tuple[str, int], List[int]] = {}
-        for i, (_, key) in enumerate(keyed):
-            by_key.setdefault(key, []).append(i)
-        payloads, index_groups = [], []
-        for key, indices in by_key.items():
-            n_chunks = min(pool.workers, len(indices))
-            for c in range(n_chunks):
-                chunk = indices[c::n_chunks]
-                payloads.append(
-                    ([keyed[i][0] for i in chunk], shared_by_key[key],
-                     mode, method, backend)
-                )
-                index_groups.append(chunk)
-        results: List[Optional[MaxBRSTkNNResult]] = [None] * len(keyed)
-        for indices, group in zip(index_groups, pool.run_selection(payloads)):
-            for i, result in zip(indices, group):
-                results[i] = result
-        return results  # type: ignore[return-value]
-
-    if plan.workers > 1:
-        global _FORK_STATE
-        with _FORK_LOCK:
-            _FORK_STATE = (
-                engine.dataset, keyed, shared_by_key, mode, method, backend,
-            )
-            try:
-                ctx = multiprocessing.get_context("fork")
-                with ctx.Pool(min(plan.workers, len(keyed))) as fork_pool:
-                    return fork_pool.map(_run_forked, range(len(keyed)))
-            finally:
-                _FORK_STATE = None
-    return [
-        _select_one(engine.dataset, q, shared_by_key[key], mode, method, backend)
-        for q, key in keyed
-    ]
+    executor = LocalExecutor(engine, pool=pool)
+    results = executor.execute(queries, plan)
+    engine.last_flush_report = executor.last_flush_report
+    return results

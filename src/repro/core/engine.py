@@ -154,18 +154,26 @@ class MaxBRSTkNNEngine:
             self.user_tree = MIURTree(
                 dataset.users, dataset.relevance, fanout=config.fanout
             )
-        #: Per-dataset phase-1 cache: (mode, k) -> shared top-k state
-        #: (baseline) or shared root traversal (indexed), filled and
-        #: reused by :meth:`query_batch`.
+        #: Per-dataset baseline phase-1 cache: ("baseline", k) -> shared
+        #: per-user top-k state, filled and reused by :meth:`query_batch`.
         self._shared_topk_cache: Dict[Tuple[str, int], object] = {}
         #: Cross-k candidate-pool cache for joint batches: one tree
         #: walk at the largest k seen serves every smaller k (see
         #: :class:`repro.core.batch.SharedTraversalPool`).
         self._traversal_pool = None
+        #: Cross-k MIUR-root pool for indexed batches — the indexed
+        #: twin of ``_traversal_pool`` (see
+        #: :class:`repro.core.indexed_users.RootTraversal`): one walk
+        #: at the largest k seen serves every smaller k, since node-RSk
+        #: pruning derives pool-independently.
+        self._root_pool = None
         #: Joint/MIUR-root tree walks this engine has executed (single
         #: queries and batch shared phases alike) — the batch benchmarks
         #: assert a mixed-k batch pays exactly one.
         self.traversal_runs = 0
+        #: Per-stage accounting of the most recent pipeline flush
+        #: (:class:`repro.core.pipeline.FlushReport`), introspection.
+        self.last_flush_report = None
 
     # ------------------------------------------------------------------
     # Planning / introspection
@@ -318,6 +326,7 @@ class MaxBRSTkNNEngine:
         """Drop the shared phase-1 caches used by ``query_batch``."""
         self._shared_topk_cache.clear()
         self._traversal_pool = None
+        self._root_pool = None
 
     def prewarm_kernels(self) -> None:
         """Build the numpy kernel caches up front (server startup hook).

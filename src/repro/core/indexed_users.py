@@ -12,14 +12,38 @@ except that a location's shortlist ``LU_l`` may contain whole user
     ``UBL(l, node) >= RSk(node)``
 
 where ``RSk(node)`` is the k-th best *lower* bound over the traversal's
-candidate pool w.r.t. the node's summary.  Both sides bound every user
-in the subtree (``UBL(l, node) >= UBL(l, u)`` and
+**canonical** candidate pool w.r.t. the node's summary.  Both sides
+bound every user in the subtree (``UBL(l, node) >= UBL(l, u)`` and
 ``RSk(node) <= RSk(u)``), so failing the test proves no user below can
 be a BRSTkNN at ``l`` — the subtree is pruned without ever computing
 individual top-k results.  Only nodes surviving for the currently most
 promising location are expanded; leaves yield real users whose exact
 ``RSk(u)`` is then resolved from the joint traversal's pools
 (Algorithm 2 on the node's user group).
+
+Pool-independence (the PR 5 reformulation)
+------------------------------------------
+``RSk(node)`` used to be an order statistic over *whatever* candidate
+pool the walk happened to keep — a ``k_max`` walk keeps a superset of a
+dedicated ``k``-walk's pool, so sharing one walk across a mixed-k batch
+would silently change node pruning thresholds, best-first visit order,
+and tie winners.  The bound is now computed over the **canonical**
+candidate set ``{o : UB(o, us) >= RSk_k(us)}`` in a total
+(lower-bound desc, object id asc) order
+(:func:`repro.core.joint_topk.canonical_candidates`): identical under
+any qualifying walk, which is what lets indexed batches share one
+``k_max`` pool (:class:`RootTraversal` now carries per-k derivations,
+exactly like the joint :class:`~repro.core.batch.SharedTraversalPool`)
+and lets the sharded engine fan the search out without changing a
+single decision.
+
+The search itself (:func:`indexed_search`) is a pure function of
+``(user_tree, dataset, query, traversal, rsk_group)`` plus a page
+store: forked workers run it against a
+:meth:`~repro.storage.pager.PageStore.ledger_view` and return the
+:class:`~repro.storage.pager.IOCharge` alongside the result, so the
+engine's shared counter sees exactly the charges an in-process run
+would have made.
 
 The fraction of users whose top-k was never resolved is the paper's
 "Users pruned (%)" metric (Figure 15).
@@ -30,7 +54,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 from ..index.irtree import MIRTree
@@ -40,12 +64,25 @@ from ..model.objects import SuperUser, User
 from ..spatial.geometry import Point, Rect
 from ..storage.pager import PageStore
 from .bounds import BoundCalculator
-from .joint_topk import JointTraversalResult, individual_topk, joint_traversal
+from .joint_topk import (
+    CandidateObject,
+    JointTraversalResult,
+    canonical_candidates,
+    derive_rsk_group,
+    individual_topk,
+    joint_traversal,
+)
 from .kernels import resolve_backend
 from .keyword_selection import select_keywords_exact, select_keywords_greedy
 from .query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
 
-__all__ = ["RootTraversal", "compute_root_traversal", "indexed_users_maxbrstknn"]
+__all__ = [
+    "RootTraversal",
+    "compute_root_traversal",
+    "ensure_root_pool",
+    "indexed_search",
+    "indexed_users_maxbrstknn",
+]
 
 #: A shortlist entry: either a resolved user or a whole user node.
 _Entry = Union[User, UserNodeView]
@@ -68,28 +105,34 @@ class _LocationState:
 
 
 def _node_rsk(
-    traversal: JointTraversalResult,
+    candidates: Sequence[CandidateObject],
     bounds: BoundCalculator,
     summary: SuperUser,
     k: int,
     pool_arrays=None,
 ) -> float:
-    """``RSk(node)``: k-th best candidate lower bound w.r.t. the node.
+    """``RSk(node)``: k-th best canonical-candidate lower bound.
 
     Lower bounds w.r.t. a subtree summary under-estimate every member
     user's STS, so the k-th best is <= every member's true ``RSk(u)``.
+    ``candidates`` must be the canonical per-k set
+    (:func:`~repro.core.joint_topk.canonical_candidates`) — a total,
+    pool-size-independent order — so the value is identical whether the
+    pool came from a dedicated ``k``-walk or a shared ``k_max`` walk.
+    (The canonical set always holds >= k members when any walk kept k:
+    the walk's own top-k lower bounds all clear the group threshold.)
 
-    ``pool_arrays`` injects a per-query
-    :class:`~repro.core.kernels.CandidatePoolArrays` (numpy backend):
-    the per-node scalar loop over the candidate pool collapses into a
-    few array passes with **bitwise identical** bound values — the
-    PR 3 convention, so the best-first search visits the same nodes in
-    the same order either way.
+    ``pool_arrays`` injects a
+    :class:`~repro.core.kernels.CandidatePoolArrays` built over the
+    *same* canonical set (numpy backend): the per-node scalar loop
+    collapses into a few array passes with **bitwise identical** bound
+    values — the PR 3 convention, so the best-first search visits the
+    same nodes in the same order either way.
     """
     if pool_arrays is not None:
         return pool_arrays.node_rsk(summary, k)
     lows: List[float] = []
-    for cand in traversal.all_candidates():
+    for cand in candidates:
         rect = Rect.from_point(cand.obj.location)
         lows.append(bounds.node_lower(rect, cand.weights, summary))
     if len(lows) < k:
@@ -98,27 +141,57 @@ def _node_rsk(
     return lows[k - 1]
 
 
-@dataclass(slots=True)
+@dataclass
 class RootTraversal:
-    """Query-independent phase-1 state for indexed queries at one ``k``.
+    """Query-independent phase-1 state for indexed queries — cross-k.
 
     The joint traversal of the object tree against the MIUR-tree root
     summary depends only on ``(dataset, k)`` — the root's summary *is*
-    the super-user of all users — so batched indexed queries share one
-    per distinct ``k`` (planned by :func:`repro.core.planner.plan_batch`
-    and memoized on the engine, exactly like the joint-mode
-    :class:`~repro.core.batch.SharedTopK`).
+    the super-user of all users — and, since the node-RSk
+    reformulation, its ``k``-walk pool serves **every smaller k** too:
+    per-user thresholds resolve by subsumption (Algorithm 2 over a
+    qualifying superset pool is value-identical), the group threshold
+    derives per k, and node-level pruning reads the canonical per-k
+    candidate set.  Batched indexed queries therefore share ONE walk at
+    ``k_max`` (planned by :func:`repro.core.planner.plan_batch`,
+    memoized on the engine exactly like the joint-mode
+    :class:`~repro.core.batch.SharedTraversalPool`).
     """
 
+    k: int
     traversal: JointTraversalResult
     topk_time_s: float
     io_node_visits: int
     io_invfile_blocks: int
     hits: int = 0  # queries served from this entry (introspection)
-    #: Lazily cached flattened candidate pool for the vectorized
-    #: node-RSk kernel — pure, query-independent data, so batched
-    #: queries sharing this traversal build it once, not per query.
-    pool_arrays: Optional[object] = None
+    #: Per-k derivations, memoized: group threshold, canonical pool,
+    #: and (numpy) the flattened pool arrays the node-RSk kernel reads.
+    _rsk_group_by_k: Dict[int, float] = field(default_factory=dict)
+    _canonical_by_k: Dict[int, List[CandidateObject]] = field(default_factory=dict)
+    _arrays_by_k: Dict[int, object] = field(default_factory=dict)
+
+    def rsk_group_for(self, k: int) -> float:
+        value = self._rsk_group_by_k.get(k)
+        if value is None:
+            value = derive_rsk_group(self.traversal, self.k, k)
+            self._rsk_group_by_k[k] = value
+        return value
+
+    def canonical_for(self, k: int) -> List[CandidateObject]:
+        pool = self._canonical_by_k.get(k)
+        if pool is None:
+            pool = canonical_candidates(self.traversal, self.rsk_group_for(k))
+            self._canonical_by_k[k] = pool
+        return pool
+
+    def pool_arrays_for(self, dataset: Dataset, k: int):
+        arrays = self._arrays_by_k.get(k)
+        if arrays is None:
+            from .kernels import CandidatePoolArrays
+
+            arrays = CandidatePoolArrays(dataset, self.canonical_for(k))
+            self._arrays_by_k[k] = arrays
+        return arrays
 
 
 def compute_root_traversal(
@@ -148,6 +221,7 @@ def compute_root_traversal(
     else:
         node_visits = invfile_blocks = 0
     return RootTraversal(
+        k=k,
         traversal=traversal,
         topk_time_s=elapsed,
         io_node_visits=node_visits,
@@ -155,44 +229,63 @@ def compute_root_traversal(
     )
 
 
-def indexed_users_maxbrstknn(
-    object_tree: MIRTree,
+def ensure_root_pool(engine, k: int, backend: str) -> RootTraversal:
+    """The engine's cross-k MIUR-root pool, (re)walked only when ``k``
+    outgrows it — the indexed twin of
+    :func:`repro.core.batch._ensure_traversal_pool`."""
+    pool = engine._root_pool
+    if pool is None or pool.k < k:
+        assert engine.user_tree is not None  # planner validated
+        pool = compute_root_traversal(
+            engine.object_tree, engine.user_tree, engine.dataset, k,
+            store=engine.store, backend=backend,
+        )
+        engine.traversal_runs += 1
+        engine._root_pool = pool
+    return pool
+
+
+def indexed_search(
     user_tree: MIURTree,
     dataset: Dataset,
     query: MaxBRSTkNNQuery,
+    traversal: JointTraversalResult,
+    rsk_group: float,
+    stats: QueryStats,
     method: str = "approx",
-    store: Optional[PageStore] = None,
     backend: str = "python",
-    shared: Optional[RootTraversal] = None,
+    store: Optional[PageStore] = None,
+    canonical: Optional[Sequence[CandidateObject]] = None,
+    pool_arrays=None,
 ) -> MaxBRSTkNNResult:
-    """Answer a MaxBRSTkNN query with both sets on (simulated) disk.
+    """The per-query best-first MIUR search (Section 7, phase 2).
 
-    ``shared`` injects a precomputed phase-1 :class:`RootTraversal`
-    (batch execution); when omitted the traversal runs here, cold.  The
-    per-query best-first search always starts from fresh caches so
-    results *and stats* are identical either way.
+    A pure function of its arguments plus the page store it charges:
+    ``traversal`` is any qualifying walk's pool (``walk k >= query.k``),
+    ``rsk_group`` the per-k group threshold derived from it, and
+    ``canonical`` / ``pool_arrays`` optionally inject the (memoized)
+    canonical per-k candidate set — every decision is identical for any
+    qualifying pool, which is what lets batch execution share one
+    ``k_max`` walk and fan this search out to forked workers against
+    :meth:`~repro.storage.pager.PageStore.ledger_view` stores.
+
+    ``stats`` must arrive primed with the phase-1 fields
+    (``users_total``, ``topk_time_s``, ``io_*``); the search adds its
+    own selection time, I/O delta, and pruning counters.
     """
-    if method not in ("approx", "exact"):
-        raise ValueError(f"unknown keyword-selection method {method!r}")
     backend = resolve_backend(backend)
-    if shared is None:
-        shared = compute_root_traversal(
-            object_tree, user_tree, dataset, query.k, store=store, backend=backend
-        )
-    stats = QueryStats(
-        users_total=len(user_tree),
-        topk_time_s=shared.topk_time_s,
-        io_node_visits=shared.io_node_visits,
-        io_invfile_blocks=shared.io_invfile_blocks,
-    )
     bounds = BoundCalculator(dataset)
     root = user_tree.root
     io_counter = store.counter if store is not None else None
     search_before = io_counter.snapshot() if io_counter is not None else None
     search_t0 = time.perf_counter()
 
-    traversal = shared.traversal
-    rsk_group = traversal.rsk_group
+    if canonical is None:
+        canonical = canonical_candidates(traversal, rsk_group)
+    if pool_arrays is None and backend == "numpy":
+        from .kernels import CandidatePoolArrays
+
+        pool_arrays = CandidatePoolArrays(dataset, canonical)
 
     # Per-resolved-user exact thresholds, filled lazily per leaf group.
     rsk: Dict[int, float] = {}
@@ -210,25 +303,14 @@ def indexed_users_maxbrstknn(
             rsk[u.item_id] = results[u.item_id].kth_score
             resolved_users[u.item_id] = u
 
-    # Node-level RSk cache, plus the flattened candidate pool the numpy
-    # backend evaluates it against (memoized on the RootTraversal: a
-    # batch sharing one traversal per k flattens the pool once).
+    # Node-level RSk cache over the canonical per-k candidate set.
     node_rsk_cache: Dict[int, float] = {}
-    pool_arrays = None
-    if backend == "numpy":
-        if shared.pool_arrays is None:
-            from .kernels import CandidatePoolArrays
-
-            shared.pool_arrays = CandidatePoolArrays(
-                dataset, traversal.all_candidates()
-            )
-        pool_arrays = shared.pool_arrays
 
     def rsk_of_node(view: UserNodeView) -> float:
         val = node_rsk_cache.get(view.page_id)
         if val is None:
             val = _node_rsk(
-                traversal, bounds, view.summary, query.k, pool_arrays=pool_arrays
+                canonical, bounds, view.summary, query.k, pool_arrays=pool_arrays
             )
             node_rsk_cache[view.page_id] = val
         return val
@@ -330,4 +412,56 @@ def indexed_users_maxbrstknn(
         keywords=best_keywords,
         brstknn=best_users,
         stats=stats,
+    )
+
+
+def indexed_users_maxbrstknn(
+    object_tree: MIRTree,
+    user_tree: MIURTree,
+    dataset: Dataset,
+    query: MaxBRSTkNNQuery,
+    method: str = "approx",
+    store: Optional[PageStore] = None,
+    backend: str = "python",
+    shared: Optional[RootTraversal] = None,
+) -> MaxBRSTkNNResult:
+    """Answer a MaxBRSTkNN query with both sets on (simulated) disk.
+
+    ``shared`` injects a precomputed phase-1 :class:`RootTraversal`
+    walked at any ``k >= query.k`` (batch execution: the cross-k pool);
+    when omitted the traversal runs here, cold, at ``query.k``.  The
+    per-query best-first search always starts from fresh caches, and
+    every per-k quantity it reads is derived pool-independently, so
+    results *and stats* are identical either way (top-k phase I/O
+    reports the walk that actually produced the pool, like joint-mode
+    batches).
+    """
+    if method not in ("approx", "exact"):
+        raise ValueError(f"unknown keyword-selection method {method!r}")
+    backend = resolve_backend(backend)
+    if shared is None:
+        shared = compute_root_traversal(
+            object_tree, user_tree, dataset, query.k, store=store, backend=backend
+        )
+    stats = QueryStats(
+        users_total=len(user_tree),
+        topk_time_s=shared.topk_time_s,
+        io_node_visits=shared.io_node_visits,
+        io_invfile_blocks=shared.io_invfile_blocks,
+    )
+    pool_arrays = (
+        shared.pool_arrays_for(dataset, query.k) if backend == "numpy" else None
+    )
+    return indexed_search(
+        user_tree,
+        dataset,
+        query,
+        shared.traversal,
+        shared.rsk_group_for(query.k),
+        stats,
+        method=method,
+        backend=backend,
+        store=store,
+        canonical=shared.canonical_for(query.k),
+        pool_arrays=pool_arrays,
     )

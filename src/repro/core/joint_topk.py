@@ -47,7 +47,15 @@ from ..topk.single import TopKResult
 from .bounds import BoundCalculator
 from .kernels import arrays_for, resolve_backend
 
-__all__ = ["CandidateObject", "JointTraversalResult", "joint_traversal", "individual_topk", "joint_topk"]
+__all__ = [
+    "CandidateObject",
+    "JointTraversalResult",
+    "joint_traversal",
+    "individual_topk",
+    "joint_topk",
+    "derive_rsk_group",
+    "canonical_candidates",
+]
 
 
 @dataclass(slots=True)
@@ -268,6 +276,52 @@ def _joint_traversal_numpy(
     return JointTraversalResult(
         lo=lo, ro=ro, rsk_group=(rsk if rsk != float("-inf") else 0.0)
     )
+
+
+def derive_rsk_group(traversal: JointTraversalResult, walk_k: int, k: int) -> float:
+    """``RSk(us)`` at ``k`` from a traversal walked at ``walk_k >= k``.
+
+    For ``k == walk_k`` it is the walk's own threshold; for smaller
+    ``k`` it is the k-th best candidate lower bound over the pool —
+    exactly the value a dedicated ``k``-walk converges to.  The value
+    is **pool-independent**: any pool superset still contains every
+    object whose lower bound ranks top-``k`` (such an object has
+    ``UB >= LB >= RSk(us) >= RSk_walk(us)``, so no walk at ``walk_k``
+    prunes it), and extra candidates sit strictly below the k-th rank.
+    Shared by joint cross-k pool sharing (:mod:`repro.core.batch`), the
+    sharded gather, and the indexed MIUR-root pool
+    (:mod:`repro.core.indexed_users`).
+    """
+    if k > walk_k:
+        raise ValueError(f"pool walked at k={walk_k} cannot serve k={k}")
+    if k == walk_k:
+        return traversal.rsk_group
+    lows = sorted((c.lower for c in traversal.all_candidates()), reverse=True)
+    return lows[k - 1] if 0 < k <= len(lows) else 0.0
+
+
+def canonical_candidates(
+    traversal: JointTraversalResult, rsk_group: float
+) -> List[CandidateObject]:
+    """The pool-independent candidate set at one ``k``.
+
+    ``{o : UB(o, us) >= RSk_k(us)}``, read off any pool walked at
+    ``walk_k >= k`` by filtering on the group upper bound.  The
+    traversal only ever prunes entries whose upper bound is below its
+    (monotone-increasing, hence final) threshold, so every object in
+    this set survives *any* qualifying walk — the filtered set, and
+    therefore every bound computed over it, is identical whether the
+    pool came from a dedicated ``k``-walk or a shared ``k_max`` walk.
+    This is what makes node-level ``RSk`` pruning (Section 7)
+    tie-break-stable under cross-k pool sharing: the k-th best node
+    lower bound is an order statistic of a *canonical* multiset.
+    Candidates are returned in a total, pool-independent order —
+    (lower bound desc, object id asc) — so downstream consumers never
+    see pool-dependent tie ordering.
+    """
+    kept = [c for c in traversal.all_candidates() if c.upper >= rsk_group]
+    kept.sort(key=lambda c: (-c.lower, c.obj.item_id))
+    return kept
 
 
 def individual_topk(

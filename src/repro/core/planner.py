@@ -62,9 +62,13 @@ class EngineCapabilities:
     num_users: int = 0
     num_objects: int = 0
     traversal_pool_k: Optional[int] = None
+    #: The k of the engine's memoized cross-k MIUR-root pool (indexed
+    #: batches), if one exists — the indexed twin of
+    #: ``traversal_pool_k``.
+    root_pool_k: Optional[int] = None
     #: > 1 when the engine is a ShardedEngine scattering over user
-    #: partitions; plans then carry a ShardPlan and reject non-joint
-    #: modes (only the joint pipeline has a mergeable decomposition).
+    #: partitions; plans then carry a ShardPlan and reject baseline
+    #: mode (the only pipeline without a mergeable decomposition).
     num_shards: int = 1
     partitioner: Optional[str] = None
     shard_users: Tuple[int, ...] = ()
@@ -75,6 +79,7 @@ class EngineCapabilities:
     @classmethod
     def of(cls, engine: "MaxBRSTkNNEngine") -> "EngineCapabilities":
         pool = engine._traversal_pool
+        root_pool = engine._root_pool
         return cls(
             has_user_tree=engine.user_tree is not None,
             numpy_available=HAS_NUMPY,
@@ -82,6 +87,7 @@ class EngineCapabilities:
             num_users=len(engine.dataset.users),
             num_objects=len(engine.dataset.objects),
             traversal_pool_k=pool.k if pool is not None else None,
+            root_pool_k=root_pool.k if root_pool is not None else None,
         )
 
 
@@ -114,6 +120,10 @@ class ShardPlan:
     shard_users: Tuple[int, ...] = ()
     merge: str = "ordered-union"
     search_workers: int = 0
+    #: Largest shard size over the ideal equal share (1.0 = perfectly
+    #: even; > num_shards/2 means one shard holds most of the users —
+    #: the grid partitioner can do this when users cluster).
+    largest_skew: float = 1.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,19 +149,20 @@ class QueryPlan:
         Phase 1 is a shared MIUR-root joint traversal per distinct
         ``k`` (indexed batches) instead of a per-query one.
     shared_traversal_k:
-        Joint batches only: the single ``k`` of the shared MIR-tree
-        walk serving this batch — ``max(distinct_ks)``, or the engine's
-        existing pool ``k`` when an earlier batch already walked
-        further (the per-query top-k I/O stats report this walk, so
-        the plan names it).  The traversal's candidate pool
-        at ``k_max`` provably subsumes the pool of every smaller ``k``
-        (``RSk_max(us) <= RSk(us)``, so nothing a smaller-k traversal
-        keeps is pruned), so a mixed-k batch pays for **one** tree walk
-        and derives each k's thresholds from the shared pool.  ``None``
-        for baseline batches (no group traversal) and indexed batches
-        (per-k walks: the MIUR search's node-level ``RSk`` pruning reads
-        the pool itself, and a larger pool changes tie-breaking of the
-        best-first search — per-k pools keep batch == sequential exact).
+        The single ``k`` of the shared tree walk serving this batch —
+        ``max(distinct_ks)``, or the engine's existing pool ``k`` when
+        an earlier batch already walked further (the per-query top-k
+        I/O stats report this walk, so the plan names it).  The
+        traversal's candidate pool at ``k_max`` provably subsumes the
+        pool of every smaller ``k`` (``RSk_max(us) <= RSk(us)``, so
+        nothing a smaller-k traversal keeps is pruned), so a mixed-k
+        batch pays for **one** tree walk and derives each k's
+        thresholds from the shared pool.  Joint batches have pooled
+        this way since PR 3; indexed batches joined in PR 5 once
+        node-level ``RSk`` pruning was reformulated over the canonical
+        per-k candidate set (pool-size-independent, so the best-first
+        search makes identical decisions under any qualifying walk).
+        ``None`` for baseline batches (no group traversal).
     workers:
         Resolved phase-2 fan-out width; 1 means in-process.
     shard:
@@ -183,7 +194,15 @@ class QueryPlan:
             f"backend={self.backend}"
         ]
         ks = ",".join(str(k) for k in self.distinct_ks) or "?"
-        if self.shared_traversal_k is not None:
+        if self.shared_traversal_k is not None and self.mode is Mode.INDEXED:
+            lines.append(
+                f"  phase 1 (MIUR-root joint traversal): one walk at "
+                f"k={self.shared_traversal_k} reused for k={ks} — per-k "
+                f"thresholds, group bounds and node-RSk pruning all derive "
+                f"pool-independently from the canonical candidate set, "
+                f"memoized on the engine"
+            )
+        elif self.shared_traversal_k is not None:
             lines.append(
                 f"  phase 1 (joint traversal): one MIR-tree walk at "
                 f"k={self.shared_traversal_k} reused for k={ks} (the k_max "
@@ -210,28 +229,56 @@ class QueryPlan:
             skew = ""
             if sp.shard_users:
                 lo, hi = min(sp.shard_users), max(sp.shard_users)
-                skew = f", shard users min/max {lo}/{hi}"
-            lines.append(
-                f"  scatter: width {sp.scatter_width} of {sp.num_shards} shards "
-                f"(partitioner={sp.partitioner}{skew}); per-shard k-sharing: "
-                f"refine once per (walk, k), memoized across batches"
-            )
-            search = (
-                f"per-query searches fan out over the root pool x{sp.search_workers}"
-                if sp.search_workers > 1
-                else "per-query searches run in-process"
-            )
-            lines.append(
-                f"  gather: merge={sp.merge} — disjoint RSk union + per-location "
-                f"shortlist concat in dataset user order, then the sequential "
-                f"best-first search per query ({search}; tie-breaks identical "
-                f"to a single engine)"
-            )
+                total = sum(sp.shard_users)
+                # Same condition as the build-time warning: a bare
+                # 2-shard majority is noise; flag only a shard holding
+                # most users at well over its ideal share.
+                unbalanced = (
+                    total > 0 and hi > 0.5 * total and sp.largest_skew > 1.5
+                )
+                skew = (
+                    f", shard users min/max {lo}/{hi} "
+                    f"(skew {sp.largest_skew:.2f}x ideal"
+                    + (", UNBALANCED" if unbalanced else "")
+                    + ")"
+                )
+            if self.mode is Mode.INDEXED:
+                lines.append(
+                    f"  scatter: {sp.num_shards}-shard layout "
+                    f"(partitioner={sp.partitioner}{skew}); indexed flushes "
+                    f"run one central MIUR-root walk, then fan the per-query "
+                    f"searches out (user partitions idle — pruning replaces "
+                    f"the O(|U|) refine)"
+                )
+            else:
+                lines.append(
+                    f"  scatter: width {sp.scatter_width} of {sp.num_shards} shards "
+                    f"(partitioner={sp.partitioner}{skew}); per-shard k-sharing: "
+                    f"refine once per (walk, k), memoized across batches"
+                )
+                search = (
+                    f"per-query searches fan out over the root pool x{sp.search_workers}"
+                    if sp.search_workers > 1
+                    else "per-query searches run in-process"
+                )
+                lines.append(
+                    f"  gather: merge={sp.merge} — disjoint RSk union + per-location "
+                    f"shortlist concat in dataset user order, then the sequential "
+                    f"best-first search per query ({search}; tie-breaks identical "
+                    f"to a single engine)"
+                )
         if self.mode is Mode.INDEXED:
-            lines.append(
-                "  phase 2 (best-first MIUR search): in-process per query "
-                "(the simulated page store stays local)"
-            )
+            if self.shard is not None and self.shard.search_workers > 1:
+                lines.append(
+                    f"  phase 2 (best-first MIUR search): fans out over the "
+                    f"root search pool x{self.shard.search_workers} against "
+                    f"read-only ledger stores (IOCharge replayed at gather)"
+                )
+            else:
+                lines.append(
+                    "  phase 2 (best-first MIUR search): in-process per query "
+                    "(charges the engine's page store directly)"
+                )
         elif self.workers > 1:
             lines.append(
                 f"  phase 2 (candidate selection): fork pool x{self.workers}"
@@ -243,10 +290,11 @@ class QueryPlan:
 
 def _validate(options: QueryOptions, caps: EngineCapabilities) -> str:
     """Shared option/capability checks; returns the concrete backend."""
-    if caps.num_shards > 1 and options.mode is not Mode.JOINT:
+    if caps.num_shards > 1 and options.mode is Mode.BASELINE:
         raise ValueError(
-            f"sharded engines execute mode=joint only (got mode={options.mode}): "
-            "baseline/indexed pipelines have no mergeable per-user decomposition"
+            f"sharded engines execute mode=joint or mode=indexed (got "
+            f"mode={options.mode}): the baseline pipeline has no mergeable "
+            "per-user decomposition"
         )
     if options.mode is Mode.INDEXED and not caps.has_user_tree:
         raise ValueError("engine built without index_users=True")
@@ -258,6 +306,12 @@ def _shard_plan(caps: EngineCapabilities) -> Optional[ShardPlan]:
     if caps.num_shards <= 1:
         return None
     users = caps.shard_users
+    total = sum(users)
+    skew = (
+        max(users) / (total / caps.num_shards)
+        if users and total > 0
+        else 1.0
+    )
     return ShardPlan(
         num_shards=caps.num_shards,
         partitioner=caps.partitioner or "hash",
@@ -266,6 +320,7 @@ def _shard_plan(caps: EngineCapabilities) -> Optional[ShardPlan]:
         ),
         shard_users=users,
         search_workers=caps.search_workers,
+        largest_skew=skew,
     )
 
 
@@ -319,6 +374,20 @@ def plan_batch(
         and caps.num_shards == 1
     )
     distinct_ks = tuple(sorted(set(ks)))
+    # Both group-traversal modes run one tree walk at k_max and reuse
+    # its pool for every smaller k (joint since PR 3; indexed since the
+    # PR 5 node-RSk reformulation made its per-k derivations
+    # pool-independent).  An engine pool already walked at a larger k
+    # serves this batch without re-walking — the plan names that walk
+    # so explain() and the stats contract stay truthful.
+    if indexed and distinct_ks:
+        pool_k = (caps.root_pool_k,) if caps.root_pool_k else ()
+        shared_traversal_k: Optional[int] = max(distinct_ks + pool_k)
+    elif options.mode is Mode.JOINT and distinct_ks:
+        pool_k = (caps.traversal_pool_k,) if caps.traversal_pool_k else ()
+        shared_traversal_k = max(distinct_ks + pool_k)
+    else:
+        shared_traversal_k = None
     return QueryPlan(
         mode=options.mode,
         method=options.method,
@@ -328,16 +397,6 @@ def plan_batch(
         shared_topk=not indexed,
         shared_traversal=indexed,
         workers=options.workers if fan_out else 1,
-        # Joint batches run one tree walk at k_max and reuse its pool
-        # for every smaller k (see the attribute docs for why indexed
-        # batches keep per-k walks).  An engine pool already walked at
-        # a larger k serves this batch without re-walking — the plan
-        # names that walk so explain() and the stats contract stay
-        # truthful.
-        shared_traversal_k=(
-            max(distinct_ks + ((caps.traversal_pool_k,) if caps.traversal_pool_k else ()))
-            if options.mode is Mode.JOINT and distinct_ks
-            else None
-        ),
+        shared_traversal_k=shared_traversal_k,
         shard=_shard_plan(caps),
     )

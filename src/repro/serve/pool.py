@@ -12,6 +12,12 @@ queries plus the shared phase-1 thresholds, which the batch executor
 groups so each :class:`SharedTopK` is pickled once per worker chunk,
 not once per query.
 
+Workers can also carry an optional **context** object inherited the
+same way — the sharded engine's root search pool registers the
+MIUR-tree here so ``indexed_search`` payloads
+(:func:`repro.core.pipeline.execute_shard_payload`) can run the
+best-first search in-worker against read-only ledger stores.
+
 Requires the ``fork`` start method (Linux/macOS).  Construction raises
 :class:`RuntimeError` where unavailable — callers fall back to
 in-process execution (``ServerConfig.pool_workers=0``).
@@ -24,8 +30,9 @@ import multiprocessing
 import weakref
 from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
-from ..core.batch import SharedTopK, _select_one
+from ..core.batch import SharedTopK, _select_chunk
 from ..core.kernels import HAS_NUMPY, arrays_for
+from ..core.pipeline import execute_shard_payload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
@@ -37,98 +44,49 @@ __all__ = ["PersistentWorkerPool", "execute_shard_payload"]
 #: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
 Payload = Tuple[List["MaxBRSTkNNQuery"], SharedTopK, str, str, str]
 
-#: Parent-side registry of pool datasets, keyed by a per-pool token.
-#: Forked workers inherit the whole registry through copy-on-write and
-#: the initializer resolves their token into ``_WORKER_DATASET`` — only
-#: the *token* (an int) ever crosses the worker pipe.  Passing the
-#: dataset itself as Pool ``initargs`` would *pickle* it per worker,
-#: silently dropping the pre-built DatasetArrays (Dataset.__getstate__
-#: excludes them, and DatasetArrays refuses to pickle outright) and
-#: making every worker rebuild them: the exact waste this pool exists
-#: to avoid.  A registry (rather than one module global) keeps late
-#: worker respawns and concurrent pools correct — whenever a child
-#: forks, its registry snapshot holds every live pool's dataset.  The
-#: regression test ``tests/serve/test_pool.py`` asserts workers
-#: inherit, not rebuild.
+#: Parent-side registry of pool (dataset, context) pairs, keyed by a
+#: per-pool token.  Forked workers inherit the whole registry through
+#: copy-on-write and the initializer resolves their token into
+#: ``_WORKER_DATASET`` / ``_WORKER_CONTEXT`` — only the *token* (an
+#: int) ever crosses the worker pipe.  Passing the dataset itself as
+#: Pool ``initargs`` would *pickle* it per worker, silently dropping
+#: the pre-built DatasetArrays (Dataset.__getstate__ excludes them, and
+#: DatasetArrays refuses to pickle outright) and making every worker
+#: rebuild them: the exact waste this pool exists to avoid.  A registry
+#: (rather than one module global) keeps late worker respawns and
+#: concurrent pools correct — whenever a child forks, its registry
+#: snapshot holds every live pool's dataset.  The regression test
+#: ``tests/serve/test_pool.py`` asserts workers inherit, not rebuild.
 _WORKER_DATASET = None
-_FORK_DATASETS: Dict[int, "Dataset"] = {}
+_WORKER_CONTEXT = None
+_FORK_DATASETS: Dict[int, tuple] = {}
 _FORK_TOKENS = itertools.count()
 
 
 def _init_worker(token: int) -> None:
-    global _WORKER_DATASET
-    _WORKER_DATASET = _FORK_DATASETS[token]
+    global _WORKER_DATASET, _WORKER_CONTEXT
+    _WORKER_DATASET, _WORKER_CONTEXT = _FORK_DATASETS[token]
 
 
 def _run_payload(payload: Payload) -> List["MaxBRSTkNNResult"]:
-    queries, shared, mode, method, backend = payload
-    return [
-        _select_one(_WORKER_DATASET, query, shared, mode, method, backend)
-        for query in queries
-    ]
+    return _select_chunk(_WORKER_DATASET, payload)
 
 
-#: One shard-scatter work item (see ``repro.serve.sharded``): either a
-#: refine round — exact RSk(u) for the shard's users at each requested
-#: k against the shared traversal pool — or a shortlist round covering
-#: a whole micro-batch of queries.  The shard's dataset itself never
-#: travels: workers hold it from the fork (COW), in-process execution
-#: passes it explicitly.
-ShardPayload = Tuple  # ("refine", traversal, ks, backend, shard_id) | ("shortlist", ...)
-
-
-def execute_shard_payload(dataset: "Dataset", payload: ShardPayload):
-    """Run one shard task against ``dataset`` (shard subset).
-
-    Shared by the fork-pool workers (``dataset`` = the inherited shard
-    dataset) and the in-process scatter fallback, so both execution
-    modes are the same code path and produce identical partials.
-    """
-    from ..core.partial import compute_partial, compute_shortlist_partial
-
-    kind = payload[0]
-    if kind == "refine":
-        _, traversal, ks, backend, shard_id = payload
-        return [
-            compute_partial(dataset, traversal, k, backend=backend, shard_id=shard_id)
-            for k in ks
-        ]
-    if kind == "shortlist":
-        _, su, queries, rsk_by_k, group_by_k, backend, shard_id = payload
-        return [
-            compute_shortlist_partial(
-                dataset, q, rsk_by_k[q.k], group_by_k[q.k], su,
-                backend=backend, shard_id=shard_id,
-            )
-            for q in queries
-        ]
-    if kind == "search":
-        # Gather-side fan-out: the central best-first searches of a
-        # flush are independent per query, so the sharded engine chunks
-        # them over its *root* pool (dataset = the FULL dataset here).
-        # Each item carries the id-level merged shortlists; the chunk
-        # shares one rsk map (items are grouped per k).  Execution is
-        # the same run_merged_search the in-process loop calls.
-        from ..core.partial import run_merged_search
-
-        _, items, rsk, rsk_group, method, backend = payload
-        out = []
-        for query, kept, ids_per_location, pruned, stats, base_selection_s in items:
-            result, _elapsed = run_merged_search(
-                dataset, query, kept, ids_per_location, pruned, stats,
-                base_selection_s, rsk, rsk_group, method, backend,
-            )
-            out.append(result)
-        return out
-    raise ValueError(f"unknown shard payload kind {kind!r}")
+#: One shard-scatter work item: see
+#: :func:`repro.core.pipeline.execute_shard_payload` for the payload
+#: kinds.  The shard's dataset itself never travels: workers hold it
+#: from the fork (COW), in-process execution passes it explicitly.
+ShardPayload = Tuple
 
 
 def _run_shard_payload(payload: ShardPayload):
-    return execute_shard_payload(_WORKER_DATASET, payload)
+    return execute_shard_payload(
+        _WORKER_DATASET, payload, context=_WORKER_CONTEXT
+    )
 
 
 class PersistentWorkerPool:
-    """Long-lived fork pool bound to one dataset.
+    """Long-lived fork pool bound to one dataset (plus optional context).
 
     Parameters
     ----------
@@ -138,9 +96,13 @@ class PersistentWorkerPool:
         snapshot).
     workers:
         Number of worker processes (>= 1).
+    context:
+        Optional extra object workers inherit via copy-on-write (the
+        sharded engine's root search pool passes the MIUR-tree so
+        indexed-search payloads can run in-worker).
     """
 
-    def __init__(self, dataset: "Dataset", workers: int) -> None:
+    def __init__(self, dataset: "Dataset", workers: int, context=None) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -151,9 +113,10 @@ class PersistentWorkerPool:
             arrays_for(dataset)  # build before forking: shared via COW
         self.dataset = dataset
         self.workers = workers
+        self.context = context
         ctx = multiprocessing.get_context("fork")
         self._token = next(_FORK_TOKENS)
-        _FORK_DATASETS[self._token] = dataset
+        _FORK_DATASETS[self._token] = (dataset, context)
         # Workers fork inside Pool() and snapshot the registry (and the
         # arrays hanging off the dataset) via copy-on-write; initargs
         # carries only the token.
@@ -181,7 +144,7 @@ class PersistentWorkerPool:
         """Dispatch shard scatter tasks without blocking.
 
         Returns the ``multiprocessing`` async result; the sharded
-        engine dispatches to *every* shard's pool first and only then
+        executor dispatches to *every* shard's pool first and only then
         collects, so shards run concurrently even with one worker each.
         """
         if self._closed:

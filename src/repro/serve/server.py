@@ -168,6 +168,11 @@ class MaxBRSTkNNServer:
         shard_stats = getattr(self.engine, "shard_stats", None)
         if shard_stats is not None:
             snap["shards"] = shard_stats()
+        skew = getattr(self.engine, "partition_skew", None)
+        if skew is not None:
+            # Build-time imbalance guard (largest shard / ideal share);
+            # > num_shards/2 means one shard dominates the scatter.
+            snap["partition_skew"] = round(skew, 3)
         if self._wait is not None:
             snap["adaptive_wait_ms"] = round(self._wait.window_ms(), 3)
             if self._wait.ewma_ms is not None:

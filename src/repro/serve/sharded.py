@@ -15,51 +15,57 @@ the user set partitions cleanly:
   inputs (:mod:`repro.core.partial`): disjoint ``RSk(u)`` union,
   per-location shortlists re-ordered into dataset user order;
 * everything **aggregate**-dependent stays central and sequential: the
-  one MIR-tree walk (same I/O trace as a single engine), the group
+  one tree walk (same I/O trace as a single engine), the group
   threshold ``RSk(us)``, and the best-first search over merged
-  shortlists (:func:`~repro.core.candidate_selection.search_shortlists`).
+  shortlists.
+
+Since PR 5 the flow is driven by the unified phase pipeline — a
+:class:`~repro.core.pipeline.ShardedExecutor` runs the same typed
+stages the single-engine path does, with the scatter loops living in
+the executor instead of hand-rolled here — and ``Mode.INDEXED`` rides
+the same machinery: one central MIUR-root walk per pool generation
+(cross-k, exactly like joint mode), then the per-query best-first
+searches fan out over the root search pool against read-only
+:meth:`~repro.storage.pager.PageStore.ledger_view` stores whose
+:class:`~repro.storage.pager.IOCharge` ledgers replay onto the root
+counter at gather time.  (The user partitions idle for indexed
+flushes: MIUR pruning *replaces* the O(|U|) refine, so there is
+nothing per-user to scatter.)
 
 The headline guarantee is **result identity**: locations, keyword
 sets, BRSTkNN sets, I/O counters and selection stats all equal the
-single-engine answer, for any shard count and either partitioner —
-property-tested in ``tests/serve/test_sharded.py``.
+single-engine answer, for any shard count, either partitioner and both
+modes — property-tested in ``tests/serve/test_sharded.py``.
 
 Execution is in-process by default (deterministic, zero setup); call
 :meth:`ShardedEngine.start_pools` to give every populated shard its own
 :class:`~repro.serve.pool.PersistentWorkerPool` — fork-once workers
 that inherit the shard dataset and its pre-built ``DatasetArrays``
 through copy-on-write — plus a **root search pool** over the full
-dataset: after the gather, the batch's central best-first searches are
-independent per query and fan out there (each worker re-materializes
-the id-level merged shortlists against its copy-on-write dataset and
-runs the *sequential* search code, so exactness is untouched).  A
-whole micro-batch therefore fans out once per shard per phase (one
-refine round, one shortlist round) plus one search round, which is
-what the :class:`~repro.serve.server.MaxBRSTkNNServer` flush path
-rides: the server detects ``manages_own_pools`` and leaves pool
+dataset (and, when the engine indexes users, the MIUR-tree as worker
+context): after the gather, the batch's central searches are
+independent per query and fan out there.  A whole micro-batch
+therefore fans out once per shard per phase plus one search round,
+which is what the :class:`~repro.serve.server.MaxBRSTkNNServer` flush
+path rides: the server detects ``manages_own_pools`` and leaves pool
 ownership here.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from ..core.batch import _ensure_traversal_pool, derive_rsk_group
-from ..core.config import EngineConfig, QueryOptions, coerce_options
+from ..core.config import EngineConfig, Mode, QueryOptions, coerce_options
 from ..core.engine import MaxBRSTkNNEngine
-from ..core.partial import (
-    MergedThresholds,
-    merge_partials,
-    merge_query_shortlist_ids,
-    run_merged_search,
-)
+from ..core.partial import MergedThresholds
+from ..core.pipeline import FlushReport, ShardedExecutor
 from ..core.planner import EngineCapabilities, QueryPlan, plan_batch, plan_query
-from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult, QueryStats
+from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
 from ..datagen.partition import ShardAssignment, UserPartitioner
 from ..model.dataset import Dataset
-from .pool import PersistentWorkerPool, execute_shard_payload
+from .pool import PersistentWorkerPool
 
 __all__ = ["ShardRuntimeStats", "ShardedEngine", "make_engine"]
 
@@ -115,9 +121,9 @@ class _Shard:
 class ShardedEngine:
     """N partitioned engines + scatter/gather merge, one engine surface.
 
-    Drop-in for :class:`MaxBRSTkNNEngine` wherever ``Mode.JOINT``
-    queries are served: ``query`` / ``query_batch`` / ``plan`` /
-    ``capabilities`` / ``clear_topk_cache`` match, and
+    Drop-in for :class:`MaxBRSTkNNEngine` wherever ``Mode.JOINT`` or
+    ``Mode.INDEXED`` queries are served: ``query`` / ``query_batch`` /
+    ``plan`` / ``capabilities`` / ``clear_topk_cache`` match, and
     :class:`~repro.serve.server.MaxBRSTkNNServer` takes either engine
     type unchanged.
 
@@ -127,9 +133,10 @@ class ShardedEngine:
         The full bichromatic dataset.
     config:
         :class:`EngineConfig` with ``num_shards`` (>= 1) and
-        ``partitioner``.  The root engine and every shard engine are
-        built with the same config minus the shard fields; shard
-        engines share the root's object MIR-tree (built once).
+        ``partitioner``.  ``index_users=True`` builds the MIUR-tree on
+        the *root* engine (indexed flushes are central + search
+        fan-out; shard engines never need user trees).  Shard engines
+        share the root's object MIR-tree (built once).
     """
 
     #: The serving layer must not wrap this engine in its own worker
@@ -140,26 +147,24 @@ class ShardedEngine:
         config = config if config is not None else EngineConfig()
         if not isinstance(config, EngineConfig):
             raise TypeError(f"config must be an EngineConfig, got {type(config).__name__}")
-        if config.index_users:
-            raise ValueError(
-                "sharded serving executes mode=joint only; build with "
-                "index_users=False (the MIUR pipeline has no mergeable split)"
-            )
         self.config = config
         self.dataset = dataset
-        base = config.with_(num_shards=1)
         #: Full-dataset engine: owns the object tree, the page store /
-        #: I/O counter, and the memoized cross-k traversal pool.  The
-        #: one tree walk per pool generation happens HERE — identical
-        #: cost and I/O trace to single-engine serving.
-        self.root = MaxBRSTkNNEngine(dataset, base)
+        #: I/O counter, the memoized cross-k traversal pools (joint and
+        #: MIUR-root), and — with ``index_users=True`` — the MIUR-tree.
+        #: The one tree walk per pool generation happens HERE —
+        #: identical cost and I/O trace to single-engine serving.
+        self.root = MaxBRSTkNNEngine(dataset, config.with_(num_shards=1))
+        # Shard engines run only the per-user joint phases; they never
+        # need their own MIUR-trees (indexed flushes are central).
+        shard_base = config.with_(num_shards=1, index_users=False)
         partitioner = UserPartitioner(config.partitioner.value, config.num_shards)
         self.assignment: ShardAssignment
         self.assignment, shard_datasets = partitioner.split(dataset)
         self._shards: List[_Shard] = [
             _Shard(
                 shard_id=i,
-                engine=MaxBRSTkNNEngine(ds, base, object_tree=self.root.object_tree),
+                engine=MaxBRSTkNNEngine(ds, shard_base, object_tree=self.root.object_tree),
                 stats=ShardRuntimeStats(shard_id=i, users=len(ds.users)),
             )
             for i, ds in enumerate(shard_datasets)
@@ -167,12 +172,34 @@ class ShardedEngine:
         self._user_pos: Dict[int, int] = {
             u.item_id: i for i, u in enumerate(dataset.users)
         }
+        # Skew guard (first step toward flush-time rebalancing): the
+        # grid partitioner can pile co-located users onto one shard,
+        # turning the scatter into a convoy behind the big shard.
+        self.partition_skew = self.assignment.largest_skew()
+        counts = self.assignment.counts()
+        if (
+            config.num_shards > 1
+            and dataset.users
+            and max(counts) > 0.5 * len(dataset.users)
+            # With 2 shards a bare majority is statistical noise; only
+            # a shard substantially over its ideal share convoys.
+            and self.partition_skew > 1.5
+        ):
+            warnings.warn(
+                f"unbalanced partition: shard {counts.index(max(counts))} holds "
+                f"{max(counts)}/{len(dataset.users)} users "
+                f"({config.partitioner.value} partitioner, skew "
+                f"{self.partition_skew:.2f}x ideal); scatter rounds will "
+                f"convoy behind it — consider partitioner='hash' or fewer "
+                f"shards",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         # Global super-user, built eagerly so (a) every scatter round
         # ships the same object and (b) fork pools inherit it instead
         # of rebuilding per worker.
         self._su = dataset.super_user if dataset.users else None
         self._merged_by_k: Dict[int, MergedThresholds] = {}
-        self._rsk_group_by_k: Dict[Tuple[int, int], float] = {}
         self._search_pool: Optional[PersistentWorkerPool] = None
         self._pools_started = False
         #: Gather-side accounting: merge + central search wall time and
@@ -180,6 +207,7 @@ class ShardedEngine:
         self._merge_s = 0.0
         self._search_s = 0.0
         self._search_flushes = 0
+        self._executor = ShardedExecutor(self)
 
     # ------------------------------------------------------------------
     # Introspection / engine-compatible surface
@@ -187,6 +215,10 @@ class ShardedEngine:
     @property
     def object_tree(self):
         return self.root.object_tree
+
+    @property
+    def user_tree(self):
+        return self.root.user_tree
 
     @property
     def io(self):
@@ -197,6 +229,11 @@ class ShardedEngine:
         """Tree walks executed — one per pool generation, like a
         single engine's batch path (shards never walk)."""
         return self.root.traversal_runs
+
+    @property
+    def last_flush_report(self) -> Optional[FlushReport]:
+        """Per-stage accounting of the most recent pipeline flush."""
+        return self._executor.last_flush_report
 
     @property
     def shards(self) -> Tuple[_Shard, ...]:
@@ -236,13 +273,13 @@ class ShardedEngine:
             "search_workers": (
                 self._search_pool.workers if self._search_pool is not None else 0
             ),
+            "partition_skew": round(self.partition_skew, 3),
         }
 
     def clear_topk_cache(self) -> None:
-        """Drop the shared pool and every merged/per-shard threshold."""
+        """Drop the shared pools and every merged/per-shard threshold."""
         self.root.clear_topk_cache()
         self._merged_by_k.clear()
-        self._rsk_group_by_k.clear()
         for shard in self._shards:
             shard.rsk_by_k.clear()
 
@@ -279,11 +316,12 @@ class ShardedEngine:
         Workers inherit their shard dataset (and its pre-built
         ``DatasetArrays``) via copy-on-write at fork time; scatter
         rounds then ship only the small per-batch payloads.  The root
-        **search pool** holds the full dataset and answers the
-        gather-side central searches, ``search_workers`` wide (defaults
-        to ``num_shards``; 0 disables it, keeping the searches
-        in-process).  Idempotent start is an error (mirrors the server
-        lifecycle).
+        **search pool** holds the full dataset — plus the MIUR-tree as
+        worker context when the engine indexes users — and answers the
+        gather-side per-query searches, ``search_workers`` wide
+        (defaults to ``num_shards``; 0 disables it, keeping the
+        searches in-process).  Idempotent start is an error (mirrors
+        the server lifecycle).
         """
         if self._pools_started:
             raise RuntimeError("shard pools already started")
@@ -299,7 +337,9 @@ class ShardedEngine:
             shard.pool = PersistentWorkerPool(shard.engine.dataset, workers_per_shard)
             shard.stats.pool_workers = workers_per_shard
         if search_workers > 0:
-            self._search_pool = PersistentWorkerPool(self.dataset, search_workers)
+            self._search_pool = PersistentWorkerPool(
+                self.dataset, search_workers, context=self.root.user_tree
+            )
         self._pools_started = True
         return self
 
@@ -338,7 +378,8 @@ class ShardedEngine:
         Unlike a cold single-engine ``query``, the shared traversal
         pool is memoized across calls — thresholds derived from it are
         value-identical to dedicated walks (PR 3's subsumption
-        guarantee), so results still match sequential queries exactly.
+        guarantee; PR 5 extended it to the indexed node-RSk), so
+        results still match sequential queries exactly.
         """
         opts = coerce_options(
             options, method=method, mode=mode, backend=backend,
@@ -390,230 +431,22 @@ class ShardedEngine:
         return self._execute_batch(queries, plan)
 
     # ------------------------------------------------------------------
-    # Scatter/gather execution
+    # Scatter/gather execution (driven by the unified phase pipeline)
     # ------------------------------------------------------------------
     def _execute_batch(
         self, queries: List[MaxBRSTkNNQuery], plan: QueryPlan
     ) -> List[MaxBRSTkNNResult]:
         if self._su is None:
             raise ValueError("dataset has no users to aggregate")
-        backend = plan.backend
-        if plan.shared_traversal_k is None:
-            # The planner rejects non-joint modes for num_shards > 1;
-            # a 1-shard ShardedEngine is indistinguishable there, so
-            # enforce the joint-only contract here too.
+        if plan.shared_traversal_k is None or plan.mode is Mode.BASELINE:
+            # The planner rejects baseline for num_shards > 1; a
+            # 1-shard ShardedEngine is indistinguishable there, so
+            # enforce the group-traversal contract here too.
             raise ValueError(
-                f"sharded execution covers mode=joint only (got mode={plan.mode})"
+                f"sharded execution covers mode=joint and mode=indexed only "
+                f"(got mode={plan.mode})"
             )
-        pool_state = _ensure_traversal_pool(self.root, plan.shared_traversal_k, backend)
-        engaged = [s for s in self._shards if s.users > 0]
-
-        # Phase 1 scatter: refine RSk(u) per shard for every k this
-        # engine has not merged yet (memoized across batches; values
-        # are walk-independent by subsumption, so a pool re-walk does
-        # not invalidate them).
-        need_ks = [k for k in plan.distinct_ks if k not in self._merged_by_k]
-        if need_ks:
-            self._scatter_refine(engaged, pool_state, need_ks, backend)
-        group_by_k = {
-            k: self._group_threshold(pool_state, k) for k in plan.distinct_ks
-        }
-
-        # Phase 2 scatter: one shortlist round covers the whole batch.
-        per_shard_partials = self._scatter_shortlist(
-            engaged, queries, group_by_k, backend
-        )
-
-        # Gather: merge each query's shard shortlists at the id level
-        # (sequential user order restored here).
-        merged_inputs = []
-        for qi, q in enumerate(queries):
-            merged = self._merged_by_k[q.k]
-            stats = QueryStats(
-                users_total=merged.users_total,
-                topk_time_s=pool_state.topk_time_s + merged.time_s,
-                io_node_visits=pool_state.io_node_visits,
-                io_invfile_blocks=pool_state.io_invfile_blocks,
-            )
-            partials = [per_shard[qi] for per_shard in per_shard_partials]
-            t0 = time.perf_counter()
-            kept, ids_per_location, pruned = merge_query_shortlist_ids(
-                partials, self._user_pos
-            )
-            self._merge_s += time.perf_counter() - t0
-            base_selection_s = sum(p.time_s for p in partials)
-            merged_inputs.append(
-                (q, kept, ids_per_location, pruned, stats, base_selection_s)
-            )
-
-        # Central search per query: independent across queries, so the
-        # flush fans out once more over the root search pool when one
-        # is running; otherwise the sequential in-process loop.
-        if self._search_pool is not None and len(queries) > 1:
-            return self._fan_out_searches(merged_inputs, group_by_k, plan)
-        results: List[MaxBRSTkNNResult] = []
-        for q, kept, ids_per_location, pruned, stats, base_selection_s in merged_inputs:
-            merged = self._merged_by_k[q.k]
-            result, elapsed = run_merged_search(
-                self.dataset, q, kept, ids_per_location, pruned, stats,
-                base_selection_s, merged.rsk, group_by_k[q.k],
-                plan.method.value, backend,
-            )
-            self._search_s += elapsed
-            results.append(result)
-        return results
-
-    def _fan_out_searches(
-        self, merged_inputs: List[tuple], group_by_k: Dict[int, float], plan: QueryPlan
-    ) -> List[MaxBRSTkNNResult]:
-        """Chunk the flush's central searches over the root search pool.
-
-        Items are grouped per k so each chunk ships the (O(|U|)-sized)
-        merged rsk map once; within a k group, round-robin chunks keep
-        every worker busy.  Workers run the sequential search code over
-        re-materialized shortlists — results identical to the
-        in-process loop by construction.
-        """
-        assert self._search_pool is not None
-        self._search_flushes += 1
-        by_k: Dict[int, List[int]] = {}
-        for i, item in enumerate(merged_inputs):
-            by_k.setdefault(item[0].k, []).append(i)
-        payloads, index_groups = [], []
-        for k, indices in by_k.items():
-            n_chunks = min(self._search_pool.workers, len(indices))
-            merged = self._merged_by_k[k]
-            for c in range(n_chunks):
-                chunk = indices[c::n_chunks]
-                payloads.append(
-                    ("search", [merged_inputs[i] for i in chunk], merged.rsk,
-                     group_by_k[k], plan.method.value, plan.backend)
-                )
-                index_groups.append(chunk)
-        t0 = time.perf_counter()
-        groups = self._search_pool.run_shard_tasks_async(payloads).get()
-        self._search_s += time.perf_counter() - t0
-        results: List[Optional[MaxBRSTkNNResult]] = [None] * len(merged_inputs)
-        for indices, group in zip(index_groups, groups):
-            for i, result in zip(indices, group):
-                results[i] = result
-        return results  # type: ignore[return-value]
-
-    def _group_threshold(self, pool_state, k: int) -> float:
-        """``RSk(us)`` memoized per (walk, k) — central, O(pool)."""
-        key = (pool_state.k, k)
-        value = self._rsk_group_by_k.get(key)
-        if value is None:
-            value = derive_rsk_group(pool_state, k)
-            self._rsk_group_by_k[key] = value
-        return value
-
-    def _scatter_refine(
-        self, engaged: List[_Shard], pool_state, ks: List[int], backend: str
-    ) -> None:
-        """One refine round: every engaged shard, all missing ks.
-
-        The k list is chunked across each shard pool's workers (like
-        the shortlist round) so a multi-worker shard refines several ks
-        concurrently; with one worker the whole list rides one payload
-        and the traversal pool pickles once.
-        """
-
-        def payloads_for(shard: _Shard) -> List[tuple]:
-            n_chunks = max(1, min(
-                shard.pool.workers if shard.pool is not None else 1, len(ks)
-            ))
-            return [
-                ("refine", pool_state.traversal, ks[c::n_chunks], backend,
-                 shard.shard_id)
-                for c in range(n_chunks)
-            ]
-
-        for shard in engaged:
-            shard.stats.queue_depth_peak = max(
-                shard.stats.queue_depth_peak, len(ks)
-            )
-        returned = self._dispatch(engaged, payloads_for)
-        by_k: Dict[int, List] = {k: [] for k in ks}
-        for shard, chunks in zip(engaged, returned):
-            shard.stats.refine_tasks += len(ks)
-            for partial in (p for chunk in chunks for p in chunk):
-                shard.stats.refine_time_s += partial.time_s
-                shard.rsk_by_k[partial.k] = partial.rsk
-                by_k[partial.k].append(partial)
-        for k in ks:
-            self._merged_by_k[k] = merge_partials(by_k[k])
-
-    def _scatter_shortlist(
-        self,
-        engaged: List[_Shard],
-        queries: List[MaxBRSTkNNQuery],
-        group_by_k: Dict[int, float],
-        backend: str,
-    ) -> List[List]:
-        """One shortlist round: the whole batch fans out once per shard.
-
-        Returns, per engaged shard, the per-query
-        :class:`~repro.core.partial.ShortlistPartial` list in query
-        order.  Shards with multi-worker pools split the batch into
-        per-worker chunks; order is restored on collect.
-        """
-
-        def payloads_for(shard: _Shard) -> List[tuple]:
-            rsk_by_k = {k: shard.rsk_by_k[k] for k in group_by_k}
-            n_chunks = max(1, min(
-                shard.pool.workers if shard.pool is not None else 1, len(queries)
-            ))
-            return [
-                ("shortlist", self._su, queries[c::n_chunks], rsk_by_k,
-                 group_by_k, backend, shard.shard_id)
-                for c in range(n_chunks)
-            ]
-
-        for shard in engaged:
-            shard.stats.queue_depth_peak = max(
-                shard.stats.queue_depth_peak, len(queries)
-            )
-        returned = self._dispatch(engaged, payloads_for)
-        results: List[List] = []
-        for shard, chunks in zip(engaged, returned):
-            n_chunks = len(chunks)
-            ordered = [None] * len(queries)
-            for c, chunk in enumerate(chunks):
-                for offset, partial in enumerate(chunk):
-                    ordered[c + offset * n_chunks] = partial
-                    shard.stats.shortlist_time_s += partial.time_s
-            shard.stats.queries += len(queries)
-            results.append(ordered)
-        return results
-
-    def _dispatch(self, engaged: List[_Shard], payloads_for) -> List[List]:
-        """Scatter payloads to every engaged shard, collect in order.
-
-        Pool-backed shards receive their payloads via ``map_async`` —
-        all dispatches happen before any collect, so shard pools run
-        concurrently — while pool-less shards execute in-process (the
-        deterministic fallback; identical partials either way because
-        both run :func:`~repro.serve.pool.execute_shard_payload`).
-        """
-        async_handles: List[Tuple[int, object]] = []
-        returned: List[Optional[List]] = [None] * len(engaged)
-        plans: List[List[tuple]] = []
-        for i, shard in enumerate(engaged):
-            payloads = payloads_for(shard)
-            plans.append(payloads)
-            shard.stats.scatter_flushes += 1
-            if shard.pool is not None:
-                async_handles.append((i, shard.pool.run_shard_tasks_async(payloads)))
-        for i, shard in enumerate(engaged):
-            if shard.pool is None:
-                returned[i] = [
-                    execute_shard_payload(shard.engine.dataset, payload)
-                    for payload in plans[i]
-                ]
-        for i, handle in async_handles:
-            returned[i] = handle.get()
-        return returned  # type: ignore[return-value]
+        return self._executor.execute(queries, plan)
 
 
 def make_engine(

@@ -22,7 +22,11 @@ import pytest
 from repro import Dataset
 from repro.core.bounds import BoundCalculator, augmented_document
 from repro.core.indexed_users import _node_rsk
-from repro.core.joint_topk import individual_topk, joint_traversal
+from repro.core.joint_topk import (
+    canonical_candidates,
+    individual_topk,
+    joint_traversal,
+)
 from repro.index.irtree import MIRTree
 from repro.index.miurtree import MIURTree
 from repro.model.objects import STObject, SuperUser
@@ -127,13 +131,17 @@ def test_miur_node_rsk_below_every_member_rsk(measure, seed, k):
         uid: res.kth_score
         for uid, res in individual_topk(traversal, ds, k).items()
     }
+    # The canonical per-k candidate set the search actually prunes on
+    # (pool-size independent; a subset of the pool, so the resulting
+    # threshold can only be smaller — the inequality must still hold).
+    canonical = canonical_candidates(traversal, traversal.rsk_group)
 
     # Walk the whole tree; every node summary is a super-user.
     stack = [root]
     nodes_checked = 0
     while stack:
         view = stack.pop()
-        node_threshold = _node_rsk(traversal, bounds, view.summary, k)
+        node_threshold = _node_rsk(canonical, bounds, view.summary, k)
         for uid in _subtree_user_ids(user_tree, view):
             assert node_threshold <= exact_rsk[uid] + EPS, (
                 view.page_id, uid, node_threshold, exact_rsk[uid],

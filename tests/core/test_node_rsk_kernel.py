@@ -1,4 +1,5 @@
-"""Vectorized ``_node_rsk``: bitwise identity with the scalar path."""
+"""Vectorized ``_node_rsk``: bitwise identity with the scalar path —
+plus the PR 5 pool-independence property that unlocks cross-k sharing."""
 
 import random
 
@@ -7,11 +8,10 @@ import pytest
 from repro import Dataset, EngineConfig, MaxBRSTkNNEngine
 from repro.core.bounds import BoundCalculator
 from repro.core.indexed_users import _node_rsk, compute_root_traversal
+from repro.core.joint_topk import canonical_candidates, derive_rsk_group
 from repro.core.kernels import HAS_NUMPY
 
 from ..conftest import make_random_objects, make_random_users
-
-pytestmark = pytest.mark.skipif(not HAS_NUMPY, reason="numpy kernels")
 
 
 def walk_summaries(user_tree):
@@ -24,8 +24,7 @@ def walk_summaries(user_tree):
         stack.extend(children)
 
 
-@pytest.mark.parametrize("seed", range(8))
-def test_node_rsk_bitwise_identical_on_random_trees(seed):
+def build_engine(seed):
     rng = random.Random(seed)
     measure = ["LM", "TF", "KO"][seed % 3]
     dataset = Dataset(
@@ -34,7 +33,13 @@ def test_node_rsk_bitwise_identical_on_random_trees(seed):
         relevance=measure,
         alpha=0.3 + 0.2 * (seed % 3),
     )
-    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+    return dataset, MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy kernels")
+@pytest.mark.parametrize("seed", range(8))
+def test_node_rsk_bitwise_identical_on_random_trees(seed):
+    dataset, engine = build_engine(seed)
     bounds = BoundCalculator(dataset)
     from repro.core.kernels import CandidatePoolArrays
 
@@ -42,18 +47,74 @@ def test_node_rsk_bitwise_identical_on_random_trees(seed):
         shared = compute_root_traversal(
             engine.object_tree, engine.user_tree, dataset, k, store=engine.store
         )
-        arrays = CandidatePoolArrays(dataset, shared.traversal.all_candidates())
+        canonical = shared.canonical_for(k)
+        arrays = CandidatePoolArrays(dataset, canonical)
         checked = 0
         for summary in walk_summaries(engine.user_tree):
-            scalar = _node_rsk(shared.traversal, bounds, summary, k)
+            scalar = _node_rsk(canonical, bounds, summary, k)
             vectorized = _node_rsk(
-                shared.traversal, bounds, summary, k, pool_arrays=arrays
+                canonical, bounds, summary, k, pool_arrays=arrays
             )
             assert scalar == vectorized  # bitwise, not approx
             checked += 1
         assert checked >= 1
 
 
+@pytest.mark.parametrize("seed", range(6))
+def test_node_rsk_pool_independent_under_kmax_walk(seed):
+    """The PR 5 keystone: ``RSk(node)`` derived from a shared ``k_max``
+    walk is bitwise-equal to the dedicated ``k``-walk's value, for every
+    node and every smaller k — so indexed cross-k sharing (and sharded
+    indexed execution) cannot change a single pruning decision."""
+    dataset, engine = build_engine(seed)
+    bounds = BoundCalculator(dataset)
+    k_max = 7
+    shared = compute_root_traversal(
+        engine.object_tree, engine.user_tree, dataset, k_max, store=engine.store
+    )
+    for k in (1, 2, 4, k_max):
+        dedicated = compute_root_traversal(
+            engine.object_tree, engine.user_tree, dataset, k, store=engine.store
+        )
+        # Group threshold derives identically...
+        assert shared.rsk_group_for(k) == dedicated.traversal.rsk_group
+        # ...and the canonical candidate sets are the same objects with
+        # the same bounds, in the same total order.
+        shared_pool = shared.canonical_for(k)
+        dedicated_pool = canonical_candidates(
+            dedicated.traversal, dedicated.traversal.rsk_group
+        )
+        assert [c.obj.item_id for c in shared_pool] == [
+            c.obj.item_id for c in dedicated_pool
+        ]
+        assert [c.lower for c in shared_pool] == [c.lower for c in dedicated_pool]
+        checked = 0
+        for summary in walk_summaries(engine.user_tree):
+            assert _node_rsk(shared_pool, bounds, summary, k) == _node_rsk(
+                dedicated_pool, bounds, summary, k
+            )
+            checked += 1
+        assert checked >= 1
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_derive_rsk_group_matches_dedicated_walks(seed):
+    dataset, engine = build_engine(seed)
+    k_max = 8
+    shared = compute_root_traversal(
+        engine.object_tree, engine.user_tree, dataset, k_max, store=engine.store
+    )
+    for k in range(1, k_max + 1):
+        dedicated = compute_root_traversal(
+            engine.object_tree, engine.user_tree, dataset, k, store=engine.store
+        )
+        assert (
+            derive_rsk_group(shared.traversal, k_max, k)
+            == dedicated.traversal.rsk_group
+        )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy kernels")
 def test_empty_pool_returns_zero():
     rng = random.Random(1)
     dataset = Dataset(
@@ -67,6 +128,7 @@ def test_empty_pool_returns_zero():
     assert arrays.node_rsk(dataset.super_user, 1) == 0.0
 
 
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy kernels")
 def test_pool_smaller_than_k_matches_scalar():
     rng = random.Random(2)
     dataset = Dataset(
@@ -80,8 +142,9 @@ def test_pool_smaller_than_k_matches_scalar():
     )
     from repro.core.kernels import CandidatePoolArrays
 
-    arrays = CandidatePoolArrays(dataset, shared.traversal.all_candidates())
-    big_k = len(shared.traversal.all_candidates()) + 1
+    canonical = shared.canonical_for(2)
+    arrays = CandidatePoolArrays(dataset, canonical)
+    big_k = len(canonical) + 1
     bounds = BoundCalculator(dataset)
-    assert _node_rsk(shared.traversal, bounds, dataset.super_user, big_k) == 0.0
+    assert _node_rsk(canonical, bounds, dataset.super_user, big_k) == 0.0
     assert arrays.node_rsk(dataset.super_user, big_k) == 0.0

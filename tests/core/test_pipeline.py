@@ -1,0 +1,295 @@
+"""The unified phase pipeline: stage contracts and executor identity.
+
+Three layers of guarantees:
+
+* **Stage round-trips** — for every scatter stage, ``merge(split(...))``
+  over any partition of the user set reconstructs the sequential
+  inputs *exactly* (same rsk maps, same shortlist ids in dataset user
+  order), because ``run`` is the shared worker entry both executors
+  use.
+* **Pipeline shapes** — ``build_pipeline`` wires the right typed
+  stages per (mode, executor), with validated inputs/outputs.
+* **Executor identity** — the LocalExecutor (via ``query_batch``) and
+  the ShardedExecutor (via ``ShardedEngine``) produce bitwise-equal
+  results; per-stage accounting lands on ``last_flush_report``.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Dataset,
+    EngineConfig,
+    MaxBRSTkNNEngine,
+    MaxBRSTkNNQuery,
+    QueryOptions,
+    STObject,
+)
+from repro.core.batch import _ensure_traversal_pool, derive_rsk_group
+from repro.core.joint_topk import individual_topk
+from repro.core.partial import merge_query_shortlist_ids
+from repro.core.pipeline import (
+    FlushContext,
+    RefineStage,
+    ShardHandle,
+    ShortlistStage,
+    build_pipeline,
+    execute_shard_payload,
+)
+from repro.core.planner import plan_batch
+from repro.datagen.partition import UserPartitioner
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build_dataset(seed=0, n_obj=60, n_users=20, vocab=16):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    measure = ["LM", "TF", "KO"][seed % 3]
+    return Dataset(objects, users, relevance=measure, alpha=0.5), rng, vocab
+
+
+def make_queries(rng, vocab, count, ks=(3, 5)):
+    return [
+        MaxBRSTkNNQuery(
+            ox=STObject(
+                item_id=-(i + 1),
+                location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                terms={},
+            ),
+            locations=[
+                Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(4)
+            ],
+            keywords=sorted(rng.sample(range(vocab), 5)),
+            ws=2,
+            k=ks[i % len(ks)],
+        )
+        for i in range(count)
+    ]
+
+
+def scatter_context(dataset, queries, num_shards, partitioner, seed):
+    """A joint-mode FlushContext plus shard handles over a partition."""
+    engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+    plan = plan_batch(
+        QueryOptions(backend="python"), engine.capabilities(),
+        [q.k for q in queries],
+    )
+    pool = _ensure_traversal_pool(engine, plan.shared_traversal_k, "python")
+    ctx = FlushContext(
+        engine=engine,
+        plan=plan,
+        queries=list(queries),
+        pool_state=pool,
+        need_ks=list(plan.distinct_ks),
+        group_by_k={k: derive_rsk_group(pool, k) for k in plan.distinct_ks},
+        super_user=dataset.super_user,
+        user_pos={u.item_id: i for i, u in enumerate(dataset.users)},
+    )
+    _, shard_datasets = UserPartitioner(partitioner, num_shards).split(dataset)
+    handles = [
+        ShardHandle(shard_id=i, dataset=ds, workers=1, rsk_by_k={})
+        for i, ds in enumerate(shard_datasets)
+        if ds.users
+    ]
+    return engine, ctx, handles
+
+
+class TestStageRoundTrips:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize("partitioner", ["hash", "grid"])
+    def test_refine_merge_split_roundtrips_to_sequential(
+        self, seed, num_shards, partitioner
+    ):
+        """merge(split(...)) == the sequential Algorithm 2 map, exactly."""
+        dataset, rng, vocab = build_dataset(seed=seed)
+        queries = make_queries(rng, vocab, 4, ks=(2, 5))
+        engine, ctx, handles = scatter_context(
+            dataset, queries, num_shards, partitioner, seed
+        )
+        stage = RefineStage()
+        partials_per_shard = [
+            [execute_shard_payload(h.dataset, p) for p in stage.split(ctx, h)]
+            for h in handles
+        ]
+        stage.merge(ctx, partials_per_shard)
+        pool = ctx["pool_state"]
+        for k in ctx["need_ks"]:
+            sequential = {
+                uid: res.kth_score
+                for uid, res in individual_topk(
+                    pool.traversal, dataset, k, backend="python"
+                ).items()
+            }
+            merged = ctx["merged_by_k"][k]
+            assert merged.rsk == sequential  # exact, not approx
+            assert merged.users_total == len(dataset.users)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_shortlist_merge_split_restores_sequential_user_order(
+        self, seed, num_shards
+    ):
+        """Merged shortlist ids per location == the sequential scan's
+        ``[u for u in users if UBL >= RSk(u)]``, in dataset user order."""
+        from repro.core.candidate_selection import shortlist_locations
+
+        dataset, rng, vocab = build_dataset(seed=seed + 10)
+        queries = make_queries(rng, vocab, 3, ks=(3,))
+        engine, ctx, handles = scatter_context(
+            dataset, queries, num_shards, "hash", seed
+        )
+        # Refine first (shortlist reads the per-shard rsk maps).
+        refine = RefineStage()
+        refine_partials = [
+            [execute_shard_payload(h.dataset, p) for p in refine.split(ctx, h)]
+            for h in handles
+        ]
+        refine.merge(ctx, refine_partials)
+        for h, chunks in zip(handles, refine_partials):
+            for partial in (p for chunk in chunks for p in chunk):
+                h.rsk_by_k[partial.k] = partial.rsk
+        stage = ShortlistStage()
+        partials_per_shard = [
+            [execute_shard_payload(h.dataset, p) for p in stage.split(ctx, h)]
+            for h in handles
+        ]
+        stage.merge(ctx, partials_per_shard)
+        merged = ctx["merged_by_k"]
+        for q, (q2, kept, ids_per_location, pruned, _stats, _t) in zip(
+            queries, ctx["merged_inputs"]
+        ):
+            assert q is q2
+            sequential, seq_pruned = shortlist_locations(
+                dataset, q, merged[q.k].rsk, ctx["group_by_k"][q.k],
+                super_user=dataset.super_user, backend="python",
+            )
+            assert pruned == seq_pruned
+            assert [loc for loc, _, _ in kept] == [sl.index for sl in sequential]
+            assert ids_per_location == [
+                [u.item_id for u in sl.users] for sl in sequential
+            ]
+
+    def test_merge_rejects_overlapping_shards(self):
+        """The refine merge is a *disjoint* union — overlap raises."""
+        dataset, rng, vocab = build_dataset(seed=2)
+        queries = make_queries(rng, vocab, 2, ks=(3,))
+        engine, ctx, handles = scatter_context(dataset, queries, 2, "hash", 2)
+        stage = RefineStage()
+        partials = [
+            [execute_shard_payload(h.dataset, p) for p in stage.split(ctx, h)]
+            for h in handles
+        ]
+        duplicated = [partials[0], partials[0]]  # same users twice
+        with pytest.raises(ValueError, match="re-reports"):
+            stage.merge(ctx, duplicated)
+
+    def test_shortlist_merge_checks_group_agreement(self):
+        dataset, rng, vocab = build_dataset(seed=3)
+        from repro.core.partial import ShortlistPartial
+
+        good = ShortlistPartial(
+            shard_id=0, kept=[(0, 1.0, 0.5)], users=[[1]],
+            locations_pruned=1, time_s=0.0,
+        )
+        bad = ShortlistPartial(
+            shard_id=1, kept=[(0, 0.9, 0.5)], users=[[2]],
+            locations_pruned=1, time_s=0.0,
+        )
+        with pytest.raises(ValueError, match="disagrees"):
+            merge_query_shortlist_ids([good, bad], {1: 0, 2: 1})
+
+
+class TestPipelineShapes:
+    def test_stage_lists_per_mode_and_executor(self):
+        dataset, rng, vocab = build_dataset()
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        caps = engine.capabilities()
+        joint = plan_batch(QueryOptions(backend="python"), caps, [3, 5])
+        indexed = plan_batch(
+            QueryOptions(mode="indexed", backend="python"), caps, [3, 5]
+        )
+        baseline = plan_batch(
+            QueryOptions(mode="baseline", backend="python"), caps, [3]
+        )
+        assert build_pipeline(joint, sharded=False).stage_names() == (
+            "traverse", "refine", "select",
+        )
+        assert build_pipeline(joint, sharded=True).stage_names() == (
+            "traverse", "refine", "shortlist", "search",
+        )
+        assert build_pipeline(indexed, sharded=False).stage_names() == (
+            "traverse", "indexed-search",
+        )
+        assert build_pipeline(indexed, sharded=True).stage_names() == (
+            "traverse", "indexed-search",
+        )
+        assert build_pipeline(baseline, sharded=False).stage_names() == (
+            "baseline-topk", "select",
+        )
+
+    def test_stages_declare_io_slots(self):
+        dataset, _, _ = build_dataset()
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        plan = plan_batch(QueryOptions(backend="python"), engine.capabilities(), [3])
+        pipeline = build_pipeline(plan, sharded=True)
+        produced = {"engine", "plan", "queries", "io_counter", "need_ks",
+                    "super_user", "user_pos", "merged_by_k", "users_total",
+                    "store"}
+        for stage in pipeline.stages:
+            assert stage.inputs, stage.name
+            missing = [s for s in stage.inputs if s not in produced]
+            assert not missing, (stage.name, missing)
+            produced |= set(stage.outputs)
+        assert "results" in produced
+
+    def test_context_require_names_the_missing_slot(self):
+        ctx = FlushContext()
+        with pytest.raises(RuntimeError, match="merged_by_k"):
+            ctx.require("merged_by_k")
+
+
+class TestFlushReports:
+    def test_local_joint_flush_report(self):
+        dataset, rng, vocab = build_dataset(seed=4)
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
+        queries = make_queries(rng, vocab, 4, ks=(2, 4))
+        engine.query_batch(queries, QueryOptions(backend="python"))
+        report = engine.last_flush_report
+        assert report is not None
+        assert report.mode == "joint"
+        assert report.batch_size == 4
+        assert [s.stage for s in report.stages] == ["traverse", "refine", "select"]
+        # The one tree walk's I/O lands on the traverse stage.
+        traverse = report.stage("traverse")
+        assert traverse.io_node_visits + traverse.io_invfile_blocks > 0
+        assert report.stage("select").io_node_visits == 0
+
+    def test_local_indexed_flush_report_charges_search_io(self):
+        dataset, rng, vocab = build_dataset(seed=5)
+        engine = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        queries = make_queries(rng, vocab, 3, ks=(3,))
+        engine.query_batch(queries, QueryOptions(mode="indexed", backend="python"))
+        report = engine.last_flush_report
+        assert [s.stage for s in report.stages] == ["traverse", "indexed-search"]
+        search = report.stage("indexed-search")
+        # The best-first search reads MIUR pages through the store.
+        assert search.io_node_visits + search.io_invfile_blocks > 0
+
+    def test_sharded_flush_report(self):
+        from repro.serve import ShardedEngine
+
+        dataset, rng, vocab = build_dataset(seed=6)
+        queries = make_queries(rng, vocab, 4, ks=(3,))
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        sharded.query_batch(queries, QueryOptions(backend="python"))
+        report = sharded.last_flush_report
+        assert [s.stage for s in report.stages] == [
+            "traverse", "refine", "shortlist", "search",
+        ]
+        assert report.stage("refine").scatter_width == 2
+        assert report.stage("shortlist").items == 4

@@ -50,16 +50,18 @@ class TestPlanBatch:
         """Joint batches share ONE traversal at k_max across all ks."""
         plan = plan_batch(QueryOptions(), CAPS, ks=[1, 5, 10, 5])
         assert plan.shared_traversal_k == 10
-        # Baseline and indexed batches do not pool across k.
+        # Baseline batches do not pool across k (no group traversal)...
         assert (
             plan_batch(QueryOptions(mode="baseline"), CAPS, ks=[1, 5])
             .shared_traversal_k
             is None
         )
+        # ...but indexed batches do, since the node-RSk reformulation
+        # made every per-k derivation pool-independent (PR 5).
         assert (
             plan_batch(QueryOptions(mode="indexed"), CAPS, ks=[1, 5])
             .shared_traversal_k
-            is None
+            == 5
         )
         # Single queries stay cold: no pool.
         assert plan_query(QueryOptions(), CAPS, k=7).shared_traversal_k is None
@@ -69,6 +71,14 @@ class TestPlanBatch:
         assert plan.shared_traversal is True
         assert plan.shared_topk is False
         assert plan.distinct_ks == (3, 7)
+        assert plan.shared_traversal_k == 7
+
+    def test_indexed_batch_reuses_a_larger_existing_pool(self):
+        from dataclasses import replace
+
+        warm = replace(CAPS, root_pool_k=9)
+        plan = plan_batch(QueryOptions(mode="indexed"), warm, ks=[3, 7])
+        assert plan.shared_traversal_k == 9  # names the walk actually used
 
     def test_indexed_batch_keeps_selection_in_process(self):
         plan = plan_batch(QueryOptions(mode="indexed", workers=4), CAPS, ks=[3, 3])

@@ -153,6 +153,158 @@ class TestEquivalenceProperty:
             assert_results_equal(a, c)
 
 
+class TestIndexedEquivalenceProperty:
+    """PR 5 acceptance: ``Mode.INDEXED`` rides the same scatter — results,
+    I/O traces and selection stats bitwise-identical to the single
+    sequential engine, one k_max walk per flush."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("partitioner", ["hash", "grid"])
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_indexed_sharded_equals_single_engine_batch(
+        self, seed, partitioner, num_shards
+    ):
+        dataset, rng, vocab = build_dataset(seed=seed)
+        queries = make_queries(rng, vocab, 6, ks=(2, 4, 6))  # mixed k
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        options = QueryOptions(mode="indexed", backend="python")
+        reference = single.query_batch(queries, options)
+        assert single.traversal_runs == 1  # indexed cross-k sharing
+
+        sharded = ShardedEngine(
+            dataset,
+            EngineConfig(
+                fanout=4, num_shards=num_shards, partitioner=partitioner,
+                index_users=True,
+            ),
+        )
+        results = sharded.query_batch(queries, options)
+        assert sharded.traversal_runs == 1  # one k_max walk per flush
+        for a, b in zip(reference, results):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+            assert a.stats.users_pruned == b.stats.users_pruned
+        # The shared I/O counter ends exactly where the single engine's
+        # did (walk + every search's MIUR page reads).
+        assert sharded.io.snapshot().total == single.io.snapshot().total
+
+    def test_indexed_sharded_equals_cold_sequential_results(self):
+        """Results (not just batch-vs-batch) match truly cold per-query
+        sequential execution — the node-RSk reformulation guarantee."""
+        dataset, rng, vocab = build_dataset(seed=11)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        options = QueryOptions(mode="indexed", backend="python")
+        sequential = []
+        for q in queries:
+            fresh = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+            sequential.append(fresh.query(q, options))
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=2, index_users=True)
+        )
+        for a, b in zip(sequential, sharded.query_batch(queries, options)):
+            assert_results_equal(a, b)
+            # Selection stats (pruning, combinations, users pruned) are
+            # cold-identical; top-k I/O reports the shared walk instead.
+            assert a.stats.locations_pruned == b.stats.locations_pruned
+            assert (
+                a.stats.keyword_combinations_scored
+                == b.stats.keyword_combinations_scored
+            )
+            assert a.stats.users_pruned == b.stats.users_pruned
+
+    @pytest.mark.parametrize("method", ["approx", "exact"])
+    def test_indexed_both_selectors(self, method):
+        dataset, rng, vocab = build_dataset(seed=12)
+        queries = make_queries(rng, vocab, 4, ks=(3,))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        options = QueryOptions(mode="indexed", method=method, backend="python")
+        reference = single.query_batch(queries, options)
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=3, index_users=True)
+        )
+        for a, b in zip(reference, sharded.query_batch(queries, options)):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    @pytest.mark.skipif(not HAS_NUMPY, reason="numpy backend")
+    def test_indexed_numpy_backend_matches_python_reference(self):
+        dataset, rng, vocab = build_dataset(seed=13)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        reference = single.query_batch(
+            queries, QueryOptions(mode="indexed", backend="python")
+        )
+        sharded = ShardedEngine(
+            dataset,
+            EngineConfig(fanout=4, num_shards=2, partitioner="grid",
+                         index_users=True),
+        )
+        for a, b in zip(
+            reference,
+            sharded.query_batch(queries, QueryOptions(mode="indexed", backend="numpy")),
+        ):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="search pool requires fork")
+    def test_indexed_search_pool_fanout_matches_in_process(self):
+        """The per-query searches fan out over the root search pool with
+        IOCharge ledgers — results AND the shared counter identical to
+        the in-process path."""
+        dataset, rng, vocab = build_dataset(seed=14)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        options = QueryOptions(mode="indexed", backend="python")
+        inproc = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=2, index_users=True)
+        )
+        reference = inproc.query_batch(queries, options)
+        pooled = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=2, index_users=True)
+        )
+        pooled.start_pools(1, search_workers=2)
+        try:
+            results = pooled.query_batch(queries, options)
+        finally:
+            pooled.close_pools()
+        for a, b in zip(reference, results):
+            assert_results_equal(a, b)
+            assert_stats_equal(a, b)
+            assert a.stats.users_pruned == b.stats.users_pruned
+        assert pooled.io.snapshot().total == inproc.io.snapshot().total
+
+    def test_indexed_single_query_matches_sequential(self):
+        dataset, rng, vocab = build_dataset(seed=15)
+        query = make_queries(rng, vocab, 1, ks=(4,))[0]
+        single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4, index_users=True))
+        solo = single.query(query, QueryOptions(mode="indexed", backend="python"))
+        for num_shards in (1, 2):
+            sharded = ShardedEngine(
+                dataset,
+                EngineConfig(fanout=4, num_shards=num_shards, index_users=True),
+            )
+            assert_results_equal(
+                solo,
+                sharded.query(query, QueryOptions(mode="indexed", backend="python")),
+            )
+
+    def test_indexed_plan_reports_pooling_and_fanout(self):
+        dataset, _, _ = build_dataset(seed=16)
+        sharded = ShardedEngine(
+            dataset, EngineConfig(fanout=4, num_shards=2, index_users=True)
+        )
+        text = sharded.plan(QueryOptions(mode="indexed"), ks=[3, 5]).explain()
+        assert "MIUR-root joint traversal" in text
+        assert "one walk at k=5" in text
+        assert "in-process per query" in text  # no search pool running
+        sharded.start_pools(1, search_workers=2)
+        try:
+            text = sharded.plan(QueryOptions(mode="indexed"), ks=[3, 5]).explain()
+            assert "root search pool x2" in text
+            assert "ledger" in text
+        finally:
+            sharded.close_pools()
+
+
 class TestEdgeCases:
     def test_more_shards_than_users(self):
         dataset, rng, vocab = build_dataset(seed=3, n_users=3)
@@ -182,11 +334,19 @@ class TestEdgeCases:
         queries = make_queries(rng, 14, 3, ks=(3,))
         single = MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4))
         reference = single.query_batch(queries, QueryOptions(backend="python"))
-        sharded = ShardedEngine(
-            dataset, EngineConfig(fanout=4, num_shards=4, partitioner="grid")
-        )
+        # Skew guard satellite: one shard holding everything warns at
+        # build time and is surfaced in stats and the plan.
+        with pytest.warns(RuntimeWarning, match="unbalanced partition"):
+            sharded = ShardedEngine(
+                dataset, EngineConfig(fanout=4, num_shards=4, partitioner="grid")
+            )
         # every user in one grid cell -> a single engaged shard
         assert sorted(sharded.assignment.counts()) == [0, 0, 0, 12]
+        assert sharded.partition_skew == 4.0
+        assert sharded.gather_stats()["partition_skew"] == 4.0
+        plan_text = sharded.plan(QueryOptions(), ks=[3]).explain()
+        assert "skew 4.00x ideal" in plan_text
+        assert "UNBALANCED" in plan_text
         for a, b in zip(
             reference, sharded.query_batch(queries, QueryOptions(backend="python"))
         ):
@@ -205,23 +365,31 @@ class TestValidation:
         with pytest.raises(ValueError, match="ShardedEngine"):
             MaxBRSTkNNEngine(dataset, EngineConfig(num_shards=2))
 
-    def test_sharded_rejects_non_joint_modes(self):
+    def test_sharded_rejects_baseline_mode(self):
         dataset, rng, vocab = build_dataset()
         query = make_queries(rng, vocab, 1)[0]
         # num_shards=1 included: the planner cannot tell a 1-shard
-        # ShardedEngine apart, so the engine enforces joint-only itself.
+        # ShardedEngine apart, so the engine enforces the
+        # group-traversal-only contract itself.
         for num_shards in (1, 2):
             sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=num_shards))
-            for mode in ("baseline", "indexed"):
-                # (1, indexed) trips the planner's user-tree check first;
-                # every other combination hits the joint-only guard.
-                with pytest.raises(ValueError, match="joint|index_users"):
-                    sharded.query(query, QueryOptions(mode=mode))
+            with pytest.raises(ValueError, match="baseline|joint"):
+                sharded.query(query, QueryOptions(mode="baseline"))
 
-    def test_sharded_rejects_index_users(self):
+    def test_sharded_indexed_requires_user_tree(self):
+        dataset, rng, vocab = build_dataset()
+        query = make_queries(rng, vocab, 1)[0]
+        sharded = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=2))
+        with pytest.raises(ValueError, match="index_users"):
+            sharded.query(query, QueryOptions(mode="indexed"))
+
+    def test_sharded_accepts_index_users(self):
         dataset, _, _ = build_dataset()
-        with pytest.raises(ValueError, match="joint"):
-            ShardedEngine(dataset, EngineConfig(num_shards=2, index_users=True))
+        sharded = ShardedEngine(dataset, EngineConfig(num_shards=2, index_users=True))
+        assert sharded.user_tree is not None
+        # Only the root engine carries an MIUR-tree; shard engines run
+        # the per-user joint phases and never need one.
+        assert all(shard.engine.user_tree is None for shard in sharded.shards)
 
     def test_sharded_rejects_external_pool(self):
         dataset, rng, vocab = build_dataset()

@@ -69,7 +69,38 @@ class TestCLI:
         assert "scatter: width" in out
         assert "shard[0]:" in out  # per-shard counters surfaced
         assert "adaptive_wait_ms" in out
-        assert "verify: served results == sequential on 6 queries (shards=2)" in out
+        assert "partition_skew" in out
+        assert (
+            "verify: served results == sequential on 6 queries "
+            "(mode=joint, shards=2)" in out
+        )
+
+    def test_serve_sharded_indexed_verifies(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--queries", "6", "--max-batch", "4",
+            "--shards", "2", "--mode", "indexed", "--verify", "--explain",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MIUR-root joint traversal" in out
+        assert (
+            "verify: served results == sequential on 6 queries "
+            "(mode=indexed, shards=2)" in out
+        )
+
+    def test_serve_indexed_verifies_against_sequential(self, capsys):
+        rc = main([
+            "serve", "--objects", "200", "--users", "20", "--locations", "3",
+            "--k", "3", "--queries", "4", "--max-batch", "4",
+            "--mode", "indexed", "--verify",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert (
+            "verify: served results == sequential on 4 queries "
+            "(mode=indexed, shards=1)" in out
+        )
 
     def test_serve_rejects_bad_max_wait(self, capsys):
         rc = main([
@@ -78,10 +109,10 @@ class TestCLI:
         ])
         assert rc == 2
 
-    def test_serve_rejects_sharded_non_joint(self, capsys):
+    def test_serve_rejects_sharded_baseline(self, capsys):
         rc = main([
             "serve", "--objects", "200", "--users", "20", "--queries", "2",
-            "--shards", "2", "--mode", "indexed",
+            "--shards", "2", "--mode", "baseline",
         ])
         assert rc == 2
 
