@@ -27,7 +27,7 @@ import time
 from typing import List
 
 from . import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
-from .core.config import EngineConfig, QueryOptions
+from .core.config import CachePolicy, EngineConfig, QueryOptions
 from .datagen import (
     candidate_locations,
     flickr_like,
@@ -155,6 +155,9 @@ def _cmd_serve(args) -> int:
         print(f"serve: --max-wait-ms must be a finite number >= 0 or 'auto', "
               f"got {args.max_wait_ms!r}", file=sys.stderr)
         return 2
+    if args.cache_entries < 1:
+        print("serve: --cache-entries must be >= 1", file=sys.stderr)
+        return 2
     dataset, workload = _make_workload(args)
     engine = make_engine(
         dataset,
@@ -170,6 +173,7 @@ def _cmd_serve(args) -> int:
         max_wait_ms=max_wait_ms,
         pool_workers=args.pool_workers,
         options=options,
+        cache=CachePolicy(max_entries=args.cache_entries) if args.cache else None,
     )
     queries = _make_query_pool(workload, args, args.queries)
 
@@ -193,6 +197,12 @@ def _cmd_serve(args) -> int:
             return list(results), time.perf_counter() - t0, server.stats_snapshot()
 
     results, elapsed, snapshot = asyncio.run(run())
+    if args.explain:
+        # The same plan again, now that the engine's FlushHistory holds
+        # the served flushes: decisions rendered "static" on the cold
+        # engine re-resolve as "observed" from measured stage timings.
+        print("plan after serving (flush history warm):")
+        print(engine.plan(options, ks=[q.k for q in queries]).explain())
     latencies.sort()
     qps = len(queries) / elapsed if elapsed > 0 else float("inf")
     print(f"served {len(queries)} concurrent queries in {1000 * elapsed:.1f} ms "
@@ -325,6 +335,11 @@ def main(argv=None) -> int:
                             "server (scatter/gather, result-identical)")
     serve.add_argument("--partitioner", choices=["hash", "grid"], default="hash",
                        help="user partitioning strategy for --shards > 1")
+    serve.add_argument("--cache", action="store_true",
+                       help="enable the cross-flush result cache (exact "
+                            "repeat queries answered without executing)")
+    serve.add_argument("--cache-entries", type=int, default=4096,
+                       help="LRU capacity of the result cache (with --cache)")
     serve.add_argument("--verify", action="store_true",
                        help="compare served results against sequential queries")
     serve.set_defaults(func=_cmd_serve)

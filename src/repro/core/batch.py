@@ -339,7 +339,12 @@ def query_batch(
     queries = list(queries)
     if not queries:
         return []
-    plan = plan_batch(opts, EngineCapabilities.of(engine), [q.k for q in queries])
+    plan = plan_batch(
+        opts,
+        EngineCapabilities.of(engine),
+        [q.k for q in queries],
+        history=getattr(engine, "flush_history", None),
+    )
     return execute_batch(engine, queries, plan, pool=pool)
 
 
@@ -357,9 +362,13 @@ def execute_batch(
     this one engine; per-stage accounting lands on
     ``engine.last_flush_report``.
     """
+    from .history import signature_of
     from .pipeline import LocalExecutor
 
     executor = LocalExecutor(engine, pool=pool)
     results = executor.execute(queries, plan)
     engine.last_flush_report = executor.last_flush_report
+    history = getattr(engine, "flush_history", None)
+    if history is not None and executor.last_flush_report is not None:
+        history.record(signature_of(plan), executor.last_flush_report)
     return results

@@ -35,10 +35,24 @@ __all__ = [
     "Mode",
     "Backend",
     "Partitioner",
+    "CachePolicy",
     "EngineConfig",
     "QueryOptions",
     "coerce_options",
 ]
+
+
+def _require_int(name: str, value, minimum: int) -> None:
+    """Reject non-ints *including* ``bool`` (``True`` is an ``int``).
+
+    ``isinstance(x, int)`` alone accepts booleans — ``max_batch=True``
+    used to validate and silently serve batches of one — so every
+    integer knob across the config surface routes through this check.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{name} must be an int (not bool), got {value!r}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
 
 
 class _CoercingEnum(str, enum.Enum):
@@ -131,20 +145,51 @@ class EngineConfig:
     partitioner: Partitioner = Partitioner.HASH
 
     def __post_init__(self) -> None:
-        if not isinstance(self.fanout, int) or self.fanout < 2:
-            raise ValueError(f"fanout must be an int >= 2, got {self.fanout!r}")
-        if not isinstance(self.buffer_pages, int) or self.buffer_pages < 0:
+        _require_int("fanout", self.fanout, minimum=2)
+        _require_int("buffer_pages", self.buffer_pages, minimum=0)
+        _require_int("num_shards", self.num_shards, minimum=1)
+        if not isinstance(self.index_users, bool):
             raise ValueError(
-                f"buffer_pages must be a non-negative int, got {self.buffer_pages!r}"
-            )
-        if not isinstance(self.num_shards, int) or isinstance(self.num_shards, bool) \
-                or self.num_shards < 1:
-            raise ValueError(
-                f"num_shards must be an int >= 1, got {self.num_shards!r}"
+                f"index_users must be a bool, got {self.index_users!r}"
             )
         object.__setattr__(self, "partitioner", Partitioner.coerce(self.partitioner))
 
     def with_(self, **kwargs) -> "EngineConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class CachePolicy:
+    """Knobs of the cross-flush result cache (:mod:`repro.core.cache`).
+
+    Attributes
+    ----------
+    max_entries:
+        LRU capacity in cached results.  A cached
+        :class:`~repro.core.query.MaxBRSTkNNResult` is small (a
+        location, two frozensets, stats), so the default keeps a few
+        thousand hot queries without meaningful memory pressure.
+    track_thresholds:
+        Also count the warm tier: queries that *miss* the exact-result
+        cache but land on a ``k`` the engine's memoized
+        ``SharedTopK``/``RootTraversal`` pools have already walked —
+        they skip the tree walk and threshold derivation even though
+        the full selection re-runs.  Surfaced as
+        ``cache_threshold_hits`` in :class:`~repro.serve.config.ServerStats`.
+    """
+
+    max_entries: int = 4096
+    track_thresholds: bool = True
+
+    def __post_init__(self) -> None:
+        _require_int("max_entries", self.max_entries, minimum=1)
+        if not isinstance(self.track_thresholds, bool):
+            raise ValueError(
+                f"track_thresholds must be a bool, got {self.track_thresholds!r}"
+            )
+
+    def with_(self, **kwargs) -> "CachePolicy":
         """Functional update (frozen dataclass)."""
         return replace(self, **kwargs)
 
@@ -178,10 +223,7 @@ class QueryOptions:
         object.__setattr__(self, "method", Method.coerce(self.method))
         object.__setattr__(self, "mode", Mode.coerce(self.mode))
         object.__setattr__(self, "backend", Backend.coerce(self.backend))
-        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
-            raise ValueError(f"workers must be an int, got {self.workers!r}")
-        if self.workers < 1:
-            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        _require_int("workers", self.workers, minimum=1)
 
     @classmethod
     def default(cls) -> "QueryOptions":

@@ -41,6 +41,7 @@ from .baseline import baseline_maxbrstknn
 from .batch import query_batch
 from .candidate_selection import select_candidate
 from .config import EngineConfig, Mode, QueryOptions, coerce_options
+from .history import FlushHistory
 from .indexed_users import indexed_users_maxbrstknn
 from .joint_topk import individual_topk, joint_traversal
 from .planner import EngineCapabilities, QueryPlan, plan_batch, plan_query
@@ -174,6 +175,11 @@ class MaxBRSTkNNEngine:
         #: Per-stage accounting of the most recent pipeline flush
         #: (:class:`repro.core.pipeline.FlushReport`), introspection.
         self.last_flush_report = None
+        #: Ring buffers of executed-flush accounting per (mode, backend,
+        #: scatter-width) signature — the planner's observed-cost model
+        #: reads it per flush (:mod:`repro.core.history`).  Survives
+        #: :meth:`clear_topk_cache`: it holds timings, never answers.
+        self.flush_history = FlushHistory()
 
     # ------------------------------------------------------------------
     # Planning / introspection
@@ -195,8 +201,8 @@ class MaxBRSTkNNEngine:
         options = options if options is not None else QueryOptions.default()
         caps = self.capabilities()
         if ks:
-            return plan_batch(options, caps, list(ks))
-        return plan_query(options, caps)
+            return plan_batch(options, caps, list(ks), history=self.flush_history)
+        return plan_query(options, caps, history=self.flush_history)
 
     # ------------------------------------------------------------------
     # Top-k entry points (benchmarked separately: Figures 5a/5b etc.)

@@ -822,7 +822,8 @@ class LocalExecutor(_ExecutorBase):
             return 1, len(queries)
 
         pooled = (
-            stage.name == "select" and self.pool is not None and len(queries) > 1
+            stage.name == "select" and self.pool is not None
+            and len(queries) > 1 and not plan.select_inprocess
         )
         forked = (
             not pooled and plan.workers > 1
@@ -909,14 +910,23 @@ class ShardedExecutor(_ExecutorBase):
     def _scatter_users(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
+        plan = ctx.require("plan")
         if stage.name == "refine" and not ctx.require("need_ks"):
             return 0, 0  # every k already merged (memoized across flushes)
+        # Observed planner decision: at trivial queue depth the shard
+        # pools are pure dispatch overhead — run the same payloads
+        # in-process (split/merge and partition layout unchanged).
+        inprocess = plan.shard is not None and plan.shard.scatter_inprocess
         handles = [
             ShardHandle(
                 shard_id=shard.shard_id,
                 dataset=shard.engine.dataset,
-                workers=(shard.pool.workers if shard.pool is not None else 1),
-                pool=shard.pool,
+                workers=(
+                    shard.pool.workers
+                    if shard.pool is not None and not inprocess
+                    else 1
+                ),
+                pool=None if inprocess else shard.pool,
                 rsk_by_k=shard.rsk_by_k,
                 stats=shard.stats,
             )
@@ -972,14 +982,18 @@ class ShardedExecutor(_ExecutorBase):
     def _scatter_queries(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
+        plan = ctx.require("plan")
         pool = sharded._search_pool
         root = sharded.root
         # Fan out only when it can pay off AND I/O stays replayable:
         # the indexed search reads MIUR pages, so a warm LRU buffer
-        # (global access order) forces the in-process path.
+        # (global access order) forces the in-process path.  The
+        # observed planner can also pull the searches in-process when
+        # measured per-query cost is under the dispatch bar.
         use_pool = (
             pool is not None and len(queries) > 1
             and (stage.name != "indexed-search" or root.store.buffer is None)
+            and not (plan.shard is not None and plan.shard.search_inprocess)
         )
         ctx["use_ledgers"] = use_pool and stage.name == "indexed-search"
         handle = ShardHandle(

@@ -17,6 +17,18 @@ the object tree against the MIUR-tree root summary depends only on
 ``(dataset, k)``), so batched indexed queries amortize the same phase
 batched joint queries always did.
 
+Since PR 6 planning is also *adaptive*: callers may pass the engine's
+:class:`~repro.core.history.FlushHistory`, and the planner consults the
+observed per-item stage costs at the flush's signature before choosing
+a fan-out — measured sub-millisecond work stays in-process (a pool
+round-trip costs more than it saves), and a joint scatter whose
+per-shard queue depth has been consistently trivial dispatches
+in-process instead of through the shard pools.  Every such decision is
+a :class:`PlanDecision` on the plan, rendered by ``explain()`` with an
+``observed`` rationale; a cold engine (fewer than
+``MIN_OBSERVED_FLUSHES`` flushes recorded at the signature) falls back
+to the static plan and says so.
+
 ``QueryPlan.explain()`` renders the decisions as text — the serving
 layer and the CLI surface it for observability.
 """
@@ -24,10 +36,11 @@ layer and the CLI surface it for observability.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from .config import Method, Mode, QueryOptions
+from .history import FlushHistory, FlushSignature
 from .kernels import HAS_NUMPY
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,9 +50,27 @@ __all__ = [
     "EngineCapabilities",
     "ShardPlan",
     "QueryPlan",
+    "PlanDecision",
     "plan_query",
     "plan_batch",
+    "MIN_OBSERVED_FLUSHES",
+    "INPROCESS_STAGE_MS",
+    "LOW_QUEUE_DEPTH",
 ]
+
+#: Flushes a signature must accumulate before observed costs override
+#: the static plan — one or two flushes still carry warm-up noise
+#: (kernel array builds, pool forks, cold page store).
+MIN_OBSERVED_FLUSHES = 3
+
+#: Per-item stage cost (ms) under which dispatching that stage's items
+#: to a process pool cannot pay for the pickle/IPC round-trip.
+INPROCESS_STAGE_MS = 1.0
+
+#: Mean per-shard queue depth under which a joint scatter's pool
+#: dispatch is pure overhead (each engaged shard receives the full work
+#: list, so mean stage items per flush *is* the per-shard depth).
+LOW_QUEUE_DEPTH = 2.0
 
 
 def _fork_available() -> bool:
@@ -92,6 +123,22 @@ class EngineCapabilities:
 
 
 @dataclass(frozen=True, slots=True)
+class PlanDecision:
+    """One planner choice, with its provenance.
+
+    ``source`` is ``"observed"`` when the choice came from measured
+    :class:`~repro.core.history.FlushHistory` costs, ``"static"`` when
+    the planner had no (or not yet enough) history at the flush's
+    signature and fell back to the capability-driven default.
+    """
+
+    name: str
+    choice: str
+    source: str
+    rationale: str
+
+
+@dataclass(frozen=True, slots=True)
 class ShardPlan:
     """How a batch scatters over user partitions and gathers back.
 
@@ -124,6 +171,15 @@ class ShardPlan:
     #: even; > num_shards/2 means one shard holds most of the users —
     #: the grid partitioner can do this when users cluster).
     largest_skew: float = 1.0
+    #: Observed decision: run the gather-side per-query searches
+    #: in-process even though a root search pool exists (measured
+    #: sub-millisecond searches cannot pay for pool dispatch).
+    search_inprocess: bool = False
+    #: Observed decision: execute the user-axis scatter stages
+    #: in-process instead of through the shard pools (measured trivial
+    #: per-shard queue depth) — partition layout and merge order are
+    #: unchanged, only the dispatch transport drops.
+    scatter_inprocess: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -168,6 +224,16 @@ class QueryPlan:
     shard:
         Scatter/gather layout when the executing engine is sharded
         (:class:`ShardPlan`); ``None`` for single-engine execution.
+    select_inprocess:
+        Observed decision: keep the local selection stage in-process
+        even though the caller asked for workers (measured per-query
+        selection cost under the pool-dispatch bar); ``workers`` is
+        forced to 1 alongside.
+    decisions:
+        The :class:`PlanDecision` trail — what the planner chose at
+        each adaptive point and whether measured history or the static
+        default drove it.  Empty when planning ran without a
+        :class:`~repro.core.history.FlushHistory`.
     """
 
     mode: Mode
@@ -180,6 +246,8 @@ class QueryPlan:
     workers: int
     shared_traversal_k: Optional[int] = None
     shard: Optional[ShardPlan] = None
+    select_inprocess: bool = False
+    decisions: Tuple[PlanDecision, ...] = ()
 
     # ------------------------------------------------------------------
     def explain(self) -> str:
@@ -251,14 +319,19 @@ class QueryPlan:
                     f"the O(|U|) refine)"
                 )
             else:
+                dispatch = (
+                    ", dispatch in-process (observed low queue depth)"
+                    if sp.scatter_inprocess
+                    else ""
+                )
                 lines.append(
                     f"  scatter: width {sp.scatter_width} of {sp.num_shards} shards "
-                    f"(partitioner={sp.partitioner}{skew}); per-shard k-sharing: "
-                    f"refine once per (walk, k), memoized across batches"
+                    f"(partitioner={sp.partitioner}{skew}{dispatch}); per-shard "
+                    f"k-sharing: refine once per (walk, k), memoized across batches"
                 )
                 search = (
                     f"per-query searches fan out over the root pool x{sp.search_workers}"
-                    if sp.search_workers > 1
+                    if sp.search_workers > 1 and not sp.search_inprocess
                     else "per-query searches run in-process"
                 )
                 lines.append(
@@ -268,7 +341,11 @@ class QueryPlan:
                     f"to a single engine)"
                 )
         if self.mode is Mode.INDEXED:
-            if self.shard is not None and self.shard.search_workers > 1:
+            if (
+                self.shard is not None
+                and self.shard.search_workers > 1
+                and not self.shard.search_inprocess
+            ):
                 lines.append(
                     f"  phase 2 (best-first MIUR search): fans out over the "
                     f"root search pool x{self.shard.search_workers} against "
@@ -285,6 +362,8 @@ class QueryPlan:
             )
         else:
             lines.append("  phase 2 (candidate selection): in-process")
+        for d in self.decisions:
+            lines.append(f"  {d.source}: {d.name} -> {d.choice} ({d.rationale})")
         return "\n".join(lines)
 
 
@@ -324,8 +403,170 @@ def _shard_plan(caps: EngineCapabilities) -> Optional[ShardPlan]:
     )
 
 
+def _consult_history(
+    history: FlushHistory,
+    options: QueryOptions,
+    backend: str,
+    workers: int,
+    shard: Optional[ShardPlan],
+) -> Tuple[int, bool, Optional[ShardPlan], Tuple[PlanDecision, ...]]:
+    """Apply the observed-cost model to the static plan's fan-outs.
+
+    Returns ``(workers, select_inprocess, shard, decisions)``.  Each
+    adaptive point emits exactly one :class:`PlanDecision`: ``observed``
+    when the signature has accumulated ``MIN_OBSERVED_FLUSHES`` flushes
+    of history (whether or not the measurement changed the choice),
+    ``static`` while the engine is cold at this signature.
+    """
+    sig = FlushSignature(
+        mode=options.mode.value,
+        backend=backend,
+        scatter_width=shard.scatter_width if shard is not None else 1,
+    )
+    obs = history.observe(sig)
+    seasoned = obs is not None and obs.flushes >= MIN_OBSERVED_FLUSHES
+    decisions: List[PlanDecision] = []
+    select_inprocess = False
+
+    def static(name: str, choice: str) -> None:
+        if obs is None:
+            why = (
+                f"no flush history at signature {sig.mode}/{sig.backend}/"
+                f"x{sig.scatter_width} yet (cold engine)"
+            )
+        else:
+            why = (
+                f"only {obs.flushes} flush(es) recorded at this signature "
+                f"(need {MIN_OBSERVED_FLUSHES}) — static plan until seasoned"
+            )
+        decisions.append(
+            PlanDecision(name=name, choice=choice, source="static", rationale=why)
+        )
+
+    indexed = options.mode is Mode.INDEXED
+    if shard is None:
+        # Local executor: the one adaptive point is the selection /
+        # search fan-out over the query axis.
+        stage = "indexed-search" if indexed else "select"
+        ms = obs.per_item_ms(stage) if seasoned else None
+        if indexed:
+            # Single-engine indexed searches always run in-process (they
+            # charge the engine's own page store); report the measured
+            # cost so the choice is still auditable.
+            if ms is not None:
+                decisions.append(PlanDecision(
+                    name="search-fanout", choice="in-process", source="observed",
+                    rationale=(
+                        f"searches averaged {ms:.3f} ms/query over the last "
+                        f"{obs.flushes} flushes; single-engine indexed "
+                        f"searches charge the engine's page store directly"
+                    ),
+                ))
+            else:
+                static("search-fanout", "in-process")
+        elif ms is not None and ms < INPROCESS_STAGE_MS:
+            choice = "in-process"
+            if workers > 1:
+                workers = 1
+                select_inprocess = True
+            decisions.append(PlanDecision(
+                name="select-fanout", choice=choice, source="observed",
+                rationale=(
+                    f"selection averaged {ms:.3f} ms/query over the last "
+                    f"{obs.flushes} flushes — under the "
+                    f"{INPROCESS_STAGE_MS:.1f} ms/item bar, a fork pool "
+                    f"cannot pay for its dispatch round-trip"
+                ),
+            ))
+        elif ms is not None:
+            choice = f"fork pool x{workers}" if workers > 1 else "in-process"
+            extra = (
+                ""
+                if workers > 1
+                else "; pass QueryOptions(workers=N) to fan out"
+            )
+            decisions.append(PlanDecision(
+                name="select-fanout", choice=choice, source="observed",
+                rationale=(
+                    f"selection averaged {ms:.3f} ms/query over the last "
+                    f"{obs.flushes} flushes — heavy enough that dispatch "
+                    f"pays{extra}"
+                ),
+            ))
+        else:
+            static(
+                "select-fanout",
+                f"fork pool x{workers}" if workers > 1 else "in-process",
+            )
+        return workers, select_inprocess, shard, tuple(decisions)
+
+    # Sharded executor: gather-side search fan-out, then (joint only)
+    # the user-axis scatter dispatch.
+    if shard.search_workers > 0:
+        stage = "indexed-search" if indexed else "search"
+        ms = obs.per_item_ms(stage) if seasoned else None
+        if ms is not None and ms < INPROCESS_STAGE_MS:
+            shard = replace(shard, search_inprocess=True)
+            decisions.append(PlanDecision(
+                name="search-fanout", choice="in-process", source="observed",
+                rationale=(
+                    f"searches averaged {ms:.3f} ms/query over the last "
+                    f"{obs.flushes} flushes — under the "
+                    f"{INPROCESS_STAGE_MS:.1f} ms/item bar, the root search "
+                    f"pool cannot pay for its dispatch round-trip"
+                ),
+            ))
+        elif ms is not None:
+            decisions.append(PlanDecision(
+                name="search-fanout",
+                choice=f"root pool x{shard.search_workers}",
+                source="observed",
+                rationale=(
+                    f"searches averaged {ms:.3f} ms/query over the last "
+                    f"{obs.flushes} flushes — heavy enough that pool "
+                    f"dispatch pays"
+                ),
+            ))
+        else:
+            static("search-fanout", f"root pool x{shard.search_workers}")
+    if not indexed:
+        depth = obs.mean_items("shortlist") if seasoned else None
+        ms = obs.per_item_ms("shortlist") if seasoned else None
+        if (
+            depth is not None and depth < LOW_QUEUE_DEPTH
+            and ms is not None and ms < INPROCESS_STAGE_MS
+        ):
+            shard = replace(shard, scatter_inprocess=True)
+            decisions.append(PlanDecision(
+                name="scatter-dispatch", choice="in-process", source="observed",
+                rationale=(
+                    f"per-shard queue depth averaged {depth:.2f} (< "
+                    f"{LOW_QUEUE_DEPTH:.0f}) at {ms:.3f} ms/item over the "
+                    f"last {obs.flushes} flushes — shard-pool dispatch is "
+                    f"pure overhead at this depth"
+                ),
+            ))
+        elif depth is not None:
+            decisions.append(PlanDecision(
+                name="scatter-dispatch",
+                choice=f"shard pools, width {shard.scatter_width}",
+                source="observed",
+                rationale=(
+                    f"per-shard queue depth averaged {depth:.2f} over the "
+                    f"last {obs.flushes} flushes — deep enough to keep the "
+                    f"scatter on the shard pools"
+                ),
+            ))
+        else:
+            static("scatter-dispatch", f"shard pools, width {shard.scatter_width}")
+    return workers, select_inprocess, shard, tuple(decisions)
+
+
 def plan_query(
-    options: QueryOptions, caps: EngineCapabilities, k: int = 0
+    options: QueryOptions,
+    caps: EngineCapabilities,
+    k: int = 0,
+    history: Optional[FlushHistory] = None,
 ) -> QueryPlan:
     """Plan one query.  Single queries never share or fan out.
 
@@ -335,7 +576,8 @@ def plan_query(
     """
     backend = _validate(options, caps)
     if caps.num_shards > 1 and k:
-        return plan_batch(options, caps, [k])  # batch of one, shared pool
+        # batch of one, shared pool
+        return plan_batch(options, caps, [k], history=history)
     return QueryPlan(
         mode=options.mode,
         method=options.method,
@@ -350,7 +592,10 @@ def plan_query(
 
 
 def plan_batch(
-    options: QueryOptions, caps: EngineCapabilities, ks: Sequence[int]
+    options: QueryOptions,
+    caps: EngineCapabilities,
+    ks: Sequence[int],
+    history: Optional[FlushHistory] = None,
 ) -> QueryPlan:
     """Plan a batch: share phase 1 per distinct k, fan out phase 2.
 
@@ -358,7 +603,10 @@ def plan_batch(
     expected).  Indexed batches share the root traversal but keep the
     best-first search in-process — its MIUR-tree page reads must hit
     the engine's page store, which a forked worker could not report
-    back.
+    back.  With ``history``, observed per-item costs at the flush's
+    signature may pull planned fan-outs back in-process (see
+    :func:`_consult_history`); the decision trail lands on
+    ``QueryPlan.decisions``.
     """
     backend = _validate(options, caps)
     indexed = options.mode is Mode.INDEXED
@@ -388,6 +636,14 @@ def plan_batch(
         shared_traversal_k = max(distinct_ks + pool_k)
     else:
         shared_traversal_k = None
+    shard = _shard_plan(caps)
+    workers = options.workers if fan_out else 1
+    select_inprocess = False
+    decisions: Tuple[PlanDecision, ...] = ()
+    if history is not None:
+        workers, select_inprocess, shard, decisions = _consult_history(
+            history, options, backend, workers, shard
+        )
     return QueryPlan(
         mode=options.mode,
         method=options.method,
@@ -396,7 +652,9 @@ def plan_batch(
         distinct_ks=distinct_ks,
         shared_topk=not indexed,
         shared_traversal=indexed,
-        workers=options.workers if fan_out else 1,
+        workers=workers,
         shared_traversal_k=shared_traversal_k,
-        shard=_shard_plan(caps),
+        shard=shard,
+        select_inprocess=select_inprocess,
+        decisions=decisions,
     )

@@ -90,6 +90,11 @@ class Dataset:
         self._objects_by_id: Dict[int, STObject] = {o.item_id: o for o in self.objects}
         self._users_by_id: Dict[int, User] = {u.item_id: u for u in self.users}
         self._super_user: Optional[SuperUser] = None
+        #: Mutation generation.  Result caches key on it
+        #: (:mod:`repro.core.cache`): any future in-place mutation must
+        #: call :meth:`bump_epoch`, and every cached answer derived from
+        #: the previous generation stops matching wholesale.
+        self.epoch = 0
 
     def __getstate__(self):
         """Pickle without the cached numpy kernel arrays.
@@ -127,6 +132,11 @@ class Dataset:
                 raise ValueError("dataset has no users to aggregate")
             self._super_user = SuperUser.from_users(self.users, self.relevance)
         return self._super_user
+
+    def bump_epoch(self) -> int:
+        """Advance the mutation generation, invalidating keyed caches."""
+        self.epoch += 1
+        return self.epoch
 
     def object_by_id(self, object_id: int) -> STObject:
         return self._objects_by_id[object_id]
@@ -201,6 +211,7 @@ class Dataset:
         clone._objects_by_id = self._objects_by_id
         clone._users_by_id = self._users_by_id
         clone._super_user = None
+        clone.epoch = 0
         return clone
 
     def with_users(self, users: Sequence[User]) -> "Dataset":
@@ -216,6 +227,7 @@ class Dataset:
         clone._objects_by_id = self._objects_by_id
         clone._users_by_id = {u.item_id: u for u in clone.users}
         clone._super_user = None
+        clone.epoch = 0
         return clone
 
     def subset_users(self, user_ids: Iterable[int]) -> "Dataset":

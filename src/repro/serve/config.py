@@ -4,9 +4,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Union
+from typing import Optional, Union
 
-from ..core.config import QueryOptions
+from ..core.config import CachePolicy, QueryOptions, _require_int
 
 __all__ = ["AdaptiveWaitController", "ServerConfig", "ServerStats"]
 
@@ -108,6 +108,16 @@ class ServerConfig:
         The :class:`QueryOptions` every submitted query is answered
         with (one server = one contract; run several servers for mixed
         workloads).
+    cache:
+        Cross-flush result cache (:mod:`repro.core.cache`): ``None`` /
+        ``False`` disables (the default), ``True`` enables with the
+        default :class:`~repro.core.config.CachePolicy`, or pass a
+        policy directly.  Normalized to ``None`` or a ``CachePolicy``.
+    shutdown_timeout_s:
+        Bound on worker-pool shutdown in :meth:`MaxBRSTkNNServer.stop`:
+        a pool whose workers died mid-task gets ``terminate()``d (with
+        a warning) instead of hanging ``join()`` forever.  ``None``
+        waits unbounded (the pre-PR-6 behavior).
     """
 
     max_batch: int = 32
@@ -115,33 +125,57 @@ class ServerConfig:
     pool_workers: int = 0
     options: QueryOptions = field(default_factory=QueryOptions.default)
     auto_wait_ceiling_ms: float = 10.0
+    cache: Union[CachePolicy, bool, None] = None
+    shutdown_timeout_s: Optional[float] = 10.0
 
     def __post_init__(self) -> None:
-        if not isinstance(self.max_batch, int) or self.max_batch < 1:
-            raise ValueError(f"max_batch must be an int >= 1, got {self.max_batch!r}")
+        _require_int("max_batch", self.max_batch, minimum=1)
         if isinstance(self.max_wait_ms, str):
             if self.max_wait_ms != "auto":
                 raise ValueError(
                     f"max_wait_ms must be a finite number >= 0 or 'auto', "
                     f"got {self.max_wait_ms!r}"
                 )
-        elif not math.isfinite(self.max_wait_ms) or self.max_wait_ms < 0:
+        elif (
+            isinstance(self.max_wait_ms, bool)  # bools pass isfinite()
+            or not math.isfinite(self.max_wait_ms)
+            or self.max_wait_ms < 0
+        ):
             # inf would make partial batches wait forever; NaN fails
             # every comparison and silently degrades to a zero window.
             raise ValueError(
                 f"max_wait_ms must be finite and >= 0, got {self.max_wait_ms!r}"
             )
-        if not math.isfinite(self.auto_wait_ceiling_ms) or self.auto_wait_ceiling_ms < 0:
+        if (
+            isinstance(self.auto_wait_ceiling_ms, bool)
+            or not math.isfinite(self.auto_wait_ceiling_ms)
+            or self.auto_wait_ceiling_ms < 0
+        ):
             raise ValueError(
                 f"auto_wait_ceiling_ms must be finite and >= 0, "
                 f"got {self.auto_wait_ceiling_ms!r}"
             )
-        if not isinstance(self.pool_workers, int) or self.pool_workers < 0:
-            raise ValueError(
-                f"pool_workers must be a non-negative int, got {self.pool_workers!r}"
-            )
+        _require_int("pool_workers", self.pool_workers, minimum=0)
         if not isinstance(self.options, QueryOptions):
             raise ValueError("options must be a QueryOptions")
+        if self.cache is None or self.cache is False:
+            object.__setattr__(self, "cache", None)
+        elif self.cache is True:
+            object.__setattr__(self, "cache", CachePolicy())
+        elif not isinstance(self.cache, CachePolicy):
+            raise ValueError(
+                f"cache must be a CachePolicy, a bool or None, got {self.cache!r}"
+            )
+        if self.shutdown_timeout_s is not None and (
+            isinstance(self.shutdown_timeout_s, bool)
+            or not isinstance(self.shutdown_timeout_s, (int, float))
+            or not math.isfinite(self.shutdown_timeout_s)
+            or self.shutdown_timeout_s <= 0
+        ):
+            raise ValueError(
+                f"shutdown_timeout_s must be a finite number > 0 or None, "
+                f"got {self.shutdown_timeout_s!r}"
+            )
 
     @property
     def adaptive(self) -> bool:
@@ -165,6 +199,11 @@ class ServerStats:
     queries_submitted: int = 0
     queries_completed: int = 0
     queries_failed: int = 0
+    queries_cancelled: int = 0  # futures cancelled by callers, dropped at flush
+    cache_hits: int = 0            # answered from the result cache
+    cache_misses: int = 0          # executed (and stored) on a flush
+    cache_evictions: int = 0       # LRU entries aged out by stores
+    cache_threshold_hits: int = 0  # misses at an already-walked k (warm tier)
     batches_executed: int = 0
     batch_queries_sum: int = 0
     largest_batch: int = 0
@@ -182,7 +221,12 @@ class ServerStats:
 
     @property
     def in_flight(self) -> int:
-        return self.queries_submitted - self.queries_completed - self.queries_failed
+        return (
+            self.queries_submitted
+            - self.queries_completed
+            - self.queries_failed
+            - self.queries_cancelled
+        )
 
     def snapshot(self) -> dict:
         """Plain-dict view (CLI / logging friendly)."""
@@ -190,6 +234,11 @@ class ServerStats:
             "queries_submitted": self.queries_submitted,
             "queries_completed": self.queries_completed,
             "queries_failed": self.queries_failed,
+            "queries_cancelled": self.queries_cancelled,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_threshold_hits": self.cache_threshold_hits,
             "batches_executed": self.batches_executed,
             "avg_batch_size": round(self.avg_batch_size, 2),
             "largest_batch": self.largest_batch,

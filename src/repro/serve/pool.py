@@ -27,8 +27,12 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
+import signal
+import threading
+import warnings
 import weakref
-from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import SharedTopK, _select_chunk
 from ..core.kernels import HAS_NUMPY, arrays_for
@@ -151,13 +155,58 @@ class PersistentWorkerPool:
             raise RuntimeError("pool is closed")
         return self._pool.map_async(_run_shard_payload, list(payloads))
 
-    def close(self) -> None:
-        """Shut the workers down (idempotent)."""
-        if not self._closed:
-            self._closed = True
+    def close(self, timeout_s: Optional[float] = None) -> None:
+        """Shut the workers down (idempotent).
+
+        ``timeout_s`` bounds the shutdown: ``Pool.join`` waits for every
+        worker to read its close sentinel, so a worker killed or hung
+        mid-task stalls an unbounded join *forever*.  With a timeout the
+        join runs in a helper thread; if it misses the deadline the pool
+        is ``terminate()``d with a warning, and workers that survive
+        even that (e.g. stopped processes, which leave SIGTERM pending)
+        are SIGKILLed.  ``None`` keeps the unbounded wait.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
             self._pool.close()
-            self._pool.join()
+            if timeout_s is None:
+                self._pool.join()
+            else:
+                self._join_bounded(timeout_s)
+        finally:
             self._registry_finalizer()
+
+    def _join_bounded(self, timeout_s: float) -> None:
+        joiner = threading.Thread(target=self._pool.join, daemon=True)
+        joiner.start()
+        joiner.join(timeout_s)
+        if not joiner.is_alive():
+            return
+        warnings.warn(
+            f"worker pool did not shut down within {timeout_s:.1f}s "
+            f"(worker killed or hung mid-task?); terminating its workers",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        # Pool.terminate() itself joins the workers after SIGTERMing
+        # them, and a stopped worker leaves SIGTERM pending without
+        # dying — run it in a helper thread too so close() stays
+        # bounded, then SIGKILL whatever is still alive (SIGKILL cannot
+        # be blocked and fells stopped processes as well).
+        terminator = threading.Thread(target=self._pool.terminate, daemon=True)
+        terminator.start()
+        terminator.join(timeout_s)
+        if terminator.is_alive() or joiner.is_alive():
+            for proc in list(getattr(self._pool, "_pool", None) or []):
+                if proc.is_alive():
+                    try:
+                        os.kill(proc.pid, signal.SIGKILL)
+                    except (ProcessLookupError, PermissionError):
+                        pass
+            terminator.join(timeout_s)
+            joiner.join(timeout_s)
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

@@ -24,6 +24,8 @@ from collections import deque
 from functools import partial
 from typing import Deque, List, Optional, Sequence, Tuple
 
+from ..core.cache import ResultCache
+from ..core.config import Mode
 from ..core.engine import MaxBRSTkNNEngine
 from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
 from .config import AdaptiveWaitController, ServerConfig, ServerStats
@@ -67,6 +69,12 @@ class MaxBRSTkNNServer:
         self._pool: Optional[PersistentWorkerPool] = None
         self._wait: Optional[AdaptiveWaitController] = (
             self.config.make_wait_controller() if self.config.adaptive else None
+        )
+        #: Cross-flush result cache (``config.cache``): exact repeats
+        #: skip the pipeline and resolve straight from the LRU, keyed
+        #: on (canonical query signature, options, dataset epoch).
+        self._cache: Optional[ResultCache] = (
+            ResultCache(self.config.cache) if self.config.cache is not None else None
         )
         self._engine_pools_started = False
         self._stopping = False
@@ -118,11 +126,15 @@ class MaxBRSTkNNServer:
         if self._flusher is not None:
             await self._flusher
             self._flusher = None
+        # Bounded shutdown: a pool worker killed or hung mid-task must
+        # not stall stop() forever (config.shutdown_timeout_s; None
+        # waits unbounded).
+        timeout_s = self.config.shutdown_timeout_s
         if self._pool is not None:
-            self._pool.close()
+            self._pool.close(timeout_s=timeout_s)
             self._pool = None
         if self._engine_pools_started:
-            self.engine.close_pools()
+            self.engine.close_pools(timeout_s=timeout_s)
             self._engine_pools_started = False
         self._started = False
 
@@ -177,6 +189,8 @@ class MaxBRSTkNNServer:
             snap["adaptive_wait_ms"] = round(self._wait.window_ms(), 3)
             if self._wait.ewma_ms is not None:
                 snap["adaptive_ewma_ms"] = round(self._wait.ewma_ms, 3)
+        if self._cache is not None:
+            snap["cache_entries"] = len(self._cache)
         return snap
 
     # ------------------------------------------------------------------
@@ -231,30 +245,86 @@ class MaxBRSTkNNServer:
                 self.stats.timeout_flushes += 1
             await self._execute(batch)
 
+    def _count_threshold_warm(self, queries: Sequence[MaxBRSTkNNQuery]) -> int:
+        """Cache misses landing on an already-walked ``k`` (warm tier).
+
+        These queries still execute, but the engine's memoized
+        ``SharedTraversalPool`` / ``RootTraversal`` serves their phase-1
+        thresholds without a tree walk — the cache's warmer tier, worth
+        counting separately from exact-result hits.
+        """
+        caps = self.engine.capabilities()
+        mode = self.config.options.mode
+        if mode is Mode.INDEXED:
+            pool_k = caps.root_pool_k
+        elif mode is Mode.JOINT:
+            pool_k = caps.traversal_pool_k
+        else:  # baseline has no cross-k pool
+            pool_k = None
+        if pool_k is None:
+            return 0
+        return sum(1 for q in queries if q.k <= pool_k)
+
     async def _execute(self, batch: List[_PendingItem]) -> None:
         """Run one micro-batch in a worker thread and resolve futures."""
         assert self._loop is not None
-        queries = [query for query, _ in batch]
-        self.stats.batches_executed += 1
-        self.stats.batch_queries_sum += len(batch)
-        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
-        try:
-            results = await self._loop.run_in_executor(
-                None,
-                partial(
-                    self.engine.query_batch,
-                    queries,
-                    self.config.options,
-                    pool=self._pool,
-                ),
-            )
-        except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
-            self.stats.queries_failed += len(batch)
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(exc)
+        # Entries whose callers cancelled (client timeout) are dropped
+        # here, unexecuted: their futures can take no result, and
+        # counting them as completed/failed would drift in_flight
+        # negative and never recover.
+        live = [entry for entry in batch if not entry[1].done()]
+        self.stats.queries_cancelled += len(batch) - len(live)
+        if not live:
             return
-        self.stats.queries_completed += len(batch)
-        for (_, future), result in zip(batch, results):
-            if not future.done():
+        queries = [query for query, _ in live]
+        self.stats.batches_executed += 1
+        self.stats.batch_queries_sum += len(live)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(live))
+        options = self.config.options
+        epoch = getattr(self.engine.dataset, "epoch", 0)
+        results: List[Optional[MaxBRSTkNNResult]] = [None] * len(live)
+        misses = list(range(len(live)))
+        if self._cache is not None:
+            misses = []
+            for i, query in enumerate(queries):
+                hit = self._cache.lookup(query, options, epoch)
+                if hit is not None:
+                    results[i] = hit
+                    self.stats.cache_hits += 1
+                else:
+                    misses.append(i)
+                    self.stats.cache_misses += 1
+            if misses and self._cache.policy.track_thresholds:
+                self.stats.cache_threshold_hits += self._count_threshold_warm(
+                    [queries[i] for i in misses]
+                )
+        error: Optional[Exception] = None
+        if misses:
+            try:
+                miss_results = await self._loop.run_in_executor(
+                    None,
+                    partial(
+                        self.engine.query_batch,
+                        [queries[i] for i in misses],
+                        options,
+                        pool=self._pool,
+                    ),
+                )
+            except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
+                error = exc
+            else:
+                for i, result in zip(misses, miss_results):
+                    results[i] = result
+                    if self._cache is not None:
+                        self.stats.cache_evictions += self._cache.store(
+                            queries[i], options, epoch, result
+                        )
+        for (_, future), result in zip(live, results):
+            if future.done():  # cancelled while the batch executed
+                self.stats.queries_cancelled += 1
+            elif result is not None:
+                self.stats.queries_completed += 1
                 future.set_result(result)
+            else:
+                self.stats.queries_failed += 1
+                future.set_exception(error)

@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.config import EngineConfig, Mode, QueryOptions, coerce_options
 from ..core.engine import MaxBRSTkNNEngine
+from ..core.history import FlushHistory, signature_of
 from ..core.partial import MergedThresholds
 from ..core.pipeline import FlushReport, ShardedExecutor
 from ..core.planner import EngineCapabilities, QueryPlan, plan_batch, plan_query
@@ -208,6 +209,10 @@ class ShardedEngine:
         self._search_s = 0.0
         self._search_flushes = 0
         self._executor = ShardedExecutor(self)
+        #: Observed-cost feedback for the planner (same contract as the
+        #: single engine's ``flush_history``); survives
+        #: :meth:`clear_topk_cache` — it holds timings, never answers.
+        self.flush_history = FlushHistory()
 
     # ------------------------------------------------------------------
     # Introspection / engine-compatible surface
@@ -257,8 +262,8 @@ class ShardedEngine:
         options = options if options is not None else QueryOptions.default()
         caps = self.capabilities()
         if ks:
-            return plan_batch(options, caps, list(ks))
-        return plan_query(options, caps)
+            return plan_batch(options, caps, list(ks), history=self.flush_history)
+        return plan_query(options, caps, history=self.flush_history)
 
     def shard_stats(self) -> List[dict]:
         """Per-shard runtime counters (queue depth, flushes, times)."""
@@ -322,6 +327,11 @@ class ShardedEngine:
         (defaults to ``num_shards``; 0 disables it, keeping the
         searches in-process).  Idempotent start is an error (mirrors
         the server lifecycle).
+
+        If any pool construction fails partway (fork unavailable, out
+        of memory), every pool already forked is torn down before the
+        error propagates — a failed start leaves no leaked workers and
+        the engine back in its in-process state.
         """
         if self._pools_started:
             raise RuntimeError("shard pools already started")
@@ -331,27 +341,41 @@ class ShardedEngine:
             search_workers = self.config.num_shards
         if search_workers < 0:
             raise ValueError(f"search_workers must be >= 0, got {search_workers}")
-        for shard in self._shards:
-            if shard.users == 0:
-                continue  # nothing will ever be scattered here
-            shard.pool = PersistentWorkerPool(shard.engine.dataset, workers_per_shard)
-            shard.stats.pool_workers = workers_per_shard
-        if search_workers > 0:
-            self._search_pool = PersistentWorkerPool(
-                self.dataset, search_workers, context=self.root.user_tree
-            )
+        try:
+            for shard in self._shards:
+                if shard.users == 0:
+                    continue  # nothing will ever be scattered here
+                shard.pool = PersistentWorkerPool(
+                    shard.engine.dataset, workers_per_shard
+                )
+                shard.stats.pool_workers = workers_per_shard
+            if search_workers > 0:
+                self._search_pool = PersistentWorkerPool(
+                    self.dataset, search_workers, context=self.root.user_tree
+                )
+        except BaseException:
+            # _pools_started is still False, so the caller (e.g. the
+            # server's start()) will never call close_pools() for us —
+            # reap the partial state here or the forked workers leak.
+            self.close_pools()
+            raise
         self._pools_started = True
         return self
 
-    def close_pools(self) -> None:
-        """Shut every shard pool (and the search pool) down (idempotent)."""
+    def close_pools(self, timeout_s: Optional[float] = None) -> None:
+        """Shut every shard pool (and the search pool) down (idempotent).
+
+        ``timeout_s`` bounds each pool's shutdown (see
+        :meth:`~repro.serve.pool.PersistentWorkerPool.close`); ``None``
+        waits unbounded.
+        """
         for shard in self._shards:
             if shard.pool is not None:
-                shard.pool.close()
+                shard.pool.close(timeout_s=timeout_s)
                 shard.pool = None
                 shard.stats.pool_workers = 0
         if self._search_pool is not None:
-            self._search_pool.close()
+            self._search_pool.close(timeout_s=timeout_s)
             self._search_pool = None
         self._pools_started = False
 
@@ -389,7 +413,9 @@ class ShardedEngine:
         # ShardedEngine is indistinguishable from a single engine in
         # the capabilities, but execution always needs the shared-pool
         # batch plan (shared_traversal_k) regardless of shard count.
-        plan = plan_batch(opts, self.capabilities(), [query.k])
+        plan = plan_batch(
+            opts, self.capabilities(), [query.k], history=self.flush_history
+        )
         return self._execute_batch([query], plan)[0]
 
     def query_batch(
@@ -427,7 +453,10 @@ class ShardedEngine:
         queries = list(queries)
         if not queries:
             return []
-        plan = plan_batch(opts, self.capabilities(), [q.k for q in queries])
+        plan = plan_batch(
+            opts, self.capabilities(), [q.k for q in queries],
+            history=self.flush_history,
+        )
         return self._execute_batch(queries, plan)
 
     # ------------------------------------------------------------------
@@ -446,7 +475,12 @@ class ShardedEngine:
                 f"sharded execution covers mode=joint and mode=indexed only "
                 f"(got mode={plan.mode})"
             )
-        return self._executor.execute(queries, plan)
+        results = self._executor.execute(queries, plan)
+        if self._executor.last_flush_report is not None:
+            self.flush_history.record(
+                signature_of(plan), self._executor.last_flush_report
+            )
+        return results
 
 
 def make_engine(

@@ -124,11 +124,15 @@ class TestSharedDefaultAcrossEntryPoints:
         real_plan_batch = batch_mod.plan_batch
         monkeypatch.setattr(
             engine_mod, "plan_query",
-            lambda opts, caps, k=0: seen.append(opts) or real_plan_query(opts, caps, k),
+            lambda opts, caps, k=0, **kw: (
+                seen.append(opts) or real_plan_query(opts, caps, k, **kw)
+            ),
         )
         monkeypatch.setattr(
             batch_mod, "plan_batch",
-            lambda opts, caps, ks: seen.append(opts) or real_plan_batch(opts, caps, ks),
+            lambda opts, caps, ks, **kw: (
+                seen.append(opts) or real_plan_batch(opts, caps, ks, **kw)
+            ),
         )
         engine.query(query)
         engine.query_batch([query])
@@ -146,6 +150,18 @@ class TestEngineConfig:
             EngineConfig(fanout=1)
         with pytest.raises(ValueError):
             EngineConfig(buffer_pages=-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        # bool is an int subclass: EngineConfig(fanout=True) would
+        # otherwise sail through as fanout=1's neighbor.
+        {"fanout": True},
+        {"buffer_pages": True},
+        {"num_shards": True},
+        {"index_users": 1},
+    ])
+    def test_bools_are_not_ints(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
 
     def test_engine_accepts_config(self, tiny_dataset):
         from repro import MaxBRSTkNNEngine

@@ -130,6 +130,210 @@ class TestExplain:
         assert "in-process per query" in text
 
 
+class TestObservedPlanning:
+    """FlushHistory-driven decisions: observed costs vs static fallback."""
+
+    @staticmethod
+    def seasoned_history(signature, stage="select", per_item_ms=0.1, items=4,
+                         flushes=3):
+        from repro.core.history import FlushHistory
+        from repro.core.pipeline import FlushReport, StageStats
+
+        history = FlushHistory()
+        for _ in range(flushes):
+            history.record(signature, FlushReport(
+                mode=signature.mode,
+                batch_size=items,
+                stages=[StageStats(
+                    stage=stage, items=items,
+                    time_s=per_item_ms * items / 1000.0,
+                )],
+            ))
+        return history
+
+    @staticmethod
+    def local_signature(mode="joint"):
+        from repro.core.history import FlushSignature
+
+        return FlushSignature(mode=mode, backend="python", scatter_width=1)
+
+    def test_sub_ms_selection_pulls_fanout_in_process(self):
+        history = self.seasoned_history(self.local_signature(), per_item_ms=0.1)
+        plan = plan_batch(
+            QueryOptions(backend="python", workers=4), CAPS, ks=[3, 3],
+            history=history,
+        )
+        assert plan.workers == 1
+        assert plan.select_inprocess is True
+        (decision,) = plan.decisions
+        assert decision.source == "observed"
+        assert decision.name == "select-fanout"
+        assert decision.choice == "in-process"
+        text = plan.explain()
+        assert "observed: select-fanout -> in-process" in text
+        assert "phase 2 (candidate selection): in-process" in text
+
+    def test_heavy_selection_keeps_the_fork_pool(self):
+        history = self.seasoned_history(self.local_signature(), per_item_ms=5.0)
+        plan = plan_batch(
+            QueryOptions(backend="python", workers=4), CAPS, ks=[3, 3],
+            history=history,
+        )
+        assert plan.workers == 4
+        assert plan.select_inprocess is False
+        (decision,) = plan.decisions
+        assert decision.source == "observed"
+        assert "fork pool x4" in decision.choice
+
+    def test_cold_engine_falls_back_to_static(self):
+        from repro.core.history import FlushHistory
+
+        plan = plan_batch(
+            QueryOptions(backend="python", workers=4), CAPS, ks=[3, 3],
+            history=FlushHistory(),
+        )
+        assert plan.workers == 4  # static plan untouched
+        (decision,) = plan.decisions
+        assert decision.source == "static"
+        assert "cold engine" in decision.rationale
+        assert "static: select-fanout" in plan.explain()
+
+    def test_unseasoned_history_stays_static(self):
+        history = self.seasoned_history(
+            self.local_signature(), per_item_ms=0.1, flushes=2
+        )
+        plan = plan_batch(
+            QueryOptions(backend="python", workers=4), CAPS, ks=[3, 3],
+            history=history,
+        )
+        assert plan.workers == 4
+        (decision,) = plan.decisions
+        assert decision.source == "static"
+        assert "need 3" in decision.rationale
+
+    def test_no_history_no_decisions(self):
+        plan = plan_batch(QueryOptions(backend="python"), CAPS, ks=[3, 3])
+        assert plan.decisions == ()
+
+    def test_indexed_local_search_reports_observed_but_stays_in_process(self):
+        history = self.seasoned_history(
+            self.local_signature(mode="indexed"),
+            stage="indexed-search", per_item_ms=9.0,
+        )
+        plan = plan_batch(
+            QueryOptions(mode="indexed", backend="python"), CAPS, ks=[3, 3],
+            history=history,
+        )
+        (decision,) = plan.decisions
+        assert decision.source == "observed"
+        assert decision.name == "search-fanout"
+        assert decision.choice == "in-process"
+
+    @staticmethod
+    def sharded_caps(search_workers=2):
+        from dataclasses import replace
+
+        return replace(
+            CAPS,
+            num_shards=2,
+            partitioner="hash",
+            shard_users=(6, 6),
+            search_workers=search_workers,
+        )
+
+    @staticmethod
+    def sharded_signature():
+        from repro.core.history import FlushSignature
+
+        return FlushSignature(mode="joint", backend="python", scatter_width=2)
+
+    def test_sharded_sub_ms_search_goes_in_process(self):
+        history = self.seasoned_history(
+            self.sharded_signature(), stage="search", per_item_ms=0.2
+        )
+        plan = plan_batch(
+            QueryOptions(backend="python"), self.sharded_caps(), ks=[3, 3],
+            history=history,
+        )
+        assert plan.shard.search_inprocess is True
+        by_name = {d.name: d for d in plan.decisions}
+        assert by_name["search-fanout"].source == "observed"
+        assert by_name["search-fanout"].choice == "in-process"
+        # No shortlist timings recorded yet: the scatter stays static.
+        assert by_name["scatter-dispatch"].source == "static"
+        assert plan.shard.scatter_inprocess is False
+        assert "per-query searches run in-process" in plan.explain()
+
+    def test_sharded_low_queue_depth_drops_the_scatter_dispatch(self):
+        from repro.core.history import FlushHistory
+        from repro.core.pipeline import FlushReport, StageStats
+
+        history = FlushHistory()
+        for _ in range(3):
+            history.record(self.sharded_signature(), FlushReport(
+                mode="joint",
+                batch_size=1,
+                stages=[StageStats(stage="shortlist", items=1, time_s=0.0001)],
+            ))
+        plan = plan_batch(
+            QueryOptions(backend="python"), self.sharded_caps(search_workers=0),
+            ks=[3], history=history,
+        )
+        assert plan.shard.scatter_inprocess is True
+        (decision,) = plan.decisions
+        assert decision.name == "scatter-dispatch"
+        assert decision.source == "observed"
+        assert "dispatch in-process (observed low queue depth)" in plan.explain()
+
+    def test_sharded_deep_queue_keeps_the_shard_pools(self):
+        history = self.seasoned_history(
+            self.sharded_signature(), stage="shortlist", per_item_ms=0.2,
+            items=8,
+        )
+        plan = plan_batch(
+            QueryOptions(backend="python"), self.sharded_caps(search_workers=0),
+            ks=[3] * 8, history=history,
+        )
+        assert plan.shard.scatter_inprocess is False
+        (decision,) = plan.decisions
+        assert decision.source == "observed"
+        assert "shard pools" in decision.choice
+
+    def test_engine_records_history_and_plans_observed(self, tiny_dataset):
+        """End to end: flushes season the engine's own history."""
+        import random
+
+        from repro import MaxBRSTkNNQuery
+        from repro.model.objects import STObject
+        from repro.spatial.geometry import Point
+
+        engine = MaxBRSTkNNEngine(tiny_dataset, EngineConfig(fanout=4))
+        rng = random.Random(5)
+        queries = [
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[Point(rng.uniform(0, 10), rng.uniform(0, 10))],
+                keywords=sorted(rng.sample(range(16), 4)),
+                ws=1,
+                k=3,
+            )
+            for i in range(4)
+        ]
+        options = QueryOptions(backend="python")
+        cold = engine.plan(options, ks=[q.k for q in queries])
+        assert all(d.source == "static" for d in cold.decisions)
+        for _ in range(3):
+            engine.query_batch(queries, options)
+        assert len(engine.flush_history) >= 3
+        warm = engine.plan(options, ks=[q.k for q in queries])
+        assert any(d.source == "observed" for d in warm.decisions)
+        assert "observed:" in warm.explain()
+
+
 class TestEnginePlan:
     def test_engine_plan_wrapper(self, tiny_dataset):
         engine = MaxBRSTkNNEngine(tiny_dataset, EngineConfig(fanout=4))

@@ -106,3 +106,57 @@ def test_pool_results_match_inprocess_batches():
         assert a.location == b.location
         assert a.keywords == b.keywords
         assert a.brstknn == b.brstknn
+
+
+class TestBoundedShutdown:
+    """close(timeout_s=...) must survive workers that will never exit.
+
+    ``Pool.join`` waits for every worker to read its close sentinel; a
+    worker SIGSTOPped (or SIGKILLed) mid-task leaves the sentinel
+    unread and the pre-PR-6 ``close()`` hung the server's ``stop()``
+    forever.  A stopped worker is the harshest case: SIGTERM parks as
+    pending (so ``Pool.terminate()`` hangs too) and only SIGKILL fells
+    it — which is exactly the escalation ``_join_bounded`` implements.
+    """
+
+    def test_close_with_stopped_worker_warns_and_returns(self):
+        import os
+        import signal
+        import time
+
+        dataset, _ = make_dataset(seed=3)
+        pool = PersistentWorkerPool(dataset, workers=1)
+        victim = pool._pool._pool[0]
+        os.kill(victim.pid, signal.SIGSTOP)
+        try:
+            t0 = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="did not shut down"):
+                pool.close(timeout_s=0.5)
+            # Bounded: a few escalation joins, nowhere near unbounded.
+            assert time.monotonic() - t0 < 10.0
+            deadline = time.monotonic() + 5.0
+            while victim.is_alive() and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not victim.is_alive(), "SIGKILL escalation missed the worker"
+        finally:
+            # Harmless if the worker is already gone.
+            try:
+                os.kill(victim.pid, signal.SIGCONT)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    def test_close_without_timeout_still_waits_unbounded_when_healthy(self):
+        dataset, _ = make_dataset(seed=4)
+        pool = PersistentWorkerPool(dataset, workers=1)
+        pool.close()  # healthy workers: the unbounded join returns promptly
+        with pytest.raises(RuntimeError):
+            pool.run_selection([])
+
+    def test_close_with_timeout_on_healthy_pool_does_not_warn(self):
+        import warnings as warnings_mod
+
+        dataset, _ = make_dataset(seed=5)
+        pool = PersistentWorkerPool(dataset, workers=2)
+        with warnings_mod.catch_warnings():
+            warnings_mod.simplefilter("error")
+            pool.close(timeout_s=30.0)

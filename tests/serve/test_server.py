@@ -222,6 +222,171 @@ class TestErrors:
         with pytest.raises(ValueError):
             ServerConfig(options="approx")
 
+    @pytest.mark.parametrize("kwargs", [
+        # bool is an int subclass: every integer knob must reject it
+        # explicitly or True silently means 1.
+        {"max_batch": True},
+        {"pool_workers": True},
+        {"max_wait_ms": True},
+        {"auto_wait_ceiling_ms": True},
+        {"shutdown_timeout_s": True},
+        {"shutdown_timeout_s": 0},
+        {"shutdown_timeout_s": float("nan")},
+        {"cache": "yes"},
+    ])
+    def test_bool_and_invalid_scalars_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ServerConfig(**kwargs)
+
+    def test_cache_flag_normalizes_to_policy(self):
+        from repro.core.config import CachePolicy
+
+        assert ServerConfig(cache=None).cache is None
+        assert ServerConfig(cache=False).cache is None
+        assert ServerConfig(cache=True).cache == CachePolicy()
+        policy = CachePolicy(max_entries=7)
+        assert ServerConfig(cache=policy).cache is policy
+
+
+class TestCancellation:
+    def test_cancelled_before_flush_dropped_unexecuted(self):
+        engine, rng, vocab = build_engine(seed=10)
+        queries = make_queries(rng, vocab, 6)
+        executed = []
+        real = engine.query_batch
+
+        def spy(batch, *a, **kw):
+            executed.append(len(batch))
+            return real(batch, *a, **kw)
+
+        engine.query_batch = spy
+
+        async def run():
+            # A huge window: nothing flushes before the cancellations land.
+            server = await MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=100, max_wait_ms=10_000.0)
+            ).start()
+            tasks = [asyncio.create_task(server.submit(q)) for q in queries]
+            await asyncio.sleep(0.01)  # let submissions enqueue
+            for task in tasks[::2]:
+                task.cancel()
+            await server.stop()  # drain flush runs only the survivors
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, server.stats
+
+        outcomes, stats = asyncio.run(run())
+        assert stats.queries_cancelled == 3
+        assert stats.queries_completed == 3
+        assert stats.queries_failed == 0
+        assert stats.in_flight == 0
+        assert executed == [3]  # cancelled queries never reached the engine
+        reference = QueryOptions(backend="python")
+        for i, (query, out) in enumerate(zip(queries, outcomes)):
+            if i % 2 == 0:
+                assert isinstance(out, asyncio.CancelledError)
+            else:
+                assert_result_equal(engine.query(query, reference), out)
+
+    def test_fully_cancelled_batch_executes_nothing(self):
+        engine, rng, vocab = build_engine(seed=11)
+        queries = make_queries(rng, vocab, 3)
+        engine.query_batch = lambda *a, **kw: pytest.fail(
+            "a fully-cancelled batch must not execute"
+        )
+
+        async def run():
+            server = await MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=100, max_wait_ms=10_000.0)
+            ).start()
+            tasks = [asyncio.create_task(server.submit(q)) for q in queries]
+            await asyncio.sleep(0.01)
+            for task in tasks:
+                task.cancel()
+            await server.stop()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            return server.stats
+
+        stats = asyncio.run(run())
+        assert stats.queries_cancelled == 3
+        assert stats.batches_executed == 0
+        assert stats.in_flight == 0
+
+    def test_cancelled_while_executing_counts_cancelled(self):
+        import threading
+        import time
+
+        engine, rng, vocab = build_engine(seed=12)
+        queries = make_queries(rng, vocab, 2)
+        started = threading.Event()
+        real = engine.query_batch
+
+        def slow(batch, *a, **kw):
+            started.set()
+            time.sleep(0.05)  # hold the flush so the cancel lands mid-execute
+            return real(batch, *a, **kw)
+
+        engine.query_batch = slow
+
+        async def run():
+            server = await MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=2, max_wait_ms=0.0)
+            ).start()
+            tasks = [asyncio.create_task(server.submit(q)) for q in queries]
+            while not started.is_set():
+                await asyncio.sleep(0.001)
+            tasks[0].cancel()
+            await server.stop()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, server.stats
+
+        outcomes, stats = asyncio.run(run())
+        assert stats.queries_cancelled == 1
+        assert stats.queries_completed == 1
+        assert stats.in_flight == 0
+        assert isinstance(outcomes[0], asyncio.CancelledError)
+        assert_result_equal(
+            engine.query(queries[1], QueryOptions(backend="python")), outcomes[1]
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_cancellation_never_drifts_in_flight(self, seed):
+        """Property: submitted == completed + failed + cancelled, always."""
+        engine, rng, vocab = build_engine(seed=13)
+        queries = make_queries(rng, vocab, 16, ks=(2, 3))
+        decider = random.Random(200 + seed)
+        cancel_mask = [decider.random() < 0.4 for _ in queries]
+
+        async def run():
+            server = await MaxBRSTkNNServer(
+                engine, ServerConfig(max_batch=4, max_wait_ms=2.0)
+            ).start()
+            tasks = [asyncio.create_task(server.submit(q)) for q in queries]
+            await asyncio.sleep(0)  # let submissions enqueue
+            for task, cancel in zip(tasks, cancel_mask):
+                if cancel:
+                    task.cancel()
+            await server.stop()
+            outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+            return outcomes, server.stats
+
+        outcomes, stats = asyncio.run(run())
+        assert stats.queries_submitted == len(queries)
+        assert stats.queries_submitted == (
+            stats.queries_completed
+            + stats.queries_failed
+            + stats.queries_cancelled
+        )
+        assert stats.in_flight == 0
+        assert stats.queries_failed == 0
+        reference = QueryOptions(backend="python")
+        for query, cancelled, out in zip(queries, cancel_mask, outcomes):
+            if not isinstance(out, asyncio.CancelledError):
+                # Either never cancelled, or the cancel lost the race to
+                # the flush — the answer must be right in both cases.
+                assert_result_equal(engine.query(query, reference), out)
+            else:
+                assert cancelled
+
 
 @pytest.mark.skipif(not HAS_FORK, reason="persistent pool requires fork")
 class TestPersistentPool:
@@ -259,3 +424,28 @@ class TestPersistentPool:
         engine, _, _ = build_engine()
         with pytest.raises(ValueError):
             PersistentWorkerPool(engine.dataset, workers=0)
+
+    def test_stop_with_dead_worker_is_bounded(self):
+        """A worker killed mid-life must not hang server.stop() forever."""
+        import os
+        import signal
+        import time
+
+        engine, _, _ = build_engine(seed=14)
+        config = ServerConfig(
+            pool_workers=1, max_wait_ms=0.0, shutdown_timeout_s=0.5
+        )
+
+        async def run():
+            server = await MaxBRSTkNNServer(engine, config).start()
+            victim = server._pool._pool._pool[0]
+            # SIGSTOP is the harshest case: the worker never reads the
+            # close sentinel AND leaves SIGTERM pending, so only the
+            # SIGKILL escalation inside the bounded close can reap it.
+            os.kill(victim.pid, signal.SIGSTOP)
+            t0 = time.monotonic()
+            with pytest.warns(RuntimeWarning, match="did not shut down"):
+                await server.stop()
+            assert time.monotonic() - t0 < 10.0
+
+        asyncio.run(run())

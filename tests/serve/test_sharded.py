@@ -491,6 +491,70 @@ class TestServerIntegration:
             assert_results_equal(single.query(q, QueryOptions(backend="python")), served)
 
 
+@pytest.mark.skipif(not HAS_FORK, reason="shard pools require fork")
+class TestStartPoolsFailure:
+    """A construction failure mid-start must not leak forked pools."""
+
+    def test_partial_failure_tears_down_and_reraises(self, monkeypatch):
+        import repro.serve.sharded as sharded_mod
+
+        dataset, rng, vocab = build_dataset(seed=3)
+        engine = make_engine(dataset, EngineConfig(fanout=4, num_shards=2))
+        real_pool = sharded_mod.PersistentWorkerPool
+        created = []
+
+        def flaky(*args, **kwargs):
+            if created:  # first pool forks fine, second construction dies
+                raise RuntimeError("boom: fork failed")
+            pool = real_pool(*args, **kwargs)
+            created.append(pool)
+            return pool
+
+        monkeypatch.setattr(sharded_mod, "PersistentWorkerPool", flaky)
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.start_pools(1)
+        # The pool forked before the failure was reaped, not leaked...
+        assert created and all(pool._closed for pool in created)
+        # ...and the engine is back in its clean in-process state.
+        assert engine._pools_started is False
+        assert all(shard.pool is None for shard in engine._shards)
+        assert all(shard.stats.pool_workers == 0 for shard in engine._shards)
+        assert engine._search_pool is None
+        queries = make_queries(rng, vocab, 2, ks=(3,))
+        assert len(engine.query_batch(queries, QueryOptions())) == 2
+        # A later healthy start is not blocked by the failed one.
+        monkeypatch.setattr(sharded_mod, "PersistentWorkerPool", real_pool)
+        engine.start_pools(1)
+        try:
+            assert engine._pools_started is True
+        finally:
+            engine.close_pools()
+
+    def test_search_pool_failure_reaps_every_shard_pool(self, monkeypatch):
+        import repro.serve.sharded as sharded_mod
+
+        dataset, _, _ = build_dataset(seed=4)
+        engine = make_engine(dataset, EngineConfig(fanout=4, num_shards=2))
+        real_pool = sharded_mod.PersistentWorkerPool
+        created = []
+
+        def flaky(*args, **kwargs):
+            if "context" in kwargs:  # only the root search pool passes it
+                raise RuntimeError("boom: search pool failed")
+            pool = real_pool(*args, **kwargs)
+            created.append(pool)
+            return pool
+
+        monkeypatch.setattr(sharded_mod, "PersistentWorkerPool", flaky)
+        with pytest.raises(RuntimeError, match="boom"):
+            # search_workers > 0: every shard pool forks, then the root
+            # search pool construction fails last.
+            engine.start_pools(1, search_workers=2)
+        assert len(created) == 2
+        assert all(pool._closed for pool in created)
+        assert engine._pools_started is False
+
+
 class TestPlanner:
     def test_plan_reports_scatter_and_merge(self):
         dataset, _, _ = build_dataset()
