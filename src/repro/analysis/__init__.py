@@ -1,0 +1,48 @@
+"""Contract-aware static analysis for the repro codebase.
+
+``repro lint`` runs four repo-specific AST checkers — Stage I/O
+contract drift, fork-pool pickle safety, bitwise-identity kernel
+discipline, and async event-loop blocking — without importing the
+target files.  See :mod:`repro.analysis.engine` for the engine and
+:mod:`repro.analysis.checkers` for the rule families.
+"""
+
+from .checkers import (
+    ALL_CHECKERS,
+    AsyncBlockingChecker,
+    KernelIdentityChecker,
+    PoolBoundaryChecker,
+    StageContractChecker,
+    checkers_for,
+)
+from .engine import (
+    Checker,
+    Finding,
+    LintReport,
+    LintUsageError,
+    ModuleInfo,
+    exit_code,
+    format_json,
+    format_text,
+    iter_python_files,
+    run_paths,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "AsyncBlockingChecker",
+    "Checker",
+    "Finding",
+    "KernelIdentityChecker",
+    "LintReport",
+    "LintUsageError",
+    "ModuleInfo",
+    "PoolBoundaryChecker",
+    "StageContractChecker",
+    "checkers_for",
+    "exit_code",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "run_paths",
+]

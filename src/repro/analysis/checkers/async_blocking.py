@@ -1,0 +1,127 @@
+"""``async-blocking``: no synchronous stalls inside ``async def`` bodies.
+
+The serving front-end (:mod:`repro.serve.server`) is a single asyncio
+event loop: one blocking call inside an ``async def`` freezes *every*
+in-flight query, not just the caller's.  The engine work itself is
+correctly routed through ``loop.run_in_executor`` — this checker guards
+the ways that discipline erodes:
+
+* ``time.sleep`` where only ``await asyncio.sleep`` is legal;
+* ``Pool.join``-style blocking shutdown/synchronization calls
+  (``.join()``, and ``close``/``terminate``/``close_pools`` on
+  pool-/worker-like receivers) — these wait on worker processes while
+  holding the loop;
+* blocking file I/O (``open(...)``) on the loop thread;
+* synchronous ``engine.query`` / ``engine.query_batch`` calls — the
+  exact work ``run_in_executor`` exists for (handing the *bound method*
+  to the executor is fine and is what the server does; *calling* it
+  inline is not).
+
+Only statements belonging to the ``async def`` itself are checked:
+nested synchronous ``def``\\ s are other execution contexts (typically
+the functions handed to an executor), so they are skipped.
+
+Rules
+-----
+* ``AB401`` ``time.sleep`` in async context;
+* ``AB402`` blocking pool/thread synchronization in async context;
+* ``AB403`` blocking file I/O in async context;
+* ``AB404`` synchronous engine query not routed through an executor.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..engine import Checker, Finding, ModuleInfo, call_name, walk_scope
+
+__all__ = ["AsyncBlockingChecker"]
+
+#: Receiver names that mark a join/close target as a process pool,
+#: worker, or thread (rather than, say, a string being joined).
+_POOLISH_RE = re.compile(r"pool|worker|proc|thread|joiner", re.IGNORECASE)
+
+#: Attribute calls that block on worker lifecycle when the receiver is
+#: pool-like.  ``.join()`` with no arguments is blocking on *any*
+#: receiver: ``str.join`` always takes the iterable argument.
+_LIFECYCLE_ATTRS = frozenset({"join", "close", "terminate", "close_pools"})
+
+#: Engine entry points that run a full query pipeline synchronously.
+_QUERY_ATTRS = frozenset({"query", "query_batch"})
+
+
+class AsyncBlockingChecker(Checker):
+    """Flag blocking calls on the event-loop thread."""
+
+    name = "async-blocking"
+    description = (
+        "async def bodies must not call time.sleep, blocking pool "
+        "joins, blocking file I/O, or synchronous engine queries"
+    )
+    codes = (
+        ("AB401", "time.sleep in async context"),
+        ("AB402", "blocking pool/thread synchronization in async context"),
+        ("AB403", "blocking file I/O in async context"),
+        ("AB404", "synchronous engine query on the event loop"),
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        assert module.tree is not None
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_body(node, module)
+
+    def _check_async_body(
+        self, func: ast.AsyncFunctionDef, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        # skip_nested: a sync def inside the async def is a different
+        # execution context (usually the payload for run_in_executor).
+        # Nested *async* defs are still walked by check() itself.
+        for node in walk_scope(func, skip_nested=True):
+            if not isinstance(node, ast.Call):
+                continue
+            target = node.func
+            name = call_name(target)
+            tail = name.rsplit(".", 1)[-1]
+            if name in ("time.sleep", "sleep") and name != "asyncio.sleep":
+                # Bare `sleep` is overwhelmingly `from time import
+                # sleep`; asyncio.sleep appears awaited + qualified.
+                yield self.finding(
+                    "AB401",
+                    f"{name}() inside async def {func.name!r} blocks the "
+                    f"event loop; use `await asyncio.sleep(...)`",
+                    module, node.lineno,
+                )
+            elif isinstance(target, ast.Attribute) and tail in _LIFECYCLE_ATTRS:
+                receiver = call_name(target.value)
+                no_arg_join = tail == "join" and not node.args and not node.keywords
+                poolish = bool(
+                    _POOLISH_RE.search(receiver) or _POOLISH_RE.search(tail)
+                )
+                if no_arg_join or poolish:
+                    yield self.finding(
+                        "AB402",
+                        f"{name}() inside async def {func.name!r} blocks "
+                        f"the event loop waiting on workers; route it "
+                        f"through run_in_executor or bound shutdown",
+                        module, node.lineno,
+                    )
+            elif name in ("open", "io.open", "os.open"):
+                yield self.finding(
+                    "AB403",
+                    f"{name}() inside async def {func.name!r} is blocking "
+                    f"file I/O on the event-loop thread; use "
+                    f"run_in_executor",
+                    module, node.lineno,
+                )
+            elif isinstance(target, ast.Attribute) and tail in _QUERY_ATTRS:
+                yield self.finding(
+                    "AB404",
+                    f"synchronous {name}() inside async def {func.name!r} "
+                    f"runs a whole query pipeline on the event loop; hand "
+                    f"the bound method to loop.run_in_executor instead "
+                    f"(see MaxBRSTkNNServer._execute)",
+                    module, node.lineno,
+                )

@@ -1,0 +1,290 @@
+"""``stage-contract``: Stage I/O declarations must match actual ctx use.
+
+Every :class:`~repro.core.pipeline.Stage` declares the
+:class:`~repro.core.pipeline.FlushContext` slots it touches:
+
+* ``inputs``   — slots the stage requires before it runs (the executor
+  validates their presence);
+* ``outputs``  — slots the stage promises to produce (validated after);
+* ``scratch``  — intra-stage slots ``split`` hands to ``merge`` and the
+  executor drops when the stage finishes;
+* ``optional`` — slots read with ``ctx.get(...)`` that may legitimately
+  be absent (an executor hint, not a pipeline product).
+
+The streaming/standing-query roadmap item plans to dispatch deltas on
+these declarations ("re-run exactly the stages whose inputs a delta
+touched"), which only works if they are *accurate*.  This checker makes
+them machine-checked: it statically resolves every ``ctx[...]``
+subscript, ``ctx.require(...)``, ``ctx.get(...)`` and
+``ctx.setdefault(...)`` inside ``run_central``/``split``/``merge``
+bodies and diffs them against the declarations.
+
+Rules
+-----
+* ``SC101`` undeclared required read — ``ctx["x"]``/``ctx.require("x")``
+  of a slot not in ``inputs``/``scratch`` (or an output the stage
+  itself wrote);
+* ``SC102`` undeclared write — ``ctx["x"] = ...``/``setdefault`` of a
+  slot not in ``outputs``/``scratch``;
+* ``SC103`` dead input — declared but never read;
+* ``SC104`` dead output — declared but never written;
+* ``SC105`` dynamic context key (warning) — a non-literal slot name
+  defeats the whole contract;
+* ``SC106`` dead scratch/optional declaration.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..engine import Checker, Finding, ModuleInfo, const_str
+
+__all__ = ["StageContractChecker", "STAGE_METHODS"]
+
+#: Methods whose bodies constitute the stage's contract surface.
+STAGE_METHODS = ("run_central", "split", "merge")
+
+#: Class attributes holding declared slot tuples.
+_DECLS = ("inputs", "outputs", "scratch", "optional")
+
+
+def _base_names(cls: ast.ClassDef) -> List[str]:
+    names = []
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+@dataclass
+class _Access:
+    """One resolved ctx access inside a stage method."""
+
+    slot: str
+    line: int
+    kind: str  # "read" | "optional_read" | "write"
+
+
+@dataclass
+class _StageInfo:
+    node: ast.ClassDef
+    #: Effective declarations (own, over inherited-in-module).
+    decls: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Declarations this class states itself — dead-declaration rules
+    #: apply only to these (the base class exercises its own).
+    own: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    decl_lines: Dict[str, int] = field(default_factory=dict)
+    accesses: List[_Access] = field(default_factory=list)
+    dynamic_lines: List[int] = field(default_factory=list)
+
+
+def _tuple_of_strings(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out = []
+    for elt in node.elts:
+        value = const_str(elt)
+        if value is None:
+            return None
+        out.append(value)
+    return tuple(out)
+
+
+class _CtxVisitor(ast.NodeVisitor):
+    """Collect ctx accesses on one parameter name inside one method."""
+
+    def __init__(self, ctx_name: str, info: _StageInfo) -> None:
+        self.ctx_name = ctx_name
+        self.info = info
+
+    def _is_ctx(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id == self.ctx_name
+
+    def _record(self, key_node: ast.expr, line: int, kind: str) -> None:
+        slot = const_str(key_node)
+        if slot is None:
+            self.info.dynamic_lines.append(line)
+        else:
+            self.info.accesses.append(_Access(slot, line, kind))
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_ctx(node.value):
+            kind = "write" if isinstance(node.ctx, (ast.Store, ast.Del)) else "read"
+            self._record(node.slice, node.lineno, kind)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and self._is_ctx(func.value)
+            and node.args
+        ):
+            if func.attr == "require":
+                self._record(node.args[0], node.lineno, "read")
+            elif func.attr == "get":
+                self._record(node.args[0], node.lineno, "optional_read")
+            elif func.attr == "setdefault":
+                self._record(node.args[0], node.lineno, "write")
+            elif func.attr == "pop":
+                self._record(node.args[0], node.lineno, "write")
+        self.generic_visit(node)
+
+
+def _collect_stage(cls: ast.ClassDef, stages: Dict[str, _StageInfo]) -> _StageInfo:
+    """Declarations + ctx accesses of one Stage subclass.
+
+    Declarations are inherited from base stages defined in the same
+    module (e.g. a fixture subclassing another fixture); accesses are
+    the class's own.
+    """
+    info = _StageInfo(node=cls)
+    for base in _base_names(cls):
+        parent = stages.get(base)
+        if parent is not None:
+            info.decls.update(parent.decls)
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and target.id in _DECLS:
+                decl = _tuple_of_strings(stmt.value)
+                if decl is not None:
+                    info.decls[target.id] = decl
+                    info.own[target.id] = decl
+                    info.decl_lines[target.id] = stmt.lineno
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and stmt.target.id in _DECLS:
+                decl = _tuple_of_strings(stmt.value)
+                if decl is not None:
+                    info.decls[stmt.target.id] = decl
+                    info.own[stmt.target.id] = decl
+                    info.decl_lines[stmt.target.id] = stmt.lineno
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name in STAGE_METHODS:
+            params = stmt.args.posonlyargs + stmt.args.args
+            if len(params) < 2:
+                continue  # no ctx parameter (self-only signature)
+            _CtxVisitor(params[1].arg, info).visit(stmt)
+    return info
+
+
+class StageContractChecker(Checker):
+    """Diff Stage input/output declarations against actual ctx use."""
+
+    name = "stage-contract"
+    description = (
+        "Stage subclasses must declare every FlushContext slot their "
+        "run_central/split/merge bodies read or write"
+    )
+    codes = (
+        ("SC101", "undeclared required context read"),
+        ("SC102", "undeclared context write"),
+        ("SC103", "dead input declaration (never read)"),
+        ("SC104", "dead output declaration (never written)"),
+        ("SC105", "dynamic context key defeats the contract (warning)"),
+        ("SC106", "dead scratch/optional declaration"),
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        assert module.tree is not None
+        stages: Dict[str, _StageInfo] = {}
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = _base_names(node)
+            if "Stage" in bases or any(b in stages for b in bases):
+                stages[node.name] = _collect_stage(node, stages)
+        for name, info in stages.items():
+            yield from self._check_stage(name, info, module)
+
+    def _check_stage(
+        self, name: str, info: _StageInfo, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        inputs = set(info.decls.get("inputs", ()))
+        outputs = set(info.decls.get("outputs", ()))
+        scratch = set(info.decls.get("scratch", ()))
+        optional = set(info.decls.get("optional", ()))
+        written = {a.slot for a in info.accesses if a.kind == "write"}
+        read = {a.slot for a in info.accesses if a.kind != "write"}
+
+        for access in info.accesses:
+            slot = access.slot
+            if access.kind == "read":
+                # A required read is satisfied by a declared input, a
+                # scratch slot, or an output this stage itself wrote
+                # (e.g. merge() re-reading what it setdefault'd).
+                if slot not in inputs | scratch | (outputs & written):
+                    yield self.finding(
+                        "SC101",
+                        f"{name}.{self._method_hint(info, access)} reads "
+                        f"ctx[{slot!r}] but {slot!r} is not declared in "
+                        f"inputs or scratch",
+                        module, access.line,
+                    )
+            elif access.kind == "optional_read":
+                if slot not in inputs | scratch | optional | outputs:
+                    yield self.finding(
+                        "SC101",
+                        f"{name} reads ctx.get({slot!r}) but {slot!r} is not "
+                        f"declared in inputs, optional or scratch",
+                        module, access.line,
+                    )
+            else:  # write
+                if slot not in outputs | scratch:
+                    yield self.finding(
+                        "SC102",
+                        f"{name} writes ctx[{slot!r}] but {slot!r} is not "
+                        f"declared in outputs or scratch",
+                        module, access.line,
+                    )
+
+        decl_line = info.decl_lines.get
+        # Dead-declaration rules look at the class's OWN declarations:
+        # an inherited contract is exercised by the class that owns it.
+        inputs = set(info.own.get("inputs", ()))
+        outputs = set(info.own.get("outputs", ()))
+        scratch = set(info.own.get("scratch", ()))
+        optional = set(info.own.get("optional", ()))
+        for slot in sorted(inputs - read):
+            yield self.finding(
+                "SC103",
+                f"{name} declares input {slot!r} but never reads it",
+                module, decl_line("inputs", info.node.lineno),
+            )
+        for slot in sorted(outputs - written):
+            yield self.finding(
+                "SC104",
+                f"{name} declares output {slot!r} but never writes it",
+                module, decl_line("outputs", info.node.lineno),
+            )
+        for slot in sorted(scratch - (read | written)):
+            yield self.finding(
+                "SC106",
+                f"{name} declares scratch {slot!r} but never touches it",
+                module, decl_line("scratch", info.node.lineno),
+            )
+        for slot in sorted(optional - read):
+            yield self.finding(
+                "SC106",
+                f"{name} declares optional {slot!r} but never reads it",
+                module, decl_line("optional", info.node.lineno),
+            )
+        for line in info.dynamic_lines:
+            yield self.finding(
+                "SC105",
+                f"{name} addresses the context with a non-literal key; "
+                f"the declared contract cannot cover it",
+                module, line, severity="warning",
+            )
+
+    @staticmethod
+    def _method_hint(info: _StageInfo, access: _Access) -> str:
+        for stmt in info.node.body:
+            if isinstance(stmt, ast.FunctionDef) and stmt.name in STAGE_METHODS:
+                end = getattr(stmt, "end_lineno", stmt.lineno)
+                if stmt.lineno <= access.line <= end:
+                    return stmt.name
+        return "?"

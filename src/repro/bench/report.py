@@ -74,7 +74,7 @@ def sweep_topk(
     """B vs J MRPU and MIOCPU across a sweep (Figures 5a/5b pattern)."""
     rows: Dict[str, List] = {}
     for m in measures:
-        for label, fn in (("B", measure_topk_baseline), ("J", measure_topk_joint)):
+        for label in ("B", "J"):
             rows[f"{label}({m}) MRPU ms"] = []
             rows[f"{label}({m}) MIOCPU"] = []
     for v in values:

@@ -10,7 +10,8 @@ Commands
                 queries through the async micro-batching front-end, and
                 print latency percentiles plus server stats;
 ``report``      shortcut to :mod:`repro.bench.report`;
-``stats``       print Table 4-style statistics of a generated dataset.
+``stats``       print Table 4-style statistics of a generated dataset;
+``lint``        contract-aware static analysis (:mod:`repro.analysis`).
 
 All query commands build one :class:`repro.core.config.QueryOptions`
 from their flags — the CLI is a consumer of the typed API, not of the
@@ -27,6 +28,7 @@ import time
 from typing import List
 
 from . import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from .analysis.cli import add_lint_arguments, run_lint
 from .core.config import CachePolicy, EngineConfig, QueryOptions
 from .datagen import (
     candidate_locations,
@@ -252,6 +254,9 @@ def _cmd_serve(args) -> int:
             return 1
         print(f"verify: served results == sequential on {len(queries)} queries "
               f"(mode={args.mode}, shards={args.shards})")
+        print("verify: dynamic check passed; run `python -m repro lint src/` "
+              "for the static contract checks (stage I/O, pool boundary, "
+              "kernel identity, async blocking)")
     return 0
 
 
@@ -352,6 +357,14 @@ def main(argv=None) -> int:
     report.add_argument("--figure")
     report.add_argument("--quick", action="store_true")
     report.set_defaults(func=_cmd_report)
+
+    lint = sub.add_parser(
+        "lint",
+        help="contract-aware static analysis (stage contracts, pool "
+             "boundaries, kernel identity, async blocking)",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(func=run_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -22,6 +22,7 @@ which maps them onto a :class:`QueryOptions` and emits a single
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import warnings
 from dataclasses import dataclass, replace
@@ -63,10 +64,8 @@ class _CoercingEnum(str, enum.Enum):
         if isinstance(value, cls):
             return value
         if isinstance(value, str):
-            try:
+            with contextlib.suppress(ValueError):
                 return cls(value.lower())
-            except ValueError:
-                pass
         valid = ", ".join(repr(m.value) for m in cls)
         raise ValueError(
             f"unknown {cls.__name__.lower()} {value!r}; expected one of {valid}"

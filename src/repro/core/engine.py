@@ -99,17 +99,17 @@ class MaxBRSTkNNEngine:
                 raise TypeError("MaxBRSTkNNEngine() got two values for 'fanout'")
             legacy["fanout"] = config
             config = None
-        if config is None:
-            config = EngineConfig(**legacy)
-        elif not isinstance(config, EngineConfig):
+        if config is not None and not isinstance(config, EngineConfig):
             raise TypeError(
                 f"config must be an EngineConfig, got {type(config).__name__}"
             )
-        elif legacy:
+        if config is not None and legacy:
             raise TypeError(
                 "pass either config=EngineConfig(...) or legacy kwargs, "
                 f"not both (got {sorted(legacy)})"
             )
+        if config is None:
+            config = EngineConfig(**legacy)
         if config.num_shards != 1:
             raise ValueError(
                 "MaxBRSTkNNEngine executes one partition; for "

@@ -181,7 +181,7 @@ class FlushHistory:
     def snapshot(self) -> dict:
         """Plain-dict view per signature (CLI / logging friendly)."""
         out = {}
-        for sig, buf in self._by_signature.items():
+        for sig in self._by_signature:
             obs = self.observe(sig)
             key = f"{sig.mode}/{sig.backend}/x{sig.scatter_width}"
             out[key] = {

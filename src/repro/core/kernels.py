@@ -357,7 +357,7 @@ class DatasetArrays:
         i = 0
         flat = passed.tolist()
         banded_set = set(banded.tolist())
-        for d, (doc, members) in enumerate(evals):
+        for doc, members in evals:
             group: List[bool] = []
             for u in members:
                 ok = flat[i]

@@ -266,6 +266,13 @@ class Stage:
     #: the executor before the stage runs).
     inputs: Tuple[str, ...] = ()
     outputs: Tuple[str, ...] = ()
+    #: Intra-stage slots ``split`` hands to ``merge`` through the
+    #: context; the executor drops them when the stage finishes, so
+    #: they are never visible downstream.
+    scratch: Tuple[str, ...] = ()
+    #: Slots read with ``ctx.get(...)`` that may legitimately be
+    #: absent (executor hints rather than pipeline products).
+    optional: Tuple[str, ...] = ()
 
     def run_central(self, ctx: FlushContext) -> None:
         raise NotImplementedError
@@ -431,6 +438,7 @@ class SearchStage(Stage):
     scatter = True
     inputs = ("merged_inputs", "merged_by_k", "group_by_k", "plan")
     outputs = ("results",)
+    scratch = ("search_index_groups",)
 
     def split(self, ctx: FlushContext, shard) -> List[tuple]:
         plan = ctx.require("plan")
@@ -482,6 +490,7 @@ class SelectStage(Stage):
     scatter = True
     inputs = ("keyed", "shared_by_key", "plan")
     outputs = ("results",)
+    scratch = ("select_index_groups",)
 
     def split(self, ctx: FlushContext, shard) -> List[tuple]:
         plan = ctx.require("plan")
@@ -525,8 +534,11 @@ class IndexedSearchStage(Stage):
 
     name = "indexed-search"
     scatter = True
-    inputs = ("queries", "pool_state", "group_by_k", "plan", "store")
+    inputs = ("queries", "pool_state", "group_by_k", "plan", "store",
+              "users_total", "io_counter")
     outputs = ("results",)
+    scratch = ("indexed_index_groups",)
+    optional = ("use_ledgers",)
 
     def split(self, ctx: FlushContext, shard) -> List[tuple]:
         plan = ctx.require("plan")
@@ -760,6 +772,11 @@ class _ExecutorBase:
                         f"stage {stage.name!r} declared output {slot!r} but "
                         "did not produce it"
                     )
+            # Scratch slots are split->merge plumbing, not products:
+            # drop them so downstream stages can only see declared
+            # outputs (keeps the declared contract enforceable).
+            for slot in stage.scratch:
+                ctx.pop(slot, None)
         self.last_flush_report = report
         return ctx.require("results")
 

@@ -157,7 +157,9 @@ class MDIRTree(IRTree):
             for gi, group in enumerate(groups):
                 neighbors = sorted(
                     (j for j in range(len(groups)) if j != gi),
-                    key=lambda j: centers[j].distance_to(centers[gi]),
+                    key=lambda j, centers=centers, gi=gi: (
+                        centers[j].distance_to(centers[gi])
+                    ),
                 )[:4]
                 for entry in list(group):
                     best = None  # (cost_delta, j, partner)

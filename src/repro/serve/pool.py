@@ -25,6 +25,7 @@ in-process execution (``ServerConfig.pool_workers=0``).
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import multiprocessing
 import os
@@ -201,10 +202,8 @@ class PersistentWorkerPool:
         if terminator.is_alive() or joiner.is_alive():
             for proc in list(getattr(self._pool, "_pool", None) or []):
                 if proc.is_alive():
-                    try:
+                    with contextlib.suppress(ProcessLookupError, PermissionError):
                         os.kill(proc.pid, signal.SIGKILL)
-                    except (ProcessLookupError, PermissionError):
-                        pass
             terminator.join(timeout_s)
             joiner.join(timeout_s)
 

@@ -131,10 +131,14 @@ class MaxBRSTkNNServer:
         # waits unbounded).
         timeout_s = self.config.shutdown_timeout_s
         if self._pool is not None:
-            self._pool.close(timeout_s=timeout_s)
+            # Blocking the loop is intended here: the flusher has
+            # drained, no queries are in flight, and the close is
+            # bounded by shutdown_timeout_s.
+            self._pool.close(timeout_s=timeout_s)  # repro: noqa[AB402]
             self._pool = None
         if self._engine_pools_started:
-            self.engine.close_pools(timeout_s=timeout_s)
+            # Same bounded-drain argument as above.
+            self.engine.close_pools(timeout_s=timeout_s)  # repro: noqa[AB402]
             self._engine_pools_started = False
         self._started = False
 

@@ -1,0 +1,29 @@
+"""Shared helpers: lint a fixture file and index findings by rule/line."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def line_of(path: Path, needle: str) -> int:
+    """1-based line number of the first source line containing needle."""
+    for i, text in enumerate(path.read_text().splitlines(), start=1):
+        if needle in text:
+            return i
+    raise AssertionError(f"{needle!r} not found in {path}")
+
+
+@pytest.fixture
+def lint_fixture():
+    """Lint one fixture module with one checker; returns (findings, path)."""
+
+    def run(filename, checker):
+        path = FIXTURES / filename
+        report = run_paths([str(path)], [checker])
+        return report, path
+
+    return run

@@ -1,0 +1,30 @@
+"""Fixture: blocking calls on the event-loop thread."""
+
+import time
+from time import sleep
+
+
+async def sleepy_handler(request):
+    time.sleep(0.5)  # AB401 (time.sleep)
+    sleep(0.1)  # AB401 (bare sleep)
+    return request
+
+
+async def shutdown(pool, flusher):
+    pool.join()  # AB402 (pool join)
+    flusher.join()  # AB402 (no-arg join)
+    worker_pool.close()  # noqa: F821  AB402 (pool-like close)
+
+
+async def read_config(path):
+    with open(path) as fh:  # AB403 (blocking file I/O)
+        return fh.read()
+
+
+async def handle_query(engine, query, options):
+    return engine.query(query, options)  # AB404 (sync engine query)
+
+
+async def handle_batch(engine, queries, options):
+    results = engine.query_batch(queries, options)  # AB404
+    return results

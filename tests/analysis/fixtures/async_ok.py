@@ -1,0 +1,40 @@
+"""Fixture: the approved async patterns — nothing here may fire."""
+
+import asyncio
+import time
+from functools import partial
+
+
+async def patient_handler(request):
+    await asyncio.sleep(0.5)
+    return request
+
+
+async def executor_query(engine, queries, options):
+    loop = asyncio.get_running_loop()
+    # Handing the *bound method* to the executor is the approved
+    # pattern — the engine call runs off the loop thread.
+    return await loop.run_in_executor(
+        None, partial(engine.query_batch, queries, options)
+    )
+
+
+async def joining_strings(parts):
+    return ", ".join(parts)
+
+
+async def spawn_reader(path):
+    def read_sync():
+        # A nested sync def is another execution context: blocking
+        # I/O inside it is exactly what run_in_executor expects.
+        with open(path) as fh:
+            return fh.read()
+
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, read_sync)
+
+
+def sync_helper(engine, query, options):
+    # Synchronous code may sleep and query freely.
+    time.sleep(0.01)
+    return engine.query(query, options)

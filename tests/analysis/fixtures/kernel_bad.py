@@ -1,0 +1,32 @@
+"""Fixture: identity kernels breaking the bitwise-exactness bans."""
+
+import math
+
+import numpy as np
+
+
+def node_lower_bounds(dx, dy, weights, starts):
+    # Allowlisted name: every banned op below must fire.
+    dist = np.hypot(dx, dy)  # KI301 (hypot)
+    total = math.fsum(weights)  # KI301 (fsum)
+    pairwise = weights.sum()  # KI302 (.sum reduction)
+    segmented = np.add.reduceat(weights, starts)  # KI302 (reduceat)
+    return dist, total, pairwise, segmented
+
+
+def helper_outside_allowlist(weights):
+    # Not an identity kernel: the same ops are fine here.
+    return np.hypot(weights, weights), weights.sum()
+
+
+def marked_kernel(a, b):  # repro: identity-kernel
+    scores = np.einsum("ij,j->i", a, b)  # KI302 (einsum)
+    return scores
+
+
+def matmul_kernel(terms, w):  # repro: identity-kernel
+    def inner_step(block):
+        # Nested helpers run inside the kernel's contract too.
+        return block @ w  # KI302 (matrix product)
+
+    return [inner_step(t) for t in terms]

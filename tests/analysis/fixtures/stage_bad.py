@@ -1,0 +1,60 @@
+"""Fixture: Stage subclasses that violate the declared I/O contract.
+
+Analyzed by path only — never imported (`Stage` is deliberately
+undefined here; the checker matches the base-class *name*).
+"""
+
+
+class UndeclaredReadStage(Stage):  # noqa: F821
+    name = "undeclared-read"
+    inputs = ("queries",)
+    outputs = ("results",)
+
+    def run_central(self, ctx):
+        queries = ctx["queries"]
+        plan = ctx["plan"]  # undeclared required read -> SC101
+        hint = ctx.get("verbose")  # undeclared optional read -> SC101
+        ctx["results"] = [queries, plan, hint]
+
+
+class UndeclaredWriteStage(Stage):  # noqa: F821
+    name = "undeclared-write"
+    inputs = ("queries",)
+    outputs = ("results",)
+
+    def run_central(self, ctx):
+        ctx["results"] = list(ctx["queries"])
+        ctx["leftover"] = 1  # undeclared write -> SC102
+
+
+class DeadDeclarationsStage(Stage):  # noqa: F821
+    name = "dead-declarations"
+    inputs = ("queries", "never_read")  # SC103 on 'never_read'
+    outputs = ("results", "never_written")  # SC104 on 'never_written'
+    scratch = ("never_touched",)  # SC106
+    optional = ("never_maybe",)  # SC106
+
+    def run_central(self, ctx):
+        ctx["results"] = list(ctx["queries"])
+
+
+class DynamicKeyStage(Stage):  # noqa: F821
+    name = "dynamic-key"
+    inputs = ("queries", "slot_name")
+    outputs = ("results",)
+
+    def run_central(self, ctx):
+        name = ctx["slot_name"]
+        value = ctx[name]  # non-literal key -> SC105 (warning)
+        ctx["results"] = [value for _ in ctx["queries"]]
+
+
+class SuppressedWriteStage(Stage):  # noqa: F821
+    name = "suppressed-write"
+    inputs = ("queries",)
+    outputs = ("results",)
+
+    def run_central(self, ctx):
+        ctx["results"] = list(ctx["queries"])
+        # Exercises the suppression path end to end.
+        ctx["debug_trace"] = []  # repro: noqa[SC102]

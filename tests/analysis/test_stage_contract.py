@@ -1,0 +1,68 @@
+"""stage-contract checker: exact rules at exact lines, and silence."""
+
+from repro.analysis import StageContractChecker
+
+from .conftest import line_of
+
+
+def rules_at(report):
+    return {(f.rule, f.line) for f in report.findings}
+
+
+class TestStageContractViolations:
+    def test_undeclared_required_read(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        assert ("SC101", line_of(path, 'ctx["plan"]')) in rules_at(report)
+
+    def test_undeclared_optional_read(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        assert ("SC101", line_of(path, 'ctx.get("verbose")')) in rules_at(report)
+
+    def test_undeclared_write(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        assert ("SC102", line_of(path, 'ctx["leftover"]')) in rules_at(report)
+
+    def test_dead_input_and_output(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        found = rules_at(report)
+        assert ("SC103", line_of(path, '"never_read"')) in found
+        assert ("SC104", line_of(path, '"never_written"')) in found
+
+    def test_dead_scratch_and_optional(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        sc106 = [f for f in report.findings if f.rule == "SC106"]
+        assert {f.line for f in sc106} == {
+            line_of(path, '"never_touched"'),
+            line_of(path, '"never_maybe"'),
+        }
+
+    def test_dynamic_key_is_warning(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        dynamic = [f for f in report.findings if f.rule == "SC105"]
+        assert len(dynamic) == 1
+        assert dynamic[0].line == line_of(path, "ctx[name]")
+        assert dynamic[0].severity == "warning"
+
+    def test_noqa_suppresses_the_seeded_write(self, lint_fixture):
+        report, path = lint_fixture("stage_bad.py", StageContractChecker())
+        debug_line = line_of(path, 'ctx["debug_trace"]')
+        assert not any(f.line == debug_line for f in report.findings)
+        assert report.suppressed == 1
+
+    def test_messages_name_stage_and_method(self, lint_fixture):
+        report, _ = lint_fixture("stage_bad.py", StageContractChecker())
+        sc101 = [f for f in report.findings if f.rule == "SC101"][0]
+        assert "UndeclaredReadStage" in sc101.message
+        assert "run_central" in sc101.message
+
+
+class TestStageContractCleanCode:
+    def test_clean_stages_produce_nothing(self, lint_fixture):
+        report, _ = lint_fixture("stage_ok.py", StageContractChecker())
+        assert report.findings == []
+
+    def test_declarations_inherit_within_module(self, lint_fixture):
+        # InheritingStage declares nothing itself; its reads/writes are
+        # covered by CleanCentralStage's declarations.
+        report, _ = lint_fixture("stage_ok.py", StageContractChecker())
+        assert not any("Inheriting" in f.message for f in report.findings)

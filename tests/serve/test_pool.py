@@ -120,6 +120,7 @@ class TestBoundedShutdown:
     """
 
     def test_close_with_stopped_worker_warns_and_returns(self):
+        import contextlib
         import os
         import signal
         import time
@@ -140,10 +141,8 @@ class TestBoundedShutdown:
             assert not victim.is_alive(), "SIGKILL escalation missed the worker"
         finally:
             # Harmless if the worker is already gone.
-            try:
+            with contextlib.suppress(ProcessLookupError, PermissionError):
                 os.kill(victim.pid, signal.SIGCONT)
-            except (ProcessLookupError, PermissionError):
-                pass
 
     def test_close_without_timeout_still_waits_unbounded_when_healthy(self):
         dataset, _ = make_dataset(seed=4)
