@@ -1,15 +1,17 @@
 """Contract-aware static analysis for the repro codebase.
 
-``repro lint`` runs four repo-specific AST checkers — Stage I/O
+``repro lint`` runs five repo-specific AST checkers — Stage I/O
 contract drift, fork-pool pickle safety, bitwise-identity kernel
-discipline, and async event-loop blocking — without importing the
-target files.  See :mod:`repro.analysis.engine` for the engine and
+discipline, async event-loop blocking, and supervised pool-dispatch
+discipline — without importing the target files.  See
+:mod:`repro.analysis.engine` for the engine and
 :mod:`repro.analysis.checkers` for the rule families.
 """
 
 from .checkers import (
     ALL_CHECKERS,
     AsyncBlockingChecker,
+    FaultToleranceChecker,
     KernelIdentityChecker,
     PoolBoundaryChecker,
     StageContractChecker,
@@ -32,6 +34,7 @@ __all__ = [
     "ALL_CHECKERS",
     "AsyncBlockingChecker",
     "Checker",
+    "FaultToleranceChecker",
     "Finding",
     "KernelIdentityChecker",
     "LintReport",

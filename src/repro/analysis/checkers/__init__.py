@@ -1,4 +1,4 @@
-"""The four repo-specific checker families.
+"""The five repo-specific checker families.
 
 ``ALL_CHECKERS`` is the ordered default set ``repro lint`` runs;
 :func:`checkers_for` resolves ``--rule`` selections (family names or
@@ -11,6 +11,7 @@ from typing import List, Sequence
 
 from ..engine import Checker, LintUsageError
 from .async_blocking import AsyncBlockingChecker
+from .fault_tolerance import FaultToleranceChecker
 from .kernel_identity import KernelIdentityChecker
 from .pool_boundary import PoolBoundaryChecker
 from .stage_contract import StageContractChecker
@@ -22,6 +23,7 @@ __all__ = [
     "PoolBoundaryChecker",
     "KernelIdentityChecker",
     "AsyncBlockingChecker",
+    "FaultToleranceChecker",
 ]
 
 #: Default families, in report order.
@@ -30,6 +32,7 @@ ALL_CHECKERS = (
     PoolBoundaryChecker,
     KernelIdentityChecker,
     AsyncBlockingChecker,
+    FaultToleranceChecker,
 )
 
 

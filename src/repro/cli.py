@@ -135,7 +135,14 @@ def _cmd_batch(args) -> int:
 def _cmd_serve(args) -> int:
     """Serve concurrent queries through the async micro-batching server."""
     from .bench.metrics import percentile
-    from .serve import MaxBRSTkNNServer, ServerConfig, make_engine
+    from .serve import (
+        DeadlinePolicy,
+        FaultPlan,
+        MaxBRSTkNNServer,
+        RetryPolicy,
+        ServerConfig,
+        make_engine,
+    )
 
     if args.queries < 1:
         print("serve: --queries must be >= 1", file=sys.stderr)
@@ -160,6 +167,25 @@ def _cmd_serve(args) -> int:
     if args.cache_entries < 1:
         print("serve: --cache-entries must be >= 1", file=sys.stderr)
         return 2
+    if args.fault != "none" and args.pool_workers < 1:
+        print("serve: --fault needs --pool-workers >= 1 (faults are injected "
+              "into the worker pools)", file=sys.stderr)
+        return 2
+    # Deterministic fault injection (CI's fault-smoke job): every plan
+    # is armed for pool generation 0 only, so the recovery — respawn,
+    # retry, or in-process degradation — must produce results identical
+    # to the sequential reference for --verify to pass.
+    faults = {
+        "none": None,
+        "kill-worker": FaultPlan.kill_worker(),
+        "hang-task": FaultPlan.hang_task(),
+        "shard-exception": FaultPlan.shard_exception(0),
+        "pool-loss": FaultPlan.pool_loss(),
+    }[args.fault]
+    if args.flush_deadline_ms is not None:
+        deadline = DeadlinePolicy(flush_deadline_s=args.flush_deadline_ms / 1000.0)
+    else:
+        deadline = DeadlinePolicy()
     dataset, workload = _make_workload(args)
     engine = make_engine(
         dataset,
@@ -176,6 +202,10 @@ def _cmd_serve(args) -> int:
         pool_workers=args.pool_workers,
         options=options,
         cache=CachePolicy(max_entries=args.cache_entries) if args.cache else None,
+        retry=RetryPolicy(),
+        deadline=deadline,
+        max_pending=args.max_pending,
+        faults=faults,
     )
     queries = _make_query_pool(workload, args, args.queries)
 
@@ -214,6 +244,7 @@ def _cmd_serve(args) -> int:
           f"(max_batch={config.max_batch}, max_wait_ms={config.max_wait_ms}, "
           f"pool_workers={config.pool_workers}, shards={args.shards})")
     shard_rows = snapshot.pop("shards", None)
+    health_rows = snapshot.pop("pool_health", None)
     for name, value in snapshot.items():
         print(f"  {name}: {value}")
     if shard_rows:
@@ -222,6 +253,12 @@ def _cmd_serve(args) -> int:
                 f"{key}={val}" for key, val in row.items() if key != "shard"
             )
             print(f"  shard[{row['shard']}]: {detail}")
+    if health_rows:
+        for row in health_rows:
+            detail = ", ".join(
+                f"{key}={val}" for key, val in row.items() if key != "pool"
+            )
+            print(f"  pool[{row['pool']}]: {detail}")
     if args.verify:
         mismatches = 0
         reference = QueryOptions(
@@ -347,6 +384,19 @@ def main(argv=None) -> int:
                        help="LRU capacity of the result cache (with --cache)")
     serve.add_argument("--verify", action="store_true",
                        help="compare served results against sequential queries")
+    serve.add_argument("--fault",
+                       choices=["none", "kill-worker", "hang-task",
+                                "shard-exception", "pool-loss"],
+                       default="none",
+                       help="inject a deterministic fault into the worker "
+                            "pools (fault-smoke: recovery must keep --verify "
+                            "green)")
+    serve.add_argument("--flush-deadline-ms", type=float, default=None,
+                       help="per-scatter-round deadline in ms (default: the "
+                            "DeadlinePolicy default, 30000)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="admission bound: shed queries (ServerOverloaded) "
+                            "past this many pending (default: unbounded)")
     serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="print dataset statistics")

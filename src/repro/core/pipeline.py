@@ -72,6 +72,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .planner import QueryPlan
 
 __all__ = [
+    "ScatterFailure",
     "StageStats",
     "FlushReport",
     "FlushContext",
@@ -90,6 +91,21 @@ __all__ = [
 ]
 
 
+class ScatterFailure(RuntimeError):
+    """A pooled scatter round failed to produce results.
+
+    The pool-transport half of the scatter contract: raised (or
+    subclassed — see :mod:`repro.serve.errors`) when a worker pool
+    could not complete a round for *transport* reasons — a worker
+    process died, the round outlived its deadline, the pool is closed
+    or broken.  Executors catch exactly this type and re-run the same
+    payloads in-process: ``execute_shard_payload`` is pure, so the
+    degraded round is bitwise-identical, only slower.  Genuine task
+    exceptions (bugs that would reproduce in-process) are re-raised to
+    the caller once retries are exhausted, never swallowed.
+    """
+
+
 # ----------------------------------------------------------------------
 # Per-phase accounting
 # ----------------------------------------------------------------------
@@ -104,6 +120,8 @@ class StageStats:
     time_s: float = 0.0
     io_node_visits: int = 0
     io_invfile_blocks: int = 0
+    retries: int = 0        # supervised pool rounds re-dispatched
+    degraded: int = 0       # partitions that fell back to in-process
 
     def snapshot(self) -> dict:
         return {
@@ -113,6 +131,8 @@ class StageStats:
             "time_ms": round(1000 * self.time_s, 3),
             "io_node_visits": self.io_node_visits,
             "io_invfile_blocks": self.io_invfile_blocks,
+            "retries": self.retries,
+            "degraded": self.degraded,
         }
 
 
@@ -129,6 +149,16 @@ class FlushReport:
             if st.stage == name:
                 return st
         return None
+
+    @property
+    def total_retries(self) -> int:
+        """Pool rounds re-dispatched across every stage of this flush."""
+        return sum(st.retries for st in self.stages)
+
+    @property
+    def degraded_partitions(self) -> int:
+        """Partitions that fell back to in-process across all stages."""
+        return sum(st.degraded for st in self.stages)
 
     def snapshot(self) -> dict:
         return {
@@ -751,15 +781,17 @@ class _ExecutorBase:
             before = io.snapshot() if io is not None else None
             t0 = time.perf_counter()
             if stage.scatter:
-                width, items = self._run_scatter(stage, ctx)
+                width, items, retries, degraded = self._run_scatter(stage, ctx)
             else:
                 stage.run_central(ctx)
-                width, items = 1, len(ctx["queries"])
+                width, items, retries, degraded = 1, len(ctx["queries"]), 0, 0
             stats = StageStats(
                 stage=stage.name,
                 items=items,
                 scatter_width=width,
                 time_s=time.perf_counter() - t0,
+                retries=retries,
+                degraded=degraded,
             )
             if io is not None:
                 delta = io.snapshot() - before
@@ -780,7 +812,10 @@ class _ExecutorBase:
         self.last_flush_report = report
         return ctx.require("results")
 
-    def _run_scatter(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
+    def _run_scatter(
+        self, stage: Stage, ctx: FlushContext
+    ) -> Tuple[int, int, int, int]:
+        """Run one scatter stage: ``(width, items, retries, degraded)``."""
         raise NotImplementedError
 
 
@@ -818,7 +853,9 @@ class LocalExecutor(_ExecutorBase):
         return self._drive(pipeline, ctx)
 
     # -- scatter routing -----------------------------------------------
-    def _run_scatter(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
+    def _run_scatter(
+        self, stage: Stage, ctx: FlushContext
+    ) -> Tuple[int, int, int, int]:
         import multiprocessing
 
         plan = ctx.require("plan")
@@ -836,12 +873,17 @@ class LocalExecutor(_ExecutorBase):
                 for payload in payloads
             ]
             stage.merge(ctx, [chunks])
-            return 1, len(queries)
+            return 1, len(queries), 0, 0
 
-        pooled = (
+        want_pool = (
             stage.name == "select" and self.pool is not None
             and len(queries) > 1 and not plan.select_inprocess
         )
+        # A closed/broken pool degrades the round to in-process rather
+        # than failing the flush; the split/merge layout is unchanged,
+        # so the answer is bitwise-identical (only slower).
+        pooled = want_pool and self.pool.available
+        degraded = 1 if (want_pool and not pooled) else 0
         forked = (
             not pooled and plan.workers > 1
             and "fork" in multiprocessing.get_all_start_methods()
@@ -859,16 +901,26 @@ class LocalExecutor(_ExecutorBase):
             context=self.engine.user_tree,
         )
         payloads = stage.split(ctx, shard)
+        retries = 0
+        chunks = None
         if pooled:
-            chunks = self.pool.run_selection(payloads)
-        elif forked:
-            chunks = self._fork_round(payloads, plan.workers)
-        else:
-            from .batch import _select_chunk
+            retries_before = self.pool.health.retries
+            try:
+                chunks = self.pool.run_selection(payloads)
+            except ScatterFailure:
+                # Pool transport failed past its retry budget: same
+                # payloads, in-process — identity preserved.
+                degraded = 1
+            retries = self.pool.health.retries - retries_before
+        if chunks is None:
+            if forked:
+                chunks = self._fork_round(payloads, plan.workers)
+            else:
+                from .batch import _select_chunk
 
-            chunks = [_select_chunk(shard.dataset, p) for p in payloads]
+                chunks = [_select_chunk(shard.dataset, p) for p in payloads]
         stage.merge(ctx, [chunks])
-        return workers, len(queries)
+        return workers, len(queries), retries, degraded
 
     def _fork_round(self, payloads: List[tuple], workers: int):
         """Ephemeral fork pool for one select round (plan.workers > 1).
@@ -919,37 +971,48 @@ class ShardedExecutor(_ExecutorBase):
         return self._drive(pipeline, ctx)
 
     # -- scatter routing -----------------------------------------------
-    def _run_scatter(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
+    def _run_scatter(
+        self, stage: Stage, ctx: FlushContext
+    ) -> Tuple[int, int, int, int]:
         if stage.name in ("search", "indexed-search"):
             return self._scatter_queries(stage, ctx)
         return self._scatter_users(stage, ctx)
 
-    def _scatter_users(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
+    def _scatter_users(
+        self, stage: Stage, ctx: FlushContext
+    ) -> Tuple[int, int, int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
         plan = ctx.require("plan")
         if stage.name == "refine" and not ctx.require("need_ks"):
-            return 0, 0  # every k already merged (memoized across flushes)
+            return 0, 0, 0, 0  # every k already merged (memoized across flushes)
         # Observed planner decision: at trivial queue depth the shard
         # pools are pure dispatch overhead — run the same payloads
         # in-process (split/merge and partition layout unchanged).
         inprocess = plan.shard is not None and plan.shard.scatter_inprocess
-        handles = [
-            ShardHandle(
-                shard_id=shard.shard_id,
-                dataset=shard.engine.dataset,
-                workers=(
-                    shard.pool.workers
-                    if shard.pool is not None and not inprocess
-                    else 1
-                ),
-                pool=None if inprocess else shard.pool,
-                rsk_by_k=shard.rsk_by_k,
-                stats=shard.stats,
+        degraded = 0
+        handles = []
+        for shard in sharded._shards:
+            if shard.users == 0:
+                continue
+            pool = None if inprocess else shard.pool
+            if pool is not None and not pool.available:
+                # Closed/broken pool: this shard's round runs in-process
+                # (identical payloads, identical answer) — degradation,
+                # not planner choice, so it is counted.
+                pool = None
+                degraded += 1
+                shard.stats.degraded_rounds += 1
+            handles.append(
+                ShardHandle(
+                    shard_id=shard.shard_id,
+                    dataset=shard.engine.dataset,
+                    workers=pool.workers if pool is not None else 1,
+                    pool=pool,
+                    rsk_by_k=shard.rsk_by_k,
+                    stats=shard.stats,
+                )
             )
-            for shard in sharded._shards
-            if shard.users > 0
-        ]
         items = (
             len(ctx["need_ks"]) if stage.name == "refine" else len(queries)
         )
@@ -959,22 +1022,45 @@ class ShardedExecutor(_ExecutorBase):
             )
             handle.stats.scatter_flushes += 1
         # Dispatch everything before collecting anything: shard pools
-        # run concurrently even with one worker each.
+        # run concurrently even with one worker each.  A dispatch that
+        # fails outright is recovered in the supervised collect below.
         plans = [stage.split(ctx, handle) for handle in handles]
-        async_handles = [
-            (i, handle.pool.run_shard_tasks_async(plans[i]))
-            for i, handle in enumerate(handles)
-            if handle.pool is not None
-        ]
+        dispatches: List[Optional[object]] = [None] * len(handles)
+        for i, handle in enumerate(handles):
+            if handle.pool is None:
+                continue
+            try:
+                dispatches[i] = handle.pool.dispatch(plans[i])
+            except ScatterFailure:
+                dispatches[i] = None  # run_supervised re-dispatches
         returned: List[Optional[list]] = [None] * len(handles)
+        retries = 0
         for i, handle in enumerate(handles):
             if handle.pool is None:
                 returned[i] = [
                     execute_shard_payload(handle.dataset, payload)
                     for payload in plans[i]
                 ]
-        for i, async_result in async_handles:
-            returned[i] = async_result.get()
+                continue
+            retries_before = handle.pool.health.retries
+            try:
+                returned[i] = handle.pool.run_supervised(
+                    plans[i], dispatch=dispatches[i]
+                )
+            except ScatterFailure:
+                # Supervision exhausted (respawn failed, repeat
+                # deadline, pool broken): re-scatter this shard's round
+                # in-process — execute_shard_payload is pure, so the
+                # merged answer is unchanged.
+                returned[i] = [
+                    execute_shard_payload(handle.dataset, payload)
+                    for payload in plans[i]
+                ]
+                degraded += 1
+                handle.stats.degraded_rounds += 1
+            delta = handle.pool.health.retries - retries_before
+            retries += delta
+            handle.stats.retries += delta
         self._account(stage, handles, returned, items)
         t_merge = time.perf_counter()
         stage.merge(ctx, returned)
@@ -984,7 +1070,7 @@ class ShardedExecutor(_ExecutorBase):
             for handle, chunks in zip(handles, returned):
                 for partial in (p for chunk in chunks for p in chunk):
                     handle.rsk_by_k[partial.k] = partial.rsk
-        return len(handles), items
+        return len(handles), items, retries, degraded
 
     def _account(self, stage, handles, returned, items) -> None:
         for handle, chunks in zip(handles, returned):
@@ -996,7 +1082,9 @@ class ShardedExecutor(_ExecutorBase):
                 handle.stats.queries += items
                 handle.stats.shortlist_time_s += sum(p.time_s for p in flat)
 
-    def _scatter_queries(self, stage: Stage, ctx: FlushContext) -> Tuple[int, int]:
+    def _scatter_queries(
+        self, stage: Stage, ctx: FlushContext
+    ) -> Tuple[int, int, int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
         plan = ctx.require("plan")
@@ -1007,11 +1095,13 @@ class ShardedExecutor(_ExecutorBase):
         # (global access order) forces the in-process path.  The
         # observed planner can also pull the searches in-process when
         # measured per-query cost is under the dispatch bar.
-        use_pool = (
+        want_pool = (
             pool is not None and len(queries) > 1
             and (stage.name != "indexed-search" or root.store.buffer is None)
             and not (plan.shard is not None and plan.shard.search_inprocess)
         )
+        use_pool = want_pool and pool.available
+        degraded = 1 if (want_pool and not use_pool) else 0
         ctx["use_ledgers"] = use_pool and stage.name == "indexed-search"
         handle = ShardHandle(
             shard_id=-1,
@@ -1022,11 +1112,23 @@ class ShardedExecutor(_ExecutorBase):
         )
         payloads = stage.split(ctx, handle)
         t0 = time.perf_counter()
+        retries = 0
+        chunks = None
         if use_pool:
             sharded._search_flushes += 1
-            chunks = pool.run_shard_tasks_async(payloads).get()
-        else:
-            if stage.name == "indexed-search":
+            retries_before = pool.health.retries
+            try:
+                chunks = pool.run_supervised(payloads)
+            except ScatterFailure:
+                # Search pool lost past its retry budget: re-run the
+                # same payloads in the parent.  With ledger views the
+                # payloads already carry read-only stores whose
+                # IOCharges replay at merge time, so the degraded round
+                # charges identically.
+                degraded = 1
+            retries = pool.health.retries - retries_before
+        if chunks is None:
+            if stage.name == "indexed-search" and not ctx["use_ledgers"]:
                 # In-process: charge the engine's real store directly
                 # (ledger-free), including under a warm buffer.
                 chunks = [
@@ -1037,9 +1139,11 @@ class ShardedExecutor(_ExecutorBase):
                 ]
             else:
                 chunks = [
-                    execute_shard_payload(handle.dataset, payload)
+                    execute_shard_payload(
+                        handle.dataset, payload, context=root.user_tree
+                    )
                     for payload in payloads
                 ]
         sharded._search_s += time.perf_counter() - t0
         stage.merge(ctx, [chunks])
-        return handle.workers, len(queries)
+        return handle.workers, len(queries), retries, degraded

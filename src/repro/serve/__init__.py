@@ -23,17 +23,48 @@ The top layer of the typed API (see ``repro/core/config.py`` and
 ...     results = await asyncio.gather(*(server.submit(q) for q in qs))
 """
 
-from .config import AdaptiveWaitController, ServerConfig, ServerStats
-from .pool import PersistentWorkerPool
+from .config import (
+    AdaptiveWaitController,
+    DeadlinePolicy,
+    RetryPolicy,
+    ServerConfig,
+    ServerStats,
+)
+from .errors import (
+    FlushDeadlineExceeded,
+    PoolFailure,
+    PoolUnavailable,
+    ScatterTaskError,
+    ServerOverloaded,
+    ServerStopped,
+    ServingError,
+    WorkerCrashed,
+)
+from .faults import FaultPlan, InjectedFault
+from .pool import PersistentWorkerPool, PoolHealth, PoolState
 from .server import MaxBRSTkNNServer
 from .sharded import ShardedEngine, make_engine
 
 __all__ = [
     "AdaptiveWaitController",
+    "DeadlinePolicy",
+    "FaultPlan",
+    "FlushDeadlineExceeded",
+    "InjectedFault",
     "MaxBRSTkNNServer",
     "PersistentWorkerPool",
+    "PoolFailure",
+    "PoolHealth",
+    "PoolState",
+    "PoolUnavailable",
+    "RetryPolicy",
+    "ScatterTaskError",
     "ServerConfig",
+    "ServerOverloaded",
     "ServerStats",
+    "ServerStopped",
+    "ServingError",
     "ShardedEngine",
+    "WorkerCrashed",
     "make_engine",
 ]

@@ -7,8 +7,82 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from ..core.config import CachePolicy, QueryOptions, _require_int
+from .faults import FaultPlan
 
-__all__ = ["AdaptiveWaitController", "ServerConfig", "ServerStats"]
+__all__ = [
+    "AdaptiveWaitController",
+    "DeadlinePolicy",
+    "RetryPolicy",
+    "ServerConfig",
+    "ServerStats",
+]
+
+
+def _require_positive_float(name: str, value, *, allow_zero: bool = False) -> None:
+    floor_ok = value >= 0 if allow_zero else value > 0
+    if (
+        isinstance(value, bool)
+        or not isinstance(value, (int, float))
+        or not math.isfinite(value)
+        or not floor_ok
+    ):
+        bound = ">= 0" if allow_zero else "> 0"
+        raise ValueError(f"{name} must be a finite number {bound}, got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times a failed pool round is re-dispatched, and how fast.
+
+    A round that fails for transport reasons (worker death, deadline) is
+    retried up to ``max_retries`` times — after a pool respawn when the
+    workers died, directly when only the task failed.  Each respawn
+    sleeps a capped exponential backoff,
+    ``min(backoff_cap_s, backoff_base_s * 2**consecutive_failures)``,
+    so a persistently dying pool cannot fork-bomb the host.
+    ``max_retries=0`` disables retry: the first failure degrades the
+    round to in-process execution immediately.
+    """
+
+    max_retries: int = 1
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        _require_int("max_retries", self.max_retries, minimum=0)
+        _require_positive_float(
+            "backoff_base_s", self.backoff_base_s, allow_zero=True
+        )
+        _require_positive_float("backoff_cap_s", self.backoff_cap_s)
+
+    def backoff_s(self, consecutive_failures: int) -> float:
+        """Sleep before the respawn after the N-th consecutive failure."""
+        return min(
+            self.backoff_cap_s,
+            self.backoff_base_s * (2 ** max(0, consecutive_failures - 1)),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class DeadlinePolicy:
+    """Per-scatter-round deadline (the anti-wedge bound).
+
+    Without it, a worker hung mid-task parks ``AsyncResult.get()`` —
+    and with it every pending future in the server — forever.  The
+    supervised pool polls the round every ``poll_interval_s`` and
+    declares :class:`~repro.serve.errors.FlushDeadlineExceeded` once
+    ``flush_deadline_s`` has elapsed, which triggers the retry /
+    degrade ladder.  ``flush_deadline_s=None`` disables the deadline
+    (worker-death detection still applies).
+    """
+
+    flush_deadline_s: Optional[float] = 30.0
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.flush_deadline_s is not None:
+            _require_positive_float("flush_deadline_s", self.flush_deadline_s)
+        _require_positive_float("poll_interval_s", self.poll_interval_s)
 
 
 class AdaptiveWaitController:
@@ -118,6 +192,21 @@ class ServerConfig:
         a pool whose workers died mid-task gets ``terminate()``d (with
         a warning) instead of hanging ``join()`` forever.  ``None``
         waits unbounded (the pre-PR-6 behavior).
+    retry:
+        :class:`RetryPolicy` governing how failed pool scatter rounds
+        are re-dispatched (respawn + retry before degrading).
+    deadline:
+        :class:`DeadlinePolicy` bounding every pool scatter round, so a
+        hung worker can never wedge a flush.
+    max_pending:
+        Admission bound: ``submit()`` raises
+        :class:`~repro.serve.errors.ServerOverloaded` (and counts the
+        shed) once this many queries are queued unflushed.  ``None``
+        (default) admits unboundedly.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` injected into
+        every pool the server starts — test/CI hook; ``None`` in
+        production.
     """
 
     max_batch: int = 32
@@ -127,6 +216,10 @@ class ServerConfig:
     auto_wait_ceiling_ms: float = 10.0
     cache: Union[CachePolicy, bool, None] = None
     shutdown_timeout_s: Optional[float] = 10.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    deadline: DeadlinePolicy = field(default_factory=DeadlinePolicy)
+    max_pending: Optional[int] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         _require_int("max_batch", self.max_batch, minimum=1)
@@ -176,6 +269,18 @@ class ServerConfig:
                 f"shutdown_timeout_s must be a finite number > 0 or None, "
                 f"got {self.shutdown_timeout_s!r}"
             )
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(f"retry must be a RetryPolicy, got {self.retry!r}")
+        if not isinstance(self.deadline, DeadlinePolicy):
+            raise ValueError(
+                f"deadline must be a DeadlinePolicy, got {self.deadline!r}"
+            )
+        if self.max_pending is not None:
+            _require_int("max_pending", self.max_pending, minimum=1)
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ValueError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}"
+            )
 
     @property
     def adaptive(self) -> bool:
@@ -212,6 +317,13 @@ class ServerStats:
     drain_flushes: int = 0     # flushed during shutdown drain
     queue_depth_peak: int = 0  # deepest pending queue seen at a flush
     last_wait_ms: float = 0.0  # window used by the most recent batch
+    # -- fault tolerance (the recovery ladder, made observable) --------
+    pool_respawns: int = 0     # pools rebuilt after worker death
+    worker_deaths: int = 0     # dead-worker detections across pools
+    deadline_hits: int = 0     # scatter rounds past flush_deadline_s
+    flush_retries: int = 0     # scatter rounds re-dispatched
+    degraded_flushes: int = 0  # flushes that fell back to in-process
+    queries_shed: int = 0      # rejected with ServerOverloaded
 
     @property
     def avg_batch_size(self) -> float:
@@ -247,4 +359,10 @@ class ServerStats:
             "drain_flushes": self.drain_flushes,
             "queue_depth_peak": self.queue_depth_peak,
             "last_wait_ms": round(self.last_wait_ms, 3),
+            "pool_respawns": self.pool_respawns,
+            "worker_deaths": self.worker_deaths,
+            "deadline_hits": self.deadline_hits,
+            "flush_retries": self.flush_retries,
+            "degraded_flushes": self.degraded_flushes,
+            "queries_shed": self.queries_shed,
         }

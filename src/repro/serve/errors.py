@@ -1,0 +1,87 @@
+"""Typed errors of the serving layer's failure domains.
+
+Three families, by who observes them:
+
+* **Admission** (:class:`ServerStopped`, :class:`ServerOverloaded`) —
+  raised to ``submit()`` callers.  Both subclass :class:`ServingError`
+  (itself a ``RuntimeError``, so pre-existing ``except RuntimeError``
+  call sites keep working) and are terminal for that request only.
+* **Pool transport** (:class:`PoolFailure` and its subclasses
+  :class:`WorkerCrashed`, :class:`FlushDeadlineExceeded`,
+  :class:`PoolUnavailable`) — raised by the supervised pool when a
+  scatter round fails for reasons *outside* the task code: a worker
+  process died, the round missed its deadline, the pool is closed or
+  terminally broken.  They subclass
+  :class:`~repro.core.pipeline.ScatterFailure`, which the pipeline
+  executors catch to degrade the round to in-process execution —
+  results stay bitwise-identical because the worker entry point is
+  pure.
+* **Task errors** (:class:`ScatterTaskError`) — an exception raised by
+  the payload itself inside a worker.  Also a ``ScatterFailure`` (so a
+  *transient* task error is retried and, past the budget, the flush
+  degrades to in-process — where a genuine bug reproduces and
+  propagates authentically, with the original exception chained as
+  ``__cause__``).
+"""
+
+from __future__ import annotations
+
+from ..core.pipeline import ScatterFailure
+
+__all__ = [
+    "ServingError",
+    "ServerStopped",
+    "ServerOverloaded",
+    "PoolFailure",
+    "WorkerCrashed",
+    "FlushDeadlineExceeded",
+    "PoolUnavailable",
+    "ScatterTaskError",
+]
+
+
+class ServingError(RuntimeError):
+    """Base of the errors ``submit()`` can raise to a caller."""
+
+
+class ServerStopped(ServingError):
+    """The server stopped before (or while) this query could execute.
+
+    Raised by ``submit()`` once ``stop()`` has begun, and set on every
+    still-pending future the drain could not answer — no future is ever
+    left to hang.
+    """
+
+
+class ServerOverloaded(ServingError):
+    """Admission queue full (``ServerConfig.max_pending``): load shed.
+
+    The query was rejected *before* entering the queue; nothing was
+    executed and the caller should back off and retry.
+    """
+
+
+class PoolFailure(ScatterFailure):
+    """A worker-pool scatter round failed for transport reasons."""
+
+
+class WorkerCrashed(PoolFailure):
+    """A worker process died mid-round (its task is lost forever —
+    without supervision the round's result would simply never arrive)."""
+
+
+class FlushDeadlineExceeded(PoolFailure):
+    """A scatter round outlived ``DeadlinePolicy.flush_deadline_s``."""
+
+
+class PoolUnavailable(PoolFailure):
+    """The pool is closed, or broken past repair (respawn failed).
+
+    Terminal for the pool: the supervisor will not retry on it, and
+    executors fall back to in-process execution until the pool is
+    rebuilt.
+    """
+
+
+class ScatterTaskError(ScatterFailure):
+    """A scatter task raised inside a worker (original as __cause__)."""

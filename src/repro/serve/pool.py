@@ -1,4 +1,4 @@
-"""Persistent fork pool for phase-2 candidate selection.
+"""Supervised persistent fork pool for scatter rounds.
 
 ``query_batch(workers=N)`` forks a fresh pool on every call — workers
 inherit the indexes through copy-on-write for free, but the fork +
@@ -18,6 +18,32 @@ MIUR-tree here so ``indexed_search`` payloads
 (:func:`repro.core.pipeline.execute_shard_payload`) can run the
 best-first search in-worker against read-only ledger stores.
 
+**Supervision.**  A bare ``multiprocessing.Pool`` has a deadly failure
+mode for serving: a worker that dies mid-task loses the task forever
+and the round's ``AsyncResult`` simply *never* becomes ready — wedging
+the flush and every future parked on it.  The pool therefore never
+hands out raw async results on the serving path; rounds flow through
+
+* :meth:`dispatch` — start a round, returning a :class:`PoolDispatch`
+  ticket (so a sharded executor can start every shard's round before
+  collecting any);
+* :meth:`collect` — await one ticket with *supervision*: polls worker
+  liveness (any exitcode outside {None, 0}, or a replacement pid
+  appearing) and the :class:`~repro.serve.config.DeadlinePolicy`
+  deadline, raising typed :class:`~repro.serve.errors.PoolFailure`
+  subclasses instead of hanging;
+* :meth:`run_supervised` — dispatch + collect + the
+  :class:`~repro.serve.config.RetryPolicy` ladder: worker death ⇒
+  :meth:`respawn` (capped exponential backoff) and re-dispatch; task
+  exception ⇒ plain re-dispatch; budget exhausted or pool broken ⇒ a
+  :class:`~repro.core.pipeline.ScatterFailure` the executors catch to
+  degrade in-process.
+
+Health is typed and observable: :class:`PoolHealth` carries the
+:class:`PoolState` machine (HEALTHY → RESPAWNING → HEALTHY | BROKEN,
+→ CLOSED) plus monotone counters (respawns, worker deaths, deadline
+hits, retries) that the server aggregates onto ``ServerStats``.
+
 Requires the ``fork`` start method (Linux/macOS).  Construction raises
 :class:`RuntimeError` where unavailable — callers fall back to
 in-process execution (``ServerConfig.pool_workers=0``).
@@ -26,54 +52,108 @@ in-process execution (``ServerConfig.pool_workers=0``).
 from __future__ import annotations
 
 import contextlib
+import enum
 import itertools
 import multiprocessing
 import os
 import signal
 import threading
+import time
 import warnings
 import weakref
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import SharedTopK, _select_chunk
 from ..core.kernels import HAS_NUMPY, arrays_for
 from ..core.pipeline import execute_shard_payload
+from .config import DeadlinePolicy, RetryPolicy
+from .errors import (
+    FlushDeadlineExceeded,
+    PoolUnavailable,
+    ScatterTaskError,
+    WorkerCrashed,
+)
+from .faults import FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
     from ..model.dataset import Dataset
 
-__all__ = ["PersistentWorkerPool", "execute_shard_payload"]
+__all__ = [
+    "PersistentWorkerPool",
+    "PoolDispatch",
+    "PoolHealth",
+    "PoolState",
+    "execute_shard_payload",
+]
 
 #: One phase-2 work chunk: several queries sharing one phase-1 state,
 #: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
 Payload = Tuple[List["MaxBRSTkNNQuery"], SharedTopK, str, str, str]
 
-#: Parent-side registry of pool (dataset, context) pairs, keyed by a
-#: per-pool token.  Forked workers inherit the whole registry through
-#: copy-on-write and the initializer resolves their token into
-#: ``_WORKER_DATASET`` / ``_WORKER_CONTEXT`` — only the *token* (an
-#: int) ever crosses the worker pipe.  Passing the dataset itself as
-#: Pool ``initargs`` would *pickle* it per worker, silently dropping
-#: the pre-built DatasetArrays (Dataset.__getstate__ excludes them, and
-#: DatasetArrays refuses to pickle outright) and making every worker
-#: rebuild them: the exact waste this pool exists to avoid.  A registry
-#: (rather than one module global) keeps late worker respawns and
-#: concurrent pools correct — whenever a child forks, its registry
-#: snapshot holds every live pool's dataset.  The regression test
-#: ``tests/serve/test_pool.py`` asserts workers inherit, not rebuild.
+#: Parent-side registry of pool (dataset, context, faults, pool_id)
+#: tuples, keyed by a per-pool token.  Forked workers inherit the whole
+#: registry through copy-on-write and the initializer resolves their
+#: token into ``_WORKER_DATASET`` / ``_WORKER_CONTEXT`` (plus the
+#: fault-injection plan and pool identity) — only the *token* and the
+#: pool generation (two ints) ever cross the worker pipe.  Passing the
+#: dataset itself as Pool ``initargs`` would *pickle* it per worker,
+#: silently dropping the pre-built DatasetArrays (Dataset.__getstate__
+#: excludes them, and DatasetArrays refuses to pickle outright) and
+#: making every worker rebuild them: the exact waste this pool exists
+#: to avoid.  A registry (rather than one module global) keeps late
+#: worker respawns and concurrent pools correct — whenever a child
+#: forks, its registry snapshot holds every live pool's dataset.  The
+#: regression test ``tests/serve/test_pool.py`` asserts workers
+#: inherit, not rebuild.
 _WORKER_DATASET = None
 _WORKER_CONTEXT = None
+_WORKER_FAULTS: Optional[FaultPlan] = None
+_WORKER_POOL_ID: Optional[int] = None
+_WORKER_GENERATION = 0
+_WORKER_TASK_INDEX = 0
 _FORK_DATASETS: Dict[int, tuple] = {}
 _FORK_TOKENS = itertools.count()
 
 
-def _init_worker(token: int) -> None:
-    global _WORKER_DATASET, _WORKER_CONTEXT
-    _WORKER_DATASET, _WORKER_CONTEXT = _FORK_DATASETS[token]
+def _init_worker(token: int, generation: int = 0) -> None:
+    global _WORKER_DATASET, _WORKER_CONTEXT, _WORKER_FAULTS
+    global _WORKER_POOL_ID, _WORKER_GENERATION, _WORKER_TASK_INDEX
+    entry = _FORK_DATASETS[token]
+    _WORKER_DATASET, _WORKER_CONTEXT, _WORKER_FAULTS, _WORKER_POOL_ID = entry
+    _WORKER_GENERATION = generation
+    _WORKER_TASK_INDEX = 0
+
+
+def _payload_shard_id(payload: tuple) -> Optional[int]:
+    """Shard id carried by a scatter payload (None for selection /
+    search payloads, which run on the root pool)."""
+    if not isinstance(payload, tuple) or not payload:
+        return None
+    if payload[0] == "refine":
+        return payload[4]
+    if payload[0] == "shortlist":
+        return payload[6]
+    return None
+
+
+def _maybe_inject(payload) -> None:
+    """Worker-side fault hook: counts this worker's tasks and fires the
+    inherited :class:`FaultPlan` (if any, and if armed for this pool
+    generation).  One ``is None`` check when no plan is armed."""
+    global _WORKER_TASK_INDEX
+    if _WORKER_FAULTS is None:
+        return
+    index = _WORKER_TASK_INDEX
+    _WORKER_TASK_INDEX = index + 1
+    _WORKER_FAULTS.worker_hook(
+        index, _WORKER_GENERATION, _WORKER_POOL_ID, _payload_shard_id(payload)
+    )
 
 
 def _run_payload(payload: Payload) -> List["MaxBRSTkNNResult"]:
+    _maybe_inject(payload)
     return _select_chunk(_WORKER_DATASET, payload)
 
 
@@ -85,13 +165,61 @@ ShardPayload = Tuple
 
 
 def _run_shard_payload(payload: ShardPayload):
+    _maybe_inject(payload)
     return execute_shard_payload(
         _WORKER_DATASET, payload, context=_WORKER_CONTEXT
     )
 
 
+class PoolState(enum.Enum):
+    """Supervision state machine of one :class:`PersistentWorkerPool`."""
+
+    HEALTHY = "healthy"        # workers up, rounds dispatchable
+    RESPAWNING = "respawning"  # old workers torn down, new ones forking
+    BROKEN = "broken"          # respawn failed: terminal until rebuilt
+    CLOSED = "closed"          # close() ran (terminal)
+
+
+@dataclass(slots=True)
+class PoolHealth:
+    """Typed, observable health of one pool (monotone counters)."""
+
+    state: PoolState = PoolState.HEALTHY
+    generation: int = 0        # bumped by every successful respawn
+    respawns: int = 0          # successful worker-set rebuilds
+    worker_deaths: int = 0     # rounds aborted by a dead worker
+    deadline_hits: int = 0     # rounds aborted by the flush deadline
+    retries: int = 0           # rounds re-dispatched by run_supervised
+    consecutive_failures: int = 0  # backoff driver; reset on success
+    last_error: Optional[str] = None
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state.value,
+            "generation": self.generation,
+            "respawns": self.respawns,
+            "worker_deaths": self.worker_deaths,
+            "deadline_hits": self.deadline_hits,
+            "retries": self.retries,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+        }
+
+
+@dataclass(slots=True)
+class PoolDispatch:
+    """Ticket for one in-flight scatter round (collect() redeems it)."""
+
+    async_result: object
+    payloads: list
+    kind: str                     # "shard" | "selection"
+    generation: int               # pool generation it was dispatched on
+    deadline_s: Optional[float]   # per-round budget (None = unbounded)
+    started_s: float = field(default_factory=time.monotonic)
+
+
 class PersistentWorkerPool:
-    """Long-lived fork pool bound to one dataset (plus optional context).
+    """Long-lived supervised fork pool bound to one dataset.
 
     Parameters
     ----------
@@ -105,9 +233,29 @@ class PersistentWorkerPool:
         Optional extra object workers inherit via copy-on-write (the
         sharded engine's root search pool passes the MIUR-tree so
         indexed-search payloads can run in-worker).
+    retry / deadline:
+        Supervision policies (:class:`~repro.serve.config.RetryPolicy`,
+        :class:`~repro.serve.config.DeadlinePolicy`); defaults retry
+        once and bound every round at 30 s.
+    faults:
+        Optional :class:`~repro.serve.faults.FaultPlan` inherited by the
+        workers — deterministic fault injection for tests/CI.
+    pool_id:
+        Identity for fault scoping and health reporting (shard id for
+        shard pools, ``SEARCH_POOL_ID`` for the root search pool).
     """
 
-    def __init__(self, dataset: "Dataset", workers: int, context=None) -> None:
+    def __init__(
+        self,
+        dataset: "Dataset",
+        workers: int,
+        context=None,
+        *,
+        retry: Optional[RetryPolicy] = None,
+        deadline: Optional[DeadlinePolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        pool_id: Optional[int] = None,
+    ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if "fork" not in multiprocessing.get_all_start_methods():
@@ -119,45 +267,285 @@ class PersistentWorkerPool:
         self.dataset = dataset
         self.workers = workers
         self.context = context
-        ctx = multiprocessing.get_context("fork")
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.deadline = deadline if deadline is not None else DeadlinePolicy()
+        self.faults = faults
+        self.pool_id = pool_id
+        self.health = PoolHealth()
+        self._ctx = multiprocessing.get_context("fork")
+        #: Reentrant: close() may run from a thread while respawn holds
+        #: the lock, and respawn's spawn path re-enters helpers.
+        self._lock = threading.RLock()
         self._token = next(_FORK_TOKENS)
-        _FORK_DATASETS[self._token] = (dataset, context)
-        # Workers fork inside Pool() and snapshot the registry (and the
-        # arrays hanging off the dataset) via copy-on-write; initargs
-        # carries only the token.
-        self._pool = ctx.Pool(
-            workers, initializer=_init_worker, initargs=(self._token,)
-        )
+        _FORK_DATASETS[self._token] = (dataset, context, faults, pool_id)
         self._closed = False
+        self._pool = None
+        self._known_pids: set = set()
         # Safety net for pools dropped without close(): the finalizer
         # evicts the registry entry so a leaked pool cannot pin the
         # dataset (and its dense arrays) for the process lifetime.
         self._registry_finalizer = weakref.finalize(
             self, _FORK_DATASETS.pop, self._token, None
         )
+        self._spawn()
 
+    # ------------------------------------------------------------------
+    # Worker-set lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self) -> None:
+        """Fork a fresh worker set for the current generation.
+
+        Workers fork inside Pool() and snapshot the registry (and the
+        arrays hanging off the dataset) via copy-on-write; initargs
+        carries only the token and generation.
+        """
+        self._pool = self._ctx.Pool(
+            self.workers,
+            initializer=_init_worker,
+            initargs=(self._token, self.health.generation),
+        )
+        self._known_pids = {proc.pid for proc in self._pool._pool}
+
+    def _worker_death_detected(self) -> bool:
+        """Did any worker of the current set die abnormally?
+
+        Two signals, because ``multiprocessing.Pool``'s own handler
+        thread silently *replaces* dead workers: an exitcode outside
+        {None, 0} still in the table, or a pid we did not fork (the
+        replacement).  Either way the dying worker's task is lost and
+        the in-flight round will never complete.
+        """
+        procs = list(getattr(self._pool, "_pool", None) or [])
+        died = any(proc.exitcode not in (None, 0) for proc in procs)
+        fresh = {proc.pid for proc in procs} - self._known_pids
+        return died or bool(fresh)
+
+    def respawn(self) -> None:
+        """Tear the current worker set down and fork a new generation.
+
+        Sleeps the :class:`RetryPolicy` backoff first (capped
+        exponential in consecutive failures), so a persistently dying
+        worker set cannot fork-bomb the host.  A failed respawn marks
+        the pool BROKEN — terminal — and raises
+        :class:`PoolUnavailable`.
+        """
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailable("pool is closed; cannot respawn")
+            if self.health.state is PoolState.BROKEN:
+                raise PoolUnavailable("pool is broken (previous respawn failed)")
+            plan = self.faults
+            if plan is not None and plan.break_respawn and plan.armed(
+                self.health.generation, self.pool_id
+            ):
+                self.health.state = PoolState.BROKEN
+                self.health.last_error = "injected respawn failure"
+                raise PoolUnavailable(
+                    "injected respawn failure (FaultPlan.break_respawn)"
+                )
+            self.health.state = PoolState.RESPAWNING
+            old_pool, self._pool = self._pool, None
+            if old_pool is not None:
+                self._terminate_bounded(old_pool)
+            backoff = self.retry.backoff_s(self.health.consecutive_failures)
+            if backoff > 0:
+                time.sleep(backoff)
+            self.health.generation += 1
+            try:
+                self._spawn()
+            except Exception as exc:
+                self.health.state = PoolState.BROKEN
+                self.health.last_error = f"respawn failed: {exc!r}"
+                raise PoolUnavailable(
+                    f"pool respawn failed: {exc!r}"
+                ) from exc
+            self.health.state = PoolState.HEALTHY
+            self.health.respawns += 1
+
+    def _terminate_bounded(self, pool, timeout_s: float = 5.0) -> None:
+        """Terminate a (possibly wedged) worker set without hanging.
+
+        ``Pool.terminate()`` joins its workers after SIGTERMing them,
+        and a stopped worker leaves SIGTERM pending without dying — run
+        it in a helper thread, then SIGKILL whatever survives (SIGKILL
+        cannot be blocked and fells stopped processes too).
+        """
+        terminator = threading.Thread(target=pool.terminate, daemon=True)
+        terminator.start()
+        terminator.join(timeout_s)
+        if terminator.is_alive():
+            for proc in list(getattr(pool, "_pool", None) or []):
+                if proc.is_alive():
+                    with contextlib.suppress(ProcessLookupError, PermissionError):
+                        os.kill(proc.pid, signal.SIGKILL)
+            terminator.join(timeout_s)
+
+    @property
+    def available(self) -> bool:
+        """Can a round be dispatched here right now?"""
+        return not self._closed and self.health.state in (
+            PoolState.HEALTHY, PoolState.RESPAWNING
+        )
+
+    # ------------------------------------------------------------------
+    # Supervised rounds
+    # ------------------------------------------------------------------
+    def dispatch(self, payloads: Sequence, kind: str = "shard") -> PoolDispatch:
+        """Start one scatter round; returns the ticket for collect().
+
+        Dispatch-only so a sharded executor can start every shard's
+        round before collecting any — shards run concurrently even with
+        one worker each.
+        """
+        payloads = list(payloads)
+        with self._lock:
+            if self._closed:
+                raise PoolUnavailable("pool is closed")
+            if self.health.state is PoolState.BROKEN:
+                raise PoolUnavailable("pool is broken (respawn failed)")
+            plan = self.faults
+            if plan is not None and plan.break_dispatch and plan.armed(
+                self.health.generation, self.pool_id
+            ):
+                self.health.consecutive_failures += 1
+                self.health.last_error = "injected pool loss at dispatch"
+                raise WorkerCrashed(
+                    "injected pool loss (FaultPlan.break_dispatch)"
+                )
+            fn = _run_payload if kind == "selection" else _run_shard_payload
+            async_result = self._pool.map_async(fn, payloads)
+            return PoolDispatch(
+                async_result=async_result,
+                payloads=payloads,
+                kind=kind,
+                generation=self.health.generation,
+                deadline_s=self.deadline.flush_deadline_s,
+            )
+
+    def collect(self, dispatch: PoolDispatch) -> list:
+        """Await one round under supervision (never hangs).
+
+        Polls the async result against worker liveness and the deadline;
+        raises :class:`WorkerCrashed` / :class:`FlushDeadlineExceeded` /
+        :class:`PoolUnavailable` instead of waiting on a result that
+        can never arrive.  Task exceptions surface as
+        :class:`ScatterTaskError` with the original chained.
+        """
+        async_result = dispatch.async_result
+        end_s = (
+            dispatch.started_s + dispatch.deadline_s
+            if dispatch.deadline_s is not None else None
+        )
+        while True:
+            if async_result.ready():
+                try:
+                    chunks = async_result.get()
+                except Exception as exc:
+                    self.health.consecutive_failures += 1
+                    self.health.last_error = f"task raised: {exc!r}"
+                    raise ScatterTaskError(
+                        f"scatter task raised in worker: {exc!r}"
+                    ) from exc
+                self.health.consecutive_failures = 0
+                return chunks
+            if self._closed or dispatch.generation != self.health.generation:
+                raise PoolUnavailable(
+                    "pool closed or respawned under an in-flight round"
+                )
+            if self._worker_death_detected():
+                self.health.worker_deaths += 1
+                self.health.consecutive_failures += 1
+                self.health.last_error = "worker process died mid-round"
+                raise WorkerCrashed(
+                    "worker process died mid-round; its tasks are lost"
+                )
+            if end_s is not None and time.monotonic() >= end_s:
+                self.health.deadline_hits += 1
+                self.health.consecutive_failures += 1
+                self.health.last_error = (
+                    f"round missed its {dispatch.deadline_s:.3f}s deadline"
+                )
+                raise FlushDeadlineExceeded(
+                    f"scatter round exceeded its "
+                    f"{dispatch.deadline_s:.3f}s flush deadline"
+                )
+            async_result.wait(self.deadline.poll_interval_s)
+
+    def run_supervised(
+        self,
+        payloads: Sequence,
+        kind: str = "shard",
+        dispatch: Optional[PoolDispatch] = None,
+    ) -> list:
+        """Dispatch + collect + the retry ladder, in one call.
+
+        Worker death or a deadline hit respawns the worker set (capped
+        backoff) and re-dispatches the same payloads; a task exception
+        re-dispatches without respawn (the workers are fine).  Retries
+        beyond ``RetryPolicy.max_retries``, or a pool gone terminal,
+        raise the last failure — a
+        :class:`~repro.core.pipeline.ScatterFailure` the executors
+        catch to degrade the round to in-process execution.  Pass a
+        pre-made ``dispatch`` ticket to supervise a round already
+        started via :meth:`dispatch`.
+        """
+        payloads = list(payloads)
+        attempts = self.retry.max_retries + 1
+        failure: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                ticket = (
+                    dispatch if attempt == 0 and dispatch is not None
+                    else self.dispatch(payloads, kind)
+                )
+                return self.collect(ticket)
+            except PoolUnavailable:
+                raise  # terminal: no pool to retry on
+            except (WorkerCrashed, FlushDeadlineExceeded) as exc:
+                failure = exc
+                if attempt + 1 >= attempts:
+                    break
+                self.respawn()  # PoolUnavailable from here propagates
+                self.health.retries += 1
+            except ScatterTaskError as exc:
+                failure = exc
+                if attempt + 1 >= attempts:
+                    break
+                self.health.retries += 1
+        assert failure is not None
+        raise failure
+
+    # ------------------------------------------------------------------
+    # Round entry points
     # ------------------------------------------------------------------
     def run_selection(
         self, payloads: Sequence[Payload]
     ) -> List[List["MaxBRSTkNNResult"]]:
-        """Run phase 2 for every chunk, preserving chunk and query order."""
+        """Run phase 2 for every chunk, preserving chunk and query order
+        (supervised: worker death respawns and retries, a hung round
+        hits the deadline instead of wedging the flush)."""
         if self._closed:
-            raise RuntimeError("pool is closed")
-        return self._pool.map(_run_payload, list(payloads))
+            raise PoolUnavailable("pool is closed")
+        return self.run_supervised(payloads, kind="selection")
 
     def run_shard_tasks_async(self, payloads: Sequence[ShardPayload]):
-        """Dispatch shard scatter tasks without blocking.
+        """Raw (unsupervised) dispatch — legacy escape hatch.
 
-        Returns the ``multiprocessing`` async result; the sharded
-        executor dispatches to *every* shard's pool first and only then
-        collects, so shards run concurrently even with one worker each.
+        Returns the bare ``multiprocessing`` async result: no worker
+        liveness checks, no deadline, no retry — a worker death wedges
+        ``get()`` forever.  Production call sites must use
+        :meth:`dispatch`/:meth:`collect`/:meth:`run_supervised`; lint
+        rule FT501 enforces exactly that.
         """
         if self._closed:
-            raise RuntimeError("pool is closed")
+            raise PoolUnavailable("pool is closed")
         return self._pool.map_async(_run_shard_payload, list(payloads))
 
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
     def close(self, timeout_s: Optional[float] = None) -> None:
-        """Shut the workers down (idempotent).
+        """Shut the workers down (idempotent, safe during respawn).
 
         ``timeout_s`` bounds the shutdown: ``Pool.join`` waits for every
         worker to read its close sentinel, so a worker killed or hung
@@ -166,21 +554,34 @@ class PersistentWorkerPool:
         is ``terminate()``d with a warning, and workers that survive
         even that (e.g. stopped processes, which leave SIGTERM pending)
         are SIGKILLed.  ``None`` keeps the unbounded wait.
+
+        Double-close is a no-op, and closing while a respawn has the
+        worker set torn down (``_pool is None``) or mid-rebuild must
+        not raise — the respawner's generation check surfaces
+        :class:`PoolUnavailable` to its own caller.
         """
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.health.state = PoolState.CLOSED
+            pool, self._pool = self._pool, None
         try:
-            self._pool.close()
-            if timeout_s is None:
-                self._pool.join()
-            else:
-                self._join_bounded(timeout_s)
+            if pool is not None:
+                # Pool.close() raises ValueError if the pool is already
+                # terminating (a respawn raced us); the terminate path
+                # below still bounds the teardown.
+                with contextlib.suppress(ValueError):
+                    pool.close()
+                if timeout_s is None:
+                    pool.join()
+                else:
+                    self._join_bounded(pool, timeout_s)
         finally:
             self._registry_finalizer()
 
-    def _join_bounded(self, timeout_s: float) -> None:
-        joiner = threading.Thread(target=self._pool.join, daemon=True)
+    def _join_bounded(self, pool, timeout_s: float) -> None:
+        joiner = threading.Thread(target=pool.join, daemon=True)
         joiner.start()
         joiner.join(timeout_s)
         if not joiner.is_alive():
@@ -191,21 +592,8 @@ class PersistentWorkerPool:
             RuntimeWarning,
             stacklevel=3,
         )
-        # Pool.terminate() itself joins the workers after SIGTERMing
-        # them, and a stopped worker leaves SIGTERM pending without
-        # dying — run it in a helper thread too so close() stays
-        # bounded, then SIGKILL whatever is still alive (SIGKILL cannot
-        # be blocked and fells stopped processes as well).
-        terminator = threading.Thread(target=self._pool.terminate, daemon=True)
-        terminator.start()
-        terminator.join(timeout_s)
-        if terminator.is_alive() or joiner.is_alive():
-            for proc in list(getattr(self._pool, "_pool", None) or []):
-                if proc.is_alive():
-                    with contextlib.suppress(ProcessLookupError, PermissionError):
-                        os.kill(proc.pid, signal.SIGKILL)
-            terminator.join(timeout_s)
-            joiner.join(timeout_s)
+        self._terminate_bounded(pool, timeout_s)
+        joiner.join(timeout_s)
 
     def __enter__(self) -> "PersistentWorkerPool":
         return self

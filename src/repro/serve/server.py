@@ -20,6 +20,7 @@ Results are identical to sequential ``engine.query`` calls (that is
 from __future__ import annotations
 
 import asyncio
+import warnings
 from collections import deque
 from functools import partial
 from typing import Deque, List, Optional, Sequence, Tuple
@@ -27,8 +28,10 @@ from typing import Deque, List, Optional, Sequence, Tuple
 from ..core.cache import ResultCache
 from ..core.config import Mode
 from ..core.engine import MaxBRSTkNNEngine
+from ..core.pipeline import ScatterFailure
 from ..core.query import MaxBRSTkNNQuery, MaxBRSTkNNResult
 from .config import AdaptiveWaitController, ServerConfig, ServerStats
+from .errors import ServerOverloaded, ServerStopped
 from .pool import PersistentWorkerPool
 
 __all__ = ["MaxBRSTkNNServer"]
@@ -79,6 +82,13 @@ class MaxBRSTkNNServer:
         self._engine_pools_started = False
         self._stopping = False
         self._started = False
+        #: Set when pool startup failed and serving continues degraded
+        #: (in-process execution; results identical, latency worse).
+        self._pools_unavailable = False
+        #: Whole-flush re-executions by _execute's last-resort rescue
+        #: path (folded into stats.flush_retries alongside pool-level
+        #: round retries).
+        self._rescue_retries = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -104,28 +114,74 @@ class MaxBRSTkNNServer:
             # build per-shard arrays behind it).
             self.engine.prewarm_kernels()
         if self.config.pool_workers > 0:
-            if self.engine.manages_own_pools:
-                # Sharded engines scatter to their own per-shard pools;
-                # pool_workers sizes each of them.
-                self.engine.start_pools(self.config.pool_workers)
-                self._engine_pools_started = True
-            else:
-                self._pool = PersistentWorkerPool(
-                    self.engine.dataset, self.config.pool_workers
+            cfg = self.config
+            try:
+                if self.engine.manages_own_pools:
+                    # Sharded engines scatter to their own per-shard
+                    # pools; pool_workers sizes each of them.  A failed
+                    # start reaps its own partial state before raising.
+                    self.engine.start_pools(
+                        cfg.pool_workers,
+                        retry=cfg.retry, deadline=cfg.deadline,
+                        faults=cfg.faults,
+                    )
+                    self._engine_pools_started = True
+                else:
+                    self._pool = PersistentWorkerPool(
+                        self.engine.dataset, cfg.pool_workers,
+                        retry=cfg.retry, deadline=cfg.deadline,
+                        faults=cfg.faults,
+                    )
+            except Exception as exc:  # noqa: BLE001 - degrade, keep serving
+                # Graceful degradation: no pools means in-process
+                # sequential execution — identical results, only
+                # latency degrades.  Refusing to serve would turn a
+                # capacity problem into an outage.
+                self._pool = None
+                self._pools_unavailable = True
+                warnings.warn(
+                    f"worker pools unavailable ({exc!r}); serving "
+                    f"degrades to in-process execution",
+                    RuntimeWarning,
+                    stacklevel=2,
                 )
         self._flusher = asyncio.create_task(self._flush_loop())
         return self
 
     async def stop(self) -> None:
-        """Graceful shutdown: drain pending queries, then stop workers."""
+        """Graceful shutdown: drain pending queries, then stop workers.
+
+        Every future still pending once the drain is over — including
+        futures stranded by a crashed flusher — fails with a typed
+        :class:`~repro.serve.errors.ServerStopped`; no caller is ever
+        left awaiting a future nobody will resolve.
+        """
         if not self._started:
             return
         self._stopping = True
         assert self._wakeup is not None
         self._wakeup.set()
+        flusher_error: Optional[BaseException] = None
         if self._flusher is not None:
-            await self._flusher
+            try:
+                await self._flusher
+            except BaseException as exc:  # noqa: BLE001 - still must fail futures
+                flusher_error = exc
             self._flusher = None
+        # The drain answers everything under normal operation; a
+        # crashed flusher (or a submit racing the drain) can leave
+        # futures behind — fail them typed instead of hanging callers.
+        detail = (
+            f" (flusher crashed: {flusher_error!r})" if flusher_error else ""
+        )
+        while self._pending:
+            _, future = self._pending.popleft()
+            if not future.done():
+                self.stats.queries_failed += 1
+                future.set_exception(ServerStopped(
+                    f"server stopped before this query was flushed{detail}"
+                ))
+        self._sync_fault_counters()
         # Bounded shutdown: a pool worker killed or hung mid-task must
         # not stall stop() forever (config.shutdown_timeout_s; None
         # waits unbounded).
@@ -141,6 +197,8 @@ class MaxBRSTkNNServer:
             self.engine.close_pools(timeout_s=timeout_s)  # repro: noqa[AB402]
             self._engine_pools_started = False
         self._started = False
+        if flusher_error is not None:
+            raise flusher_error
 
     async def __aenter__(self) -> "MaxBRSTkNNServer":
         return await self.start()
@@ -156,7 +214,18 @@ class MaxBRSTkNNServer:
         if not self._started:
             raise RuntimeError("server not started (use 'async with' or start())")
         if self._stopping:
-            raise RuntimeError("server is stopping; no new queries accepted")
+            raise ServerStopped("server is stopping; no new queries accepted")
+        if (
+            self.config.max_pending is not None
+            and len(self._pending) >= self.config.max_pending
+        ):
+            # Bounded admission: shedding now (typed, countable) beats
+            # queueing unboundedly and timing out everyone later.
+            self.stats.queries_shed += 1
+            raise ServerOverloaded(
+                f"admission queue full ({len(self._pending)} pending >= "
+                f"max_pending={self.config.max_pending}); retry later"
+            )
         assert self._loop is not None and self._wakeup is not None
         future: "asyncio.Future[MaxBRSTkNNResult]" = self._loop.create_future()
         if self._wait is not None:
@@ -195,7 +264,57 @@ class MaxBRSTkNNServer:
                 snap["adaptive_ewma_ms"] = round(self._wait.ewma_ms, 3)
         if self._cache is not None:
             snap["cache_entries"] = len(self._cache)
+        self._sync_fault_counters()
+        pool_health = getattr(self.engine, "pool_health", None)
+        if callable(pool_health):
+            snap["pool_health"] = pool_health()
+        elif self._pool is not None:
+            snap["pool_health"] = [
+                {"pool": "selection", **self._pool.health.snapshot()}
+            ]
         return snap
+
+    def _sync_fault_counters(self) -> None:
+        """Mirror pool-level fault totals onto ``ServerStats``.
+
+        Pools own the ground truth (their counters survive respawns and
+        banking on close); the server copies the totals so one
+        ``stats.snapshot()`` tells the whole recovery story.
+        """
+        respawns = deaths = deadlines = retries = 0
+        engine_counters = getattr(self.engine, "fault_counters", None)
+        if callable(engine_counters):
+            totals = engine_counters()
+            respawns += totals.get("respawns", 0)
+            deaths += totals.get("worker_deaths", 0)
+            deadlines += totals.get("deadline_hits", 0)
+            retries += totals.get("retries", 0)
+        if self._pool is not None:
+            health = self._pool.health
+            respawns += health.respawns
+            deaths += health.worker_deaths
+            deadlines += health.deadline_hits
+            retries += health.retries
+        self.stats.pool_respawns = max(self.stats.pool_respawns, respawns)
+        self.stats.worker_deaths = max(self.stats.worker_deaths, deaths)
+        self.stats.deadline_hits = max(self.stats.deadline_hits, deadlines)
+        self.stats.flush_retries = max(
+            self.stats.flush_retries, retries + self._rescue_retries
+        )
+
+    def _account_flush_faults(self, error: Optional[Exception]) -> None:
+        """Fold this flush's recovery work into the server counters."""
+        self._sync_fault_counters()
+        if self._pools_unavailable:
+            # Pools never came up: every executed flush is a degraded
+            # flush by definition.
+            self.stats.degraded_flushes += 1
+            return
+        if error is not None:
+            return  # the flush failed outright; no report to read
+        report = getattr(self.engine, "last_flush_report", None)
+        if report is not None and report.degraded_partitions > 0:
+            self.stats.degraded_flushes += 1
 
     # ------------------------------------------------------------------
     # Flusher
@@ -247,7 +366,28 @@ class MaxBRSTkNNServer:
                 self.stats.timeout_flushes += 1
             else:  # zero window (fixed or adaptive): flush the pending burst
                 self.stats.timeout_flushes += 1
-            await self._execute(batch)
+            try:
+                await self._execute(batch)
+            except Exception as exc:  # noqa: BLE001 - fail the batch, not the loop
+                # The flusher is the single consumer of the queue: if it
+                # died, every later submit would hang forever.  Fail
+                # this batch's futures and keep the loop alive.
+                for _, future in batch:
+                    if not future.done():
+                        self.stats.queries_failed += 1
+                        future.set_exception(exc)
+            except BaseException as exc:
+                # The flusher itself is dying (cancellation, interpreter
+                # shutdown).  This batch already left the queue, so
+                # stop()'s drain would never see its futures — fail them
+                # typed here before propagating, or their callers hang.
+                for _, future in batch:
+                    if not future.done():
+                        self.stats.queries_failed += 1
+                        future.set_exception(ServerStopped(
+                            f"server flusher crashed mid-flush ({exc!r})"
+                        ))
+                raise
 
     def _count_threshold_warm(self, queries: Sequence[MaxBRSTkNNQuery]) -> int:
         """Cache misses landing on an already-walked ``k`` (warm tier).
@@ -304,16 +444,23 @@ class MaxBRSTkNNServer:
                 )
         error: Optional[Exception] = None
         if misses:
+            run = partial(
+                self.engine.query_batch,
+                [queries[i] for i in misses],
+                options,
+                pool=self._pool,
+            )
             try:
-                miss_results = await self._loop.run_in_executor(
-                    None,
-                    partial(
-                        self.engine.query_batch,
-                        [queries[i] for i in misses],
-                        options,
-                        pool=self._pool,
-                    ),
-                )
+                try:
+                    miss_results = await self._loop.run_in_executor(None, run)
+                except ScatterFailure:
+                    # The executors degrade pool failures in-process
+                    # themselves; one escaping here means the flush
+                    # died between layers — re-execute the whole flush
+                    # once before failing it (identical inputs, so a
+                    # success is the identical answer).
+                    self._rescue_retries += 1
+                    miss_results = await self._loop.run_in_executor(None, run)
             except Exception as exc:  # noqa: BLE001 - fail the batch, keep serving
                 error = exc
             else:
@@ -323,6 +470,7 @@ class MaxBRSTkNNServer:
                         self.stats.cache_evictions += self._cache.store(
                             queries[i], options, epoch, result
                         )
+            self._account_flush_faults(error)
         for (_, future), result in zip(live, results):
             if future.done():  # cancelled while the batch executed
                 self.stats.queries_cancelled += 1

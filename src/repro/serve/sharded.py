@@ -87,6 +87,8 @@ class ShardRuntimeStats:
     #: dispatch — the per-shard load signal behind the flush.
     queue_depth_peak: int = 0
     pool_workers: int = 0      # 0 = in-process scatter
+    retries: int = 0           # supervised rounds re-dispatched here
+    degraded_rounds: int = 0   # rounds that fell back to in-process
 
     def snapshot(self) -> dict:
         return {
@@ -99,6 +101,8 @@ class ShardRuntimeStats:
             "queue_depth_peak": self.queue_depth_peak,
             "refine_ms": round(1000 * self.refine_time_s, 2),
             "shortlist_ms": round(1000 * self.shortlist_time_s, 2),
+            "retries": self.retries,
+            "degraded_rounds": self.degraded_rounds,
         }
 
 
@@ -203,6 +207,11 @@ class ShardedEngine:
         self._merged_by_k: Dict[int, MergedThresholds] = {}
         self._search_pool: Optional[PersistentWorkerPool] = None
         self._pools_started = False
+        #: Fault counters of pools already closed, so `fault_counters()`
+        #: stays monotone across pool generations and restarts.
+        self._closed_fault_totals: Dict[str, int] = {
+            "respawns": 0, "worker_deaths": 0, "deadline_hits": 0, "retries": 0,
+        }
         #: Gather-side accounting: merge + central search wall time and
         #: search fan-out rounds (``gather_stats()``).
         self._merge_s = 0.0
@@ -315,6 +324,10 @@ class ShardedEngine:
         self,
         workers_per_shard: int = 1,
         search_workers: Optional[int] = None,
+        *,
+        retry=None,
+        deadline=None,
+        faults=None,
     ) -> "ShardedEngine":
         """Fork one persistent pool per populated shard + a search pool.
 
@@ -332,6 +345,14 @@ class ShardedEngine:
         of memory), every pool already forked is torn down before the
         error propagates — a failed start leaves no leaked workers and
         the engine back in its in-process state.
+
+        ``retry`` / ``deadline`` are the supervision policies
+        (:class:`~repro.serve.config.RetryPolicy` /
+        :class:`~repro.serve.config.DeadlinePolicy`) every pool runs
+        under; ``faults`` is an optional
+        :class:`~repro.serve.faults.FaultPlan` for deterministic fault
+        injection (scoped per pool via its ``pool_id``: shard pools get
+        their shard id, the search pool ``SEARCH_POOL_ID``).
         """
         if self._pools_started:
             raise RuntimeError("shard pools already started")
@@ -346,12 +367,18 @@ class ShardedEngine:
                 if shard.users == 0:
                     continue  # nothing will ever be scattered here
                 shard.pool = PersistentWorkerPool(
-                    shard.engine.dataset, workers_per_shard
+                    shard.engine.dataset, workers_per_shard,
+                    retry=retry, deadline=deadline, faults=faults,
+                    pool_id=shard.shard_id,
                 )
                 shard.stats.pool_workers = workers_per_shard
             if search_workers > 0:
+                from .faults import SEARCH_POOL_ID
+
                 self._search_pool = PersistentWorkerPool(
-                    self.dataset, search_workers, context=self.root.user_tree
+                    self.dataset, search_workers, context=self.root.user_tree,
+                    retry=retry, deadline=deadline, faults=faults,
+                    pool_id=SEARCH_POOL_ID,
                 )
         except BaseException:
             # _pools_started is still False, so the caller (e.g. the
@@ -367,17 +394,74 @@ class ShardedEngine:
 
         ``timeout_s`` bounds each pool's shutdown (see
         :meth:`~repro.serve.pool.PersistentWorkerPool.close`); ``None``
-        waits unbounded.
+        waits unbounded.  Every pool is closed even if some fail: close
+        errors are collected and surfaced as ONE aggregated
+        ``RuntimeWarning`` after the sweep, so a bad shard can neither
+        abort its siblings' shutdown nor leak their workers.
         """
+        failures: List[str] = []
+
+        def _close(label: str, pool: PersistentWorkerPool) -> None:
+            self._absorb_fault_totals(pool)
+            try:
+                pool.close(timeout_s=timeout_s)
+            except Exception as exc:  # noqa: BLE001 - aggregate, keep sweeping
+                failures.append(f"{label}: {exc!r}")
+
         for shard in self._shards:
             if shard.pool is not None:
-                shard.pool.close(timeout_s=timeout_s)
+                _close(f"shard {shard.shard_id}", shard.pool)
                 shard.pool = None
                 shard.stats.pool_workers = 0
         if self._search_pool is not None:
-            self._search_pool.close(timeout_s=timeout_s)
+            _close("search pool", self._search_pool)
             self._search_pool = None
         self._pools_started = False
+        if failures:
+            warnings.warn(
+                f"{len(failures)} worker pool(s) failed to close cleanly: "
+                + "; ".join(failures),
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _absorb_fault_totals(self, pool: PersistentWorkerPool) -> None:
+        """Bank a closing pool's counters so totals stay monotone."""
+        health = pool.health
+        totals = self._closed_fault_totals
+        totals["respawns"] += health.respawns
+        totals["worker_deaths"] += health.worker_deaths
+        totals["deadline_hits"] += health.deadline_hits
+        totals["retries"] += health.retries
+
+    def _live_pools(self) -> List[PersistentWorkerPool]:
+        pools = [s.pool for s in self._shards if s.pool is not None]
+        if self._search_pool is not None:
+            pools.append(self._search_pool)
+        return pools
+
+    def fault_counters(self) -> Dict[str, int]:
+        """Respawn/death/deadline/retry totals across every pool this
+        engine ever ran (live pools plus the banked closed ones)."""
+        totals = dict(self._closed_fault_totals)
+        for pool in self._live_pools():
+            health = pool.health
+            totals["respawns"] += health.respawns
+            totals["worker_deaths"] += health.worker_deaths
+            totals["deadline_hits"] += health.deadline_hits
+            totals["retries"] += health.retries
+        return totals
+
+    def pool_health(self) -> List[dict]:
+        """Typed health snapshot of every live pool (shards + search)."""
+        rows = []
+        for shard in self._shards:
+            if shard.pool is not None:
+                rows.append({"pool": f"shard-{shard.shard_id}",
+                             **shard.pool.health.snapshot()})
+        if self._search_pool is not None:
+            rows.append({"pool": "search", **self._search_pool.health.snapshot()})
+        return rows
 
     def __enter__(self) -> "ShardedEngine":
         return self

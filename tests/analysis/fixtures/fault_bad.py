@@ -1,0 +1,23 @@
+"""FT501 violations: bare pool dispatches that bypass the supervisor."""
+
+
+def legacy_dispatch(pool, payloads):
+    handle = pool.run_shard_tasks_async(payloads)
+    return handle.get()
+
+
+def bare_map_async(worker_pool, fn, items):
+    return worker_pool.map_async(fn, items)
+
+
+def bare_apply(self, fn):
+    return self._search_pool.apply_async(fn)
+
+
+def bare_imap(shard_pool, fn, items):
+    return list(shard_pool.imap(fn, items))
+
+
+class ShardRunner:
+    def scatter(self, fn, plans):
+        return self.pool.starmap_async(fn, plans)

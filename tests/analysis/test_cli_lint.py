@@ -63,10 +63,10 @@ class TestLintCommand:
         out = capsys.readouterr().out
         for family in (
             "stage-contract", "pool-boundary", "kernel-identity",
-            "async-blocking",
+            "async-blocking", "fault-tolerance",
         ):
             assert family in out
-        for code in ("SC101", "PB201", "KI301", "AB401"):
+        for code in ("SC101", "PB201", "KI301", "AB401", "FT501"):
             assert code in out
 
     def test_disk_cache_file_is_written(self, capsys, tmp_path):

@@ -1,0 +1,62 @@
+"""Shared builders for the serving suites (dataset, queries, identity).
+
+The fault suites (``test_faults_*``) all need the same scaffolding: a
+small randomized dataset, a batch of mixed-k queries, and a bitwise
+result-identity assertion against in-process sequential execution —
+the acceptance bar every recovery path must clear.
+"""
+
+import random
+
+from repro import (
+    Dataset,
+    EngineConfig,
+    MaxBRSTkNNEngine,
+    MaxBRSTkNNQuery,
+    STObject,
+)
+from repro.spatial.geometry import Point
+
+from ..conftest import make_random_objects, make_random_users
+
+
+def build_dataset(seed=0, n_obj=60, n_users=16, vocab=16):
+    rng = random.Random(seed)
+    objects = make_random_objects(n_obj, vocab, rng)
+    users = make_random_users(n_users, vocab, rng)
+    return Dataset(objects, users, relevance="LM", alpha=0.5), rng, vocab
+
+
+def build_engine(seed=0, **dataset_kwargs):
+    dataset, rng, vocab = build_dataset(seed, **dataset_kwargs)
+    return MaxBRSTkNNEngine(dataset, EngineConfig(fanout=4)), rng, vocab
+
+
+def make_queries(rng, vocab, count, ks=(3, 5)):
+    queries = []
+    for i in range(count):
+        queries.append(
+            MaxBRSTkNNQuery(
+                ox=STObject(
+                    item_id=-(i + 1),
+                    location=Point(rng.uniform(0, 10), rng.uniform(0, 10)),
+                    terms={},
+                ),
+                locations=[
+                    Point(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(3)
+                ],
+                keywords=sorted(rng.sample(range(vocab), 5)),
+                ws=2,
+                k=ks[i % len(ks)],
+            )
+        )
+    return queries
+
+
+def assert_results_equal(served, reference):
+    """Bitwise identity: location, keywords and BRSTkNN set must match."""
+    assert len(served) == len(reference)
+    for got, want in zip(served, reference):
+        assert got.location == want.location
+        assert got.keywords == want.keywords
+        assert got.brstknn == want.brstknn

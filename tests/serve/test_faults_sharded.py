@@ -1,0 +1,160 @@
+"""Sharded engine under injected faults: re-scatter identity, per-shard
+degradation, and aggregated pool teardown.
+
+Faults are scoped per pool (shard pools carry their shard id, the root
+search pool ``SEARCH_POOL_ID``), so these tests can break exactly one
+failure domain and assert the others kept their pooled fast path.
+"""
+
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro import EngineConfig, QueryOptions
+from repro.serve import DeadlinePolicy, FaultPlan, RetryPolicy, ShardedEngine
+
+from .conftest import assert_results_equal, build_dataset, make_queries
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="shard pools require the fork start method",
+)
+
+FAST_RETRY = RetryPolicy(max_retries=1, backoff_base_s=0.0)
+FAST_DEADLINE = DeadlinePolicy(flush_deadline_s=10.0, poll_interval_s=0.01)
+OPTIONS = QueryOptions(backend="python")
+
+
+def build_pair(seed=0, **config_kwargs):
+    """Two engines over one dataset: the in-process reference and the
+    pooled engine under test."""
+    dataset, rng, vocab = build_dataset(seed, n_obj=70, n_users=24, vocab=18)
+    config = EngineConfig(fanout=4, num_shards=2, **config_kwargs)
+    return ShardedEngine(dataset, config), ShardedEngine(dataset, config), rng, vocab
+
+
+def test_shard_worker_kill_recovers_identity():
+    pooled, inproc, rng, vocab = build_pair()
+    queries = make_queries(rng, vocab, 8)
+    reference = inproc.query_batch(queries, OPTIONS)
+    pooled.start_pools(
+        1, search_workers=1,
+        retry=FAST_RETRY, deadline=FAST_DEADLINE,
+        faults=FaultPlan.kill_worker(),
+    )
+    try:
+        results = pooled.query_batch(queries, OPTIONS)
+    finally:
+        pooled.close_pools(timeout_s=10.0)
+    assert_results_equal(results, reference)
+    # fault_counters() reads the banked totals: closing the pools must
+    # not lose the recovery history.
+    totals = pooled.fault_counters()
+    assert totals["worker_deaths"] >= 1
+    assert totals["respawns"] == totals["worker_deaths"]
+    assert totals["retries"] == totals["worker_deaths"]
+    assert totals["deadline_hits"] == 0
+
+
+def test_shard_exception_retries_then_degrades_only_that_shard():
+    pooled, inproc, rng, vocab = build_pair(seed=1)
+    queries = make_queries(rng, vocab, 8)
+    reference = inproc.query_batch(queries, OPTIONS)
+    pooled.start_pools(
+        1, search_workers=1,
+        retry=FAST_RETRY, deadline=FAST_DEADLINE,
+        faults=FaultPlan.shard_exception(0),
+    )
+    try:
+        results = pooled.query_batch(queries, OPTIONS)
+        rows = {row["shard"]: row for row in pooled.shard_stats()}
+    finally:
+        pooled.close_pools(timeout_s=10.0)
+    assert_results_equal(results, reference)
+    # Shard 0's rounds raised, were retried, then ran in-process; the
+    # workers never died, and shard 1 stayed on its pooled fast path.
+    totals = pooled.fault_counters()
+    assert totals["retries"] >= 1
+    assert totals["respawns"] == 0
+    assert totals["worker_deaths"] == 0
+    assert rows[0]["degraded_rounds"] >= 1
+    assert rows[1]["degraded_rounds"] == 0
+
+
+def test_search_pool_kill_recovers_in_indexed_mode():
+    pooled, inproc, rng, vocab = build_pair(seed=2, index_users=True)
+    options = QueryOptions(mode="indexed", backend="python")
+    queries = make_queries(rng, vocab, 8)
+    reference = inproc.query_batch(queries, options)
+    pooled.start_pools(
+        1, search_workers=2,
+        retry=FAST_RETRY, deadline=FAST_DEADLINE,
+        faults=FaultPlan.kill_worker(),
+    )
+    try:
+        results = pooled.query_batch(queries, options)
+    finally:
+        pooled.close_pools(timeout_s=10.0)
+    assert_results_equal(results, reference)
+    totals = pooled.fault_counters()
+    assert totals["worker_deaths"] >= 1
+    assert totals["retries"] == totals["worker_deaths"]
+
+
+def test_pool_loss_breaks_pools_and_degrades_in_process():
+    pooled, inproc, rng, vocab = build_pair(seed=3)
+    queries = make_queries(rng, vocab, 8)
+    reference = inproc.query_batch(queries, OPTIONS)
+    pooled.start_pools(
+        1, search_workers=1,
+        retry=FAST_RETRY, deadline=FAST_DEADLINE,
+        faults=FaultPlan.pool_loss(),
+    )
+    try:
+        results = pooled.query_batch(queries, OPTIONS)
+        health = pooled.pool_health()
+        rows = {row["shard"]: row for row in pooled.shard_stats()}
+    finally:
+        pooled.close_pools(timeout_s=10.0)
+    assert_results_equal(results, reference)
+    assert health, "expected live pools in the health report"
+    assert all(row["state"] == "broken" for row in health)
+    assert all(row["degraded_rounds"] >= 1 for row in rows.values())
+    # No round was ever re-dispatched: respawn itself is what failed.
+    assert pooled.fault_counters()["retries"] == 0
+
+
+def test_close_pools_aggregates_failures_into_one_warning():
+    pooled, _, _, _ = build_pair(seed=4)
+    pooled.start_pools(1, search_workers=1)
+
+    def sabotage(pool):
+        real_close = pool.close
+
+        def bad_close(timeout_s=None):
+            real_close(timeout_s=timeout_s)  # actually release the workers
+            raise RuntimeError("injected close failure")
+
+        pool.close = bad_close
+
+    sabotaged = [shard for shard in pooled._shards if shard.pool is not None]
+    assert len(sabotaged) == 2
+    for shard in sabotaged:
+        sabotage(shard.pool)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        pooled.close_pools(timeout_s=10.0)
+    runtime = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime) == 1, "close errors must aggregate into ONE warning"
+    message = str(runtime[0].message)
+    assert "2 worker pool(s) failed to close cleanly" in message
+    assert "shard 0" in message and "shard 1" in message
+    # The sweep still completed: every slot cleared, search pool included.
+    assert all(shard.pool is None for shard in pooled._shards)
+    assert pooled._search_pool is None
+    # Idempotent second close: silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        pooled.close_pools()
