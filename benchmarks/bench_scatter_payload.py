@@ -1,0 +1,247 @@
+"""Scatter-payload bytes: pickle pipe vs zero-copy arena codec.
+
+Not a paper figure — this benchmarks the shared-memory storage tier
+(:mod:`repro.storage.shm` + :mod:`repro.core.payload`).  A fixed query
+pool is answered in flush-sized batches through pooled sharded engines
+with shards ∈ ``--shards`` (default 1, 2, 4), once with the plain
+pickle transport (``use_shm=False``) and once with the arena codec
+(``use_shm=True``).  For each configuration it reports, from the
+engines' flush reports:
+
+* **per-flush scatter payload bytes** (the dispatch direction — what
+  the gate measures), split into the *cold* first flush — where the
+  pickle path re-serializes the full traversal pool per shard while
+  the codec ships ~100-byte ``ArenaRef`` names — and the *warm*
+  remainder, where the codec's delta memo re-sends only references
+  for unchanged threshold maps;
+* **gather bytes** (worker results back up the pipe) — identical for
+  both transports, reported for context;
+* **dispatch wall-time**: the summed scatter-stage wall clock.
+
+Results must be identical between the two transports (the PR-3
+bitwise convention); the acceptance gate — full runs on sweeps that
+reach 4 shards — is a ≥ 10x cold-flush payload reduction at 4 shards.
+
+Run::
+
+    python benchmarks/bench_scatter_payload.py              # full sweep
+    python benchmarks/bench_scatter_payload.py --tiny --shards 2  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro import EngineConfig, QueryOptions  # noqa: E402
+from repro.bench.harness import build_workbench  # noqa: E402
+from repro.bench.params import DEFAULTS  # noqa: E402
+from repro.datagen.users import generate_users, query_pool  # noqa: E402
+from repro.serve import make_engine  # noqa: E402
+from repro.storage.shm import arena_segments  # noqa: E402
+
+
+def chunked(items, size):
+    for i in range(0, len(items), size):
+        yield items[i:i + size]
+
+
+def run_path(dataset, queries, options, *, num_shards, use_shm,
+             pool_workers, batch_size):
+    """One transport pass: fresh engine, pooled flushes, byte ledger."""
+    engine = make_engine(
+        dataset, EngineConfig(fanout=DEFAULTS.fanout, num_shards=num_shards,
+                              use_shm=use_shm),
+    )
+    pool = None
+    if num_shards > 1:
+        engine.start_pools(pool_workers)
+        close = engine.close_pools
+    else:
+        # The single-engine pooled path, wired the way the server does it.
+        from repro.serve import PersistentWorkerPool
+
+        arena = engine.ensure_arena()
+        pool = PersistentWorkerPool(
+            dataset, pool_workers,
+            arena_name=arena.name if arena is not None else None,
+        )
+
+        def close():
+            pool.close()
+            engine.close_arena()
+
+    out_bytes = []
+    in_bytes = []
+    scatter_s = 0.0
+    results = []
+    try:
+        t0 = time.perf_counter()
+        for chunk in chunked(queries, batch_size):
+            results.extend(engine.query_batch(chunk, options, pool=pool))
+            report = engine.last_flush_report
+            out_bytes.append(report.payload_bytes_out)
+            in_bytes.append(report.payload_bytes_in)
+            scatter_s += sum(
+                s.time_s for s in report.stages if s.scatter_width > 1
+                or s.payload_bytes_out or s.payload_bytes_in
+            )
+        elapsed = time.perf_counter() - t0
+        codec = engine.payload_codec
+        codec_stats = codec.stats_snapshot() if codec is not None else None
+    finally:
+        close()
+    return {
+        "results": results,
+        "out_bytes": out_bytes,
+        "cold_bytes": out_bytes[0] if out_bytes else 0,
+        "warm_bytes": out_bytes[1:],
+        "gather_bytes": sum(in_bytes),
+        "scatter_ms": 1000 * scatter_s,
+        "total_ms": 1000 * elapsed,
+        "codec": codec_stats,
+    }
+
+
+def identical(a, b):
+    return all(
+        x.location == y.location
+        and x.keywords == y.keywords
+        and x.brstknn == y.brstknn
+        for x, y in zip(a, b)
+    ) and len(a) == len(b)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=DEFAULTS.num_objects)
+    parser.add_argument("--users", type=int, default=800)
+    parser.add_argument("--locations", type=int, default=DEFAULTS.num_locations)
+    parser.add_argument("--k", type=int, default=DEFAULTS.k)
+    parser.add_argument("--seed", type=int, default=DEFAULTS.seed)
+    parser.add_argument("--shards", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--pool-workers", type=int, default=1)
+    parser.add_argument("--queries", type=int, default=32)
+    parser.add_argument("--batch-size", type=int, default=16,
+                        help="queries per flush (the server's micro-batch)")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smoke-test scale for CI")
+    parser.add_argument("--json", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    config = DEFAULTS.with_(
+        num_objects=args.objects, num_users=args.users,
+        num_locations=args.locations, k=args.k, seed=args.seed,
+    )
+    if args.tiny:
+        config = config.with_(num_objects=300, num_users=60, num_locations=5, k=3)
+        args.queries = 16
+        args.batch_size = 8
+
+    print(f"dataset: {config.label()}  (queries={args.queries}, "
+          f"batch={args.batch_size}, pool_workers/shard={args.pool_workers}, "
+          f"cpus={os.cpu_count()})", flush=True)
+    bench = build_workbench(config, cached=False)
+    workload = generate_users(
+        bench.dataset.objects, num_users=config.num_users,
+        keywords_per_user=config.ul, unique_keywords=config.uw,
+        area_side=config.area, seed=config.seed,
+    )
+    queries = query_pool(
+        workload, args.queries, num_locations=config.num_locations,
+        ws=config.ws, k=config.k, seed=config.seed, seed_stride=101,
+    )
+    options = QueryOptions()
+
+    print(f"\n{'configuration':<16} {'cold KiB':>10} {'warm KiB/fl':>12} "
+          f"{'reduction':>10} {'gather KiB':>11} {'scatter ms':>11}")
+    rows = []
+    ok = True
+    reduction_at = {}
+    for num_shards in args.shards:
+        pickle_run = run_path(
+            bench.dataset, queries, options, num_shards=num_shards,
+            use_shm=False, pool_workers=args.pool_workers,
+            batch_size=args.batch_size,
+        )
+        codec_run = run_path(
+            bench.dataset, queries, options, num_shards=num_shards,
+            use_shm=True, pool_workers=args.pool_workers,
+            batch_size=args.batch_size,
+        )
+        same = identical(pickle_run["results"], codec_run["results"])
+        if not same:
+            print(f"EQUIVALENCE FAILURE: shards={num_shards}: results differ "
+                  f"between pickle and codec transports")
+            ok = False
+        cold_reduction = (
+            pickle_run["cold_bytes"] / codec_run["cold_bytes"]
+            if codec_run["cold_bytes"] else float("inf")
+        )
+        reduction_at[num_shards] = cold_reduction
+        warm_p = sum(pickle_run["warm_bytes"]) / max(1, len(pickle_run["warm_bytes"]))
+        warm_c = sum(codec_run["warm_bytes"]) / max(1, len(codec_run["warm_bytes"]))
+        for label, run in (("pickle", pickle_run), ("codec", codec_run)):
+            warm = warm_p if label == "pickle" else warm_c
+            print(f"shards={num_shards} {label:<7} "
+                  f"{run['cold_bytes'] / 1024:>10.1f} {warm / 1024:>12.1f} "
+                  f"{(f'{cold_reduction:.1f}x' if label == 'codec' else ''):>10} "
+                  f"{run['gather_bytes'] / 1024:>11.1f} "
+                  f"{run['scatter_ms']:>11.1f}")
+        rows.append({
+            "shards": num_shards,
+            "pickle_cold_bytes": pickle_run["cold_bytes"],
+            "codec_cold_bytes": codec_run["cold_bytes"],
+            "pickle_warm_bytes_per_flush": warm_p,
+            "codec_warm_bytes_per_flush": warm_c,
+            "cold_reduction_x": cold_reduction,
+            "pickle_gather_bytes": pickle_run["gather_bytes"],
+            "codec_gather_bytes": codec_run["gather_bytes"],
+            "pickle_scatter_ms": pickle_run["scatter_ms"],
+            "codec_scatter_ms": codec_run["scatter_ms"],
+            "codec_stats": codec_run["codec"],
+            "identical_results": same,
+        })
+
+    leaked = arena_segments()
+    if leaked:
+        print(f"LEAK FAILURE: /dev/shm still holds {leaked}")
+        ok = False
+
+    if args.json:
+        payload = {
+            "benchmark": "scatter_payload_codec",
+            "dataset": config.label(),
+            "queries": len(queries),
+            "batch_size": args.batch_size,
+            "pool_workers_per_shard": args.pool_workers,
+            "cpus": os.cpu_count(),
+            "sweep": rows,
+            "identical_results": ok,
+            "leaked_segments": leaked,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+
+    if not ok:
+        return 1
+    print(f"\nequivalence check: codec == pickle transport on "
+          f"{len(queries)} queries x {len(args.shards)} shard counts; "
+          f"/dev/shm clean")
+    if not args.tiny and 4 in reduction_at and reduction_at[4] < 10.0:
+        print(f"ACCEPTANCE FAILURE: cold-flush payload reduction at "
+              f"4 shards is {reduction_at[4]:.1f}x < 10x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

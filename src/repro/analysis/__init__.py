@@ -14,6 +14,7 @@ from .checkers import (
     FaultToleranceChecker,
     KernelIdentityChecker,
     PoolBoundaryChecker,
+    ShmPayloadChecker,
     StageContractChecker,
     checkers_for,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "LintUsageError",
     "ModuleInfo",
     "PoolBoundaryChecker",
+    "ShmPayloadChecker",
     "StageContractChecker",
     "checkers_for",
     "exit_code",

@@ -1,4 +1,4 @@
-"""The five repo-specific checker families.
+"""The six repo-specific checker families.
 
 ``ALL_CHECKERS`` is the ordered default set ``repro lint`` runs;
 :func:`checkers_for` resolves ``--rule`` selections (family names or
@@ -14,6 +14,7 @@ from .async_blocking import AsyncBlockingChecker
 from .fault_tolerance import FaultToleranceChecker
 from .kernel_identity import KernelIdentityChecker
 from .pool_boundary import PoolBoundaryChecker
+from .shm_payload import ShmPayloadChecker
 from .stage_contract import StageContractChecker
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "KernelIdentityChecker",
     "AsyncBlockingChecker",
     "FaultToleranceChecker",
+    "ShmPayloadChecker",
 ]
 
 #: Default families, in report order.
@@ -33,6 +35,7 @@ ALL_CHECKERS = (
     KernelIdentityChecker,
     AsyncBlockingChecker,
     FaultToleranceChecker,
+    ShmPayloadChecker,
 )
 
 

@@ -1,0 +1,163 @@
+"""``shm-payload``: shared-memory state must flow by name, not by pickle.
+
+The zero-copy storage tier (:mod:`repro.storage.shm`) has exactly two
+transport disciplines, and both are easy to violate silently:
+
+* shm-backed buffers — arena column views and the kernel array bundles
+  that live on them (``DatasetArrays``/``TreeArrays``/
+  ``CandidatePoolArrays``) — cross process boundaries as an
+  :class:`~repro.core.payload.ArenaRef` *name*, never as bytes.
+  Pickling one re-ships through the worker pipe the exact state the
+  arena exists to share; the array bundles raise ``TypeError`` at
+  runtime, but a raw arena view pickles "successfully" into a full
+  copy, so only lint catches the quiet version of the bug;
+* every ``multiprocessing.shared_memory.SharedMemory`` handle is owned
+  by :class:`~repro.storage.shm.ShmArena`, whose single construction
+  site carries the tier's lifecycle guarantees (refcounted attach,
+  idempotent unlink, the resource-tracker register/unregister balance,
+  finalizer sweep).  A raw ``SharedMemory(...)`` anywhere else escapes
+  all of them and is how ``/dev/shm`` leaks come back.
+
+Rules
+-----
+* ``SM601`` a shm-backed value (tainted name or inline construction)
+  flows into ``pickle.dumps``/``pickle.dump``;
+* ``SM602`` raw ``SharedMemory(...)`` construction outside
+  ``class ShmArena``.
+
+Like the other families, the taint analysis is single-scope over
+literal assignments: it proves presence of a violation, never absence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Set
+
+from ..engine import Checker, Finding, ModuleInfo, call_name, walk_scope
+
+__all__ = ["ShmPayloadChecker", "SHM_BACKED_ORIGINS"]
+
+#: Call-name components whose results are shared-memory backed: the
+#: arena itself and its view factories, plus the kernel array bundles
+#: the engine publishes into it (and their lazy factories).
+SHM_BACKED_ORIGINS = frozenset({
+    "ShmArena", "add_array", "share_arrays",
+    "DatasetArrays", "TreeArrays", "CandidatePoolArrays",
+    "arrays_for", "tree_arrays_for",
+})
+
+#: ``pickle`` entry points whose first argument is serialized.
+_PICKLE_CALLS = frozenset({"pickle.dumps", "pickle.dump"})
+
+
+def _shm_origin(dotted: str) -> str:
+    """The shm-backed component of a dotted call name, or ``""``."""
+    for part in dotted.split("."):
+        if part in SHM_BACKED_ORIGINS:
+            return part
+    return ""
+
+
+class ShmPayloadChecker(Checker):
+    """Flag pickled shm state and out-of-arena SharedMemory handles."""
+
+    name = "shm-payload"
+    description = (
+        "shm-backed arrays ship as ArenaRef names, never pickles; raw "
+        "SharedMemory construction is ShmArena's alone"
+    )
+    codes = (
+        ("SM601", "shm-backed value pickled instead of shipped by name"),
+        ("SM602", "raw SharedMemory(...) outside ShmArena"),
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        assert module.tree is not None
+        exempt = self._arena_class_calls(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_raw_shared_memory(node, module, exempt)
+        for scope in ast.walk(module.tree):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(scope, module)
+        yield from self._check_scope(module.tree, module)
+
+    # ------------------------------------------------------------------
+    # SM602: SharedMemory construction is ShmArena's single site
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _arena_class_calls(tree: ast.AST) -> Set[int]:
+        """ids of every Call node inside a ``class ShmArena`` body."""
+        exempt: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and node.name == "ShmArena":
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Call):
+                        exempt.add(id(sub))
+        return exempt
+
+    def _check_raw_shared_memory(
+        self, node: ast.Call, module: ModuleInfo, exempt: Set[int]
+    ) -> Iterator[Finding]:
+        if call_name(node.func).rsplit(".", 1)[-1] != "SharedMemory":
+            return
+        if id(node) in exempt:
+            return
+        yield self.finding(
+            "SM602",
+            "raw SharedMemory(...) outside ShmArena: construct segments "
+            "through the arena so refcounting, unlink idempotence and the "
+            "resource-tracker balance all hold (ShmArena._open is the one "
+            "sanctioned site)",
+            module, node.lineno,
+        )
+
+    # ------------------------------------------------------------------
+    # SM601: pickling shm-backed values
+    # ------------------------------------------------------------------
+    def _check_scope(self, scope: ast.AST, module: ModuleInfo) -> Iterator[Finding]:
+        tainted = self._tainted_names(scope)
+        for node in walk_scope(scope, skip_nested=True):
+            if not isinstance(node, ast.Call):
+                continue
+            if call_name(node.func) not in _PICKLE_CALLS or not node.args:
+                continue
+            target = node.args[0]
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name) and sub.id in tainted:
+                    yield self.finding(
+                        "SM601",
+                        f"{sub.id!r} (a {tainted[sub.id]}) is pickled: "
+                        f"shm-backed state crosses processes as an "
+                        f"ArenaRef name, never as bytes — pickling it "
+                        f"re-ships what the arena exists to share",
+                        module, sub.lineno,
+                    )
+                elif isinstance(sub, ast.Call):
+                    origin = _shm_origin(call_name(sub.func))
+                    if origin:
+                        yield self.finding(
+                            "SM601",
+                            f"{call_name(sub.func)}(...) pickled inline: "
+                            f"{origin} results are shm-backed; ship the "
+                            f"arena name and re-attach on the far side",
+                            module, sub.lineno,
+                        )
+
+    @staticmethod
+    def _tainted_names(scope: ast.AST) -> Dict[str, str]:
+        """Names assigned from shm-backed constructors in this scope."""
+        tainted: Dict[str, str] = {}
+        for node in walk_scope(scope, skip_nested=True):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            origin = _shm_origin(call_name(node.value.func))
+            if not origin:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tainted[target.id] = origin
+        return tainted

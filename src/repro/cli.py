@@ -193,6 +193,7 @@ def _cmd_serve(args) -> int:
             index_users=(args.mode == "indexed"),
             num_shards=args.shards,
             partitioner=args.partitioner,
+            use_shm=args.shm,
         ),
     )
     options = _query_options(args)
@@ -245,8 +246,12 @@ def _cmd_serve(args) -> int:
           f"pool_workers={config.pool_workers}, shards={args.shards})")
     shard_rows = snapshot.pop("shards", None)
     health_rows = snapshot.pop("pool_health", None)
+    codec_row = snapshot.pop("shm_codec", None)
     for name, value in snapshot.items():
         print(f"  {name}: {value}")
+    if codec_row:
+        detail = ", ".join(f"{key}={val}" for key, val in codec_row.items())
+        print(f"  shm_codec: {detail}")
     if shard_rows:
         for row in shard_rows:
             detail = ", ".join(
@@ -377,6 +382,13 @@ def main(argv=None) -> int:
                             "server (scatter/gather, result-identical)")
     serve.add_argument("--partitioner", choices=["hash", "grid"], default="hash",
                        help="user partitioning strategy for --shards > 1")
+    serve.add_argument("--shm", default=False,
+                       action=argparse.BooleanOptionalAction,
+                       help="publish the engine's dense arrays into a shared-"
+                            "memory arena and ship scatter payloads through "
+                            "the binary arena codec instead of pickle "
+                            "(--no-shm keeps the fork/COW pickle path; "
+                            "results are identical either way)")
     serve.add_argument("--cache", action="store_true",
                        help="enable the cross-flush result cache (exact "
                             "repeat queries answered without executing)")

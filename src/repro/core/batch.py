@@ -268,7 +268,11 @@ def _select_chunk(dataset, payload: Tuple) -> List[MaxBRSTkNNResult]:
     runner (``repro.serve.pool._run_payload``) — same tuple layout, so
     every execution mode runs identical code.
     """
-    queries, shared, mode, method, backend = payload
+    from .payload import decode_select_payload
+
+    # Identity on plain payloads; arena-encoded select payloads
+    # (config.use_shm) resolve their shared-state ArenaRef here.
+    queries, shared, mode, method, backend = decode_select_payload(payload)
     return [
         _select_one(dataset, query, shared, mode, method, backend)
         for query in queries

@@ -135,6 +135,12 @@ class EngineConfig:
     partitioner:
         How users are split across shards; strings coerce
         (``"hash"`` / ``"grid"``).  Ignored when ``num_shards == 1``.
+    use_shm:
+        Publish the engine's dense arrays into a named
+        :class:`~repro.storage.shm.ShmArena` and ship scatter payloads
+        through the binary arena codec (:mod:`repro.core.payload`)
+        instead of pickle.  Results are bitwise identical either way;
+        ``False`` keeps the pure fork/COW + pickle path.
     """
 
     fanout: int = DEFAULT_FANOUT
@@ -142,6 +148,7 @@ class EngineConfig:
     buffer_pages: int = 0
     num_shards: int = 1
     partitioner: Partitioner = Partitioner.HASH
+    use_shm: bool = False
 
     def __post_init__(self) -> None:
         _require_int("fanout", self.fanout, minimum=2)
@@ -151,6 +158,8 @@ class EngineConfig:
             raise ValueError(
                 f"index_users must be a bool, got {self.index_users!r}"
             )
+        if not isinstance(self.use_shm, bool):
+            raise ValueError(f"use_shm must be a bool, got {self.use_shm!r}")
         object.__setattr__(self, "partitioner", Partitioner.coerce(self.partitioner))
 
     def with_(self, **kwargs) -> "EngineConfig":

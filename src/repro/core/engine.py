@@ -180,6 +180,13 @@ class MaxBRSTkNNEngine:
         #: reads it per flush (:mod:`repro.core.history`).  Survives
         #: :meth:`clear_topk_cache`: it holds timings, never answers.
         self.flush_history = FlushHistory()
+        #: Zero-copy storage tier (``config.use_shm``): the owned
+        #: :class:`~repro.storage.shm.ShmArena` holding this engine's
+        #: dense columns, and the :class:`~repro.core.payload.PayloadCodec`
+        #: that ships scatter payloads through it.  Both stay ``None``
+        #: until :meth:`ensure_arena` (pool startup / prewarm) runs.
+        self._arena = None
+        self._payload_codec = None
 
     # ------------------------------------------------------------------
     # Planning / introspection
@@ -347,6 +354,60 @@ class MaxBRSTkNNEngine:
             return
         arrays_for(self.dataset)
         tree_arrays_for(self.object_tree)
+        self.ensure_arena()
+
+    # ------------------------------------------------------------------
+    # Zero-copy storage tier (config.use_shm)
+    # ------------------------------------------------------------------
+    @property
+    def payload_codec(self):
+        """The arena-backed scatter codec, or ``None`` (pickle path)."""
+        return self._payload_codec
+
+    @property
+    def arena_name(self) -> Optional[str]:
+        """Name of the owned shm arena, or ``None`` when not materialized."""
+        return self._arena.name if self._arena is not None else None
+
+    def ensure_arena(self):
+        """Materialize the shm arena + payload codec (idempotent).
+
+        Returns the arena, or ``None`` when ``config.use_shm`` is off or
+        numpy is unavailable (the dense columns *are* the numpy arrays).
+        Must run before pool workers fork so they inherit shm-backed
+        views through copy-on-write; respawned workers re-attach by
+        name (:func:`repro.serve.pool._init_worker`).
+        """
+        if not self.config.use_shm:
+            return None
+        if self._arena is not None:
+            return self._arena
+        from .kernels import HAS_NUMPY, arrays_for, tree_arrays_for
+
+        if not HAS_NUMPY:
+            return None
+        from .payload import PayloadCodec
+        from ..storage.shm import ShmArena
+
+        arena = ShmArena()
+        try:
+            arrays_for(self.dataset).share_into(arena)
+            tree_arrays_for(self.object_tree).share_into(arena)
+        except BaseException:
+            arena.destroy()
+            raise
+        self._arena = arena
+        self._payload_codec = PayloadCodec(
+            arena, epoch_fn=lambda: getattr(self.dataset, "epoch", 0)
+        )
+        return arena
+
+    def close_arena(self) -> None:
+        """Unlink and drop the arena (idempotent; safe without one)."""
+        arena, self._arena = self._arena, None
+        self._payload_codec = None
+        if arena is not None:
+            arena.destroy()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -40,6 +40,7 @@ Determinism contract of the merge
 from __future__ import annotations
 
 import time
+from array import array
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -83,6 +84,25 @@ class PartialResult:
     users_total: int
     time_s: float
 
+    def __reduce__(self):
+        # Compact wire form: the rsk map — the payload's bulk — crosses
+        # the worker->parent pipe as one RSK1 binary block instead of a
+        # pickled dict (repro.core.payload).  Decode restores the dict
+        # in insertion order, so the merge sees identical inputs.
+        from .payload import encode_rsk
+
+        try:
+            blob = encode_rsk(self.rsk)
+        except (TypeError, OverflowError):
+            return (
+                PartialResult,
+                (self.shard_id, self.k, self.rsk, self.users_total, self.time_s),
+            )
+        return (
+            _rebuild_partial,
+            (self.shard_id, self.k, blob, self.users_total, self.time_s),
+        )
+
 
 @dataclass(slots=True)
 class ShortlistPartial:
@@ -101,6 +121,36 @@ class ShortlistPartial:
     locations_pruned: int
     time_s: float
 
+    def __reduce__(self):
+        # Same wire-compaction as PartialResult: kept becomes three
+        # parallel primitive arrays, users one PackedIds block.  The
+        # rebuild restores exact python tuples/lists, so the merge's
+        # ``p.kept == first.kept`` agreement check still holds.
+        from .payload import PackedIds
+
+        try:
+            loc = array("q", [t[0] for t in self.kept])
+            ub = array("d", [t[1] for t in self.kept])
+            lb = array("d", [t[2] for t in self.kept])
+            users = PackedIds.pack(self.users)
+        except (TypeError, OverflowError):
+            return (
+                ShortlistPartial,
+                (
+                    self.shard_id, self.kept, self.users,
+                    self.locations_pruned, self.time_s,
+                ),
+            )
+        return (
+            _rebuild_shortlist_partial,
+            (
+                self.shard_id,
+                loc.tobytes(), ub.tobytes(), lb.tobytes(),
+                (users.offsets, users.flat),
+                self.locations_pruned, self.time_s,
+            ),
+        )
+
 
 @dataclass(slots=True)
 class MergedThresholds:
@@ -112,6 +162,39 @@ class MergedThresholds:
     time_s: float  # summed shard refine time (scatter work, not wall clock)
     shards: int = 0
     per_shard_users: List[int] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Wire-form rebuilders (module-level so pickles resolve them by name)
+# ----------------------------------------------------------------------
+
+def _rebuild_partial(shard_id, k, rsk_blob, users_total, time_s):
+    from .payload import decode_rsk
+
+    return PartialResult(
+        shard_id=shard_id, k=k, rsk=decode_rsk(rsk_blob),
+        users_total=users_total, time_s=time_s,
+    )
+
+
+def _rebuild_shortlist_partial(
+    shard_id, kept_loc, kept_ub, kept_lb, users, locations_pruned, time_s
+):
+    from .payload import PackedIds
+
+    loc = array("q")
+    loc.frombytes(kept_loc)
+    ub = array("d")
+    ub.frombytes(kept_ub)
+    lb = array("d")
+    lb.frombytes(kept_lb)
+    return ShortlistPartial(
+        shard_id=shard_id,
+        kept=list(zip(loc, ub, lb)),
+        users=PackedIds(*users).unpack(),
+        locations_pruned=locations_pruned,
+        time_s=time_s,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,488 @@
+"""Binary scatter-payload codec over the shared-memory arena.
+
+Every flush the executors scatter work to pool workers as payload
+tuples (:func:`repro.core.pipeline.execute_shard_payload`).  Before
+this module, each tuple crossed the worker pipe by pickle — including
+the O(|U|) merged ``RSk(u)`` maps the root search pool consumes and the
+per-shard threshold maps in shortlist payloads, re-serialized per chunk
+per flush.  The codec replaces the heavy elements with:
+
+* :class:`ArenaRef` — a ~100-byte named pointer into the engine's
+  :class:`~repro.storage.shm.ShmArena`.  The referenced block is
+  written to shared memory **once** and *delta-shipped*: repeat flushes
+  whose threshold maps / traversal pools are unchanged (the memoized
+  common case) re-send only the reference.  Blocks are keyed on
+  ``Dataset.epoch`` plus the codec's ship sequence, so a mutated
+  dataset can never alias a stale block.
+* packed index blocks (:class:`PackedIds`, :class:`PackedMergedInput`)
+  — flat little-endian int64/float64 buffers instead of pickled python
+  list-of-list structures for shortlist ids and kept-location tables.
+  Search-stage blocks above :data:`SHIP_ITEMS_MIN_BYTES` are per-flush
+  one-shots, so they cross as a single arena column per chunk
+  (:meth:`PayloadCodec.ship_once` — written, referenced, retired; never
+  memoized) rather than megabytes re-pickled onto the pipe.
+
+Decoding reconstructs byte-identical python values (dict insertion
+order included), so results stay bitwise identical to the pickle path —
+the PR-3 convention.  The pickle path itself remains intact: payloads
+that never meet a codec (in-process execution, degraded mode,
+``--no-shm``) are passed through untouched, and a worker can always
+decode a codec payload because references resolve by *name* via
+:meth:`ShmArena.read_column_bytes` (open, copy, close — no lingering
+worker-side mappings, nothing to leak on SIGKILL).
+
+Encoding for the two binary block kinds:
+
+* ``rsk`` — ``"RSK1" | n:u32 | ids:int64[n] | values:float64[n]`` in
+  dict insertion order;
+* ``blob`` — a pickle of the object (used for the memoized traversal
+  pools, super-user and ``SharedTopK`` states whose win is the delta
+  shipping, not the encoding).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import threading
+from array import array
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..storage.shm import ShmArena, ShmArenaError
+
+__all__ = [
+    "ArenaRef",
+    "PackedIds",
+    "PackedMergedInput",
+    "PayloadCodec",
+    "encode_rsk",
+    "decode_rsk",
+    "encode_shard_payload",
+    "decode_shard_payload",
+    "encode_select_payload",
+    "decode_select_payload",
+    "resolve_ref",
+    "payload_nbytes",
+]
+
+_RSK_MAGIC = b"RSK1"
+
+
+@dataclass(frozen=True, slots=True)
+class ArenaRef:
+    """A named pointer to one arena column, shipped instead of data."""
+
+    arena: str
+    column: str
+    kind: str   # "rsk" | "blob"
+    count: int  # entries (rsk) or bytes (blob): sanity + introspection
+
+
+def payload_nbytes(obj) -> int:
+    """Bytes ``obj`` occupies on the worker pipe (pickle size)."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+# ----------------------------------------------------------------------
+# Binary block encodings (array-module based: no numpy requirement)
+# ----------------------------------------------------------------------
+
+def encode_rsk(rsk: Dict[int, float]) -> bytes:
+    """``{user_id: RSk(u)}`` -> flat int64/float64 block.
+
+    Preserves insertion order so the decoded dict iterates identically
+    to the original — lookups *and* any order-sensitive consumer see
+    the same mapping.
+    """
+    ids = array("q", rsk.keys())
+    values = array("d", rsk.values())
+    return b"".join((
+        _RSK_MAGIC, struct.pack("<I", len(rsk)),
+        ids.tobytes(), values.tobytes(),
+    ))
+
+
+def decode_rsk(data: bytes) -> Dict[int, float]:
+    if data[:4] != _RSK_MAGIC:
+        raise ValueError("not an RSK block")
+    (n,) = struct.unpack_from("<I", data, 4)
+    ids = array("q")
+    ids.frombytes(data[8:8 + 8 * n])
+    values = array("d")
+    values.frombytes(data[8 + 8 * n:8 + 16 * n])
+    return dict(zip(ids.tolist(), values.tolist()))
+
+
+@dataclass(frozen=True, slots=True)
+class PackedIds:
+    """``List[List[int]]`` as one flat int64 buffer + offsets."""
+
+    offsets: bytes  # int64[groups + 1] prefix offsets
+    flat: bytes     # int64[total] concatenated ids
+
+    @classmethod
+    def pack(cls, groups: List[List[int]]) -> "PackedIds":
+        offsets = array("q", [0])
+        flat = array("q")
+        total = 0
+        for group in groups:
+            flat.extend(group)
+            total += len(group)
+            offsets.append(total)
+        return cls(offsets=offsets.tobytes(), flat=flat.tobytes())
+
+    def unpack(self) -> List[List[int]]:
+        offsets = array("q")
+        offsets.frombytes(self.offsets)
+        flat = array("q")
+        flat.frombytes(self.flat)
+        items = flat.tolist()
+        return [
+            items[offsets[i]:offsets[i + 1]]
+            for i in range(len(offsets) - 1)
+        ]
+
+
+@dataclass(frozen=True, slots=True)
+class PackedMergedInput:
+    """One search-stage item with its tables packed flat.
+
+    Mirrors the ``(query, kept, ids_per_location, pruned, stats,
+    base_selection_s)`` tuples :meth:`ShortlistStage.merge` produces;
+    ``unpack`` restores exactly that tuple (python ints/floats, same
+    order, same values bit for bit).
+    """
+
+    query: object
+    kept_loc: bytes        # int64[kept]
+    kept_ub: bytes         # float64[kept]
+    kept_lb: bytes         # float64[kept]
+    ids: PackedIds         # per kept location, in kept order
+    pruned: int
+    stats: object
+    base_selection_s: float
+
+    @classmethod
+    def pack(cls, item: tuple) -> "PackedMergedInput":
+        query, kept, ids_per_location, pruned, stats, base_selection_s = item
+        return cls(
+            query=query,
+            kept_loc=array("q", (loc for loc, _, _ in kept)).tobytes(),
+            kept_ub=array("d", (ub for _, ub, _ in kept)).tobytes(),
+            kept_lb=array("d", (lb for _, _, lb in kept)).tobytes(),
+            ids=PackedIds.pack(ids_per_location),
+            pruned=pruned,
+            stats=stats,
+            base_selection_s=base_selection_s,
+        )
+
+    def unpack(self) -> tuple:
+        loc = array("q")
+        loc.frombytes(self.kept_loc)
+        ub = array("d")
+        ub.frombytes(self.kept_ub)
+        lb = array("d")
+        lb.frombytes(self.kept_lb)
+        kept = list(zip(loc.tolist(), ub.tolist(), lb.tolist()))
+        return (
+            self.query, kept, self.ids.unpack(), self.pruned, self.stats,
+            self.base_selection_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Reference resolution (worker side and in-process fallback alike)
+# ----------------------------------------------------------------------
+
+#: Decoded blocks, keyed ``(arena, column)``.  Columns are immutable
+#: once written (epoch+sequence keyed), so cached entries never go
+#: stale; the bound only caps memory.
+_REF_CACHE: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+_REF_CACHE_MAX = 64
+_REF_LOCK = threading.Lock()
+
+
+def resolve_ref(ref: ArenaRef):
+    """Materialize one reference (process-local LRU over arena reads)."""
+    key = (ref.arena, ref.column)
+    with _REF_LOCK:
+        if key in _REF_CACHE:
+            _REF_CACHE.move_to_end(key)
+            return _REF_CACHE[key]
+    data = ShmArena.read_column_bytes(ref.arena, ref.column)
+    if ref.kind == "rsk":
+        obj = decode_rsk(data)
+    elif ref.kind == "blob":
+        obj = pickle.loads(data)
+    else:
+        raise ValueError(f"unknown ArenaRef kind {ref.kind!r}")
+    with _REF_LOCK:
+        _REF_CACHE[key] = obj
+        while len(_REF_CACHE) > _REF_CACHE_MAX:
+            _REF_CACHE.popitem(last=False)
+    return obj
+
+
+def _clear_ref_cache() -> None:
+    """Test hook: forget decoded blocks (simulates a fresh worker)."""
+    with _REF_LOCK:
+        _REF_CACHE.clear()
+
+
+def _maybe(value):
+    return resolve_ref(value) if isinstance(value, ArenaRef) else value
+
+
+# ----------------------------------------------------------------------
+# The codec (parent side: owns the arena writes + the delta memo)
+# ----------------------------------------------------------------------
+
+class PayloadCodec:
+    """Encodes scatter payloads against one engine's arena.
+
+    ``ship`` writes an object's block to the arena once and returns the
+    same :class:`ArenaRef` for every later call with the same object at
+    the same dataset epoch (identity-keyed memo with strong references,
+    so a recycled ``id()`` can never alias).  If the arena write fails
+    (directory full, shm exhausted) the object is returned unchanged —
+    the payload simply stays on the pickle path, results unaffected.
+    """
+
+    #: Delta-memo capacity: the live working set is one traversal pool,
+    #: one super-user and a handful of per-(shard, k) threshold maps;
+    #: evicted entries only cost a re-ship.
+    MEMO_MAX = 64
+
+    #: Ships to wait before unlinking a superseded column.  Any payload
+    #: that references it was dispatched at least this many ships ago —
+    #: far past any in-flight flush — so decoders never race a drop.
+    RETIRE_LAG = 64
+
+    def __init__(
+        self, arena: ShmArena, epoch_fn: Optional[Callable[[], int]] = None
+    ) -> None:
+        self.arena = arena
+        self.epoch_fn = epoch_fn if epoch_fn is not None else (lambda: 0)
+        self._memo: "OrderedDict[int, Tuple[object, int, ArenaRef]]" = OrderedDict()
+        self._pending_drops: List[Tuple[int, str]] = []
+        self._seq = 0
+        self._lock = threading.Lock()
+        self.arena_bytes_written = 0
+        self.delta_hits = 0
+        self.inline_fallbacks = 0
+        self._broken = False
+
+    def ship(self, obj, tag: str, kind: str = "blob"):
+        """An :class:`ArenaRef` for ``obj`` (or ``obj`` itself on
+        fallback).  ``tag`` names the block for debuggability; identity
+        is the epoch + sequence suffix."""
+        if self._broken:
+            return obj
+        epoch = self.epoch_fn()
+        with self._lock:
+            entry = self._memo.get(id(obj))
+            if entry is not None and entry[0] is obj and entry[1] == epoch:
+                self._memo.move_to_end(id(obj))
+                self.delta_hits += 1
+                return entry[2]
+            if entry is not None:
+                # Same object at a new epoch (or a recycled id): the old
+                # block is superseded — retire it once it's safely cold.
+                self._pending_drops.append((self._seq, entry[2].column))
+            try:
+                data = encode_rsk(obj) if kind == "rsk" else pickle.dumps(
+                    obj, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except (TypeError, OverflowError, pickle.PicklingError):
+                # Unencodable (non-int64 keys, unpicklable object):
+                # leave it inline on the pickle path.
+                self.inline_fallbacks += 1
+                return obj
+            self._seq += 1
+            column = f"{tag}-e{epoch}-f{self._seq}"
+            try:
+                self.arena.add_bytes(column, data)
+            except (ShmArenaError, OSError):
+                # Arena exhausted or gone: stop trying (every later
+                # payload ships inline — correct, just un-optimized).
+                self.inline_fallbacks += 1
+                self._broken = True
+                return obj
+            count = len(obj) if kind == "rsk" else len(data)
+            ref = ArenaRef(
+                arena=self.arena.name, column=column, kind=kind, count=count
+            )
+            self._memo[id(obj)] = (obj, epoch, ref)
+            while len(self._memo) > self.MEMO_MAX:
+                _, (_, _, old_ref) = self._memo.popitem(last=False)
+                self._pending_drops.append((self._seq, old_ref.column))
+            self._drain_retired()
+            self.arena_bytes_written += len(data)
+            return ref
+
+    def ship_once(self, obj, tag: str, kind: str = "blob"):
+        """Ship a per-flush block that will never repeat: written and
+        referenced like :meth:`ship`, but not memoized (a one-shot
+        object in the delta memo would only evict real candidates and
+        pin its memory) and scheduled for retirement immediately — the
+        column is dropped once it is ``RETIRE_LAG`` ships cold.
+        """
+        if self._broken:
+            return obj
+        epoch = self.epoch_fn()
+        with self._lock:
+            try:
+                data = encode_rsk(obj) if kind == "rsk" else pickle.dumps(
+                    obj, protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except (TypeError, OverflowError, pickle.PicklingError):
+                self.inline_fallbacks += 1
+                return obj
+            self._seq += 1
+            column = f"{tag}-e{epoch}-f{self._seq}"
+            try:
+                self.arena.add_bytes(column, data)
+            except (ShmArenaError, OSError):
+                self.inline_fallbacks += 1
+                self._broken = True
+                return obj
+            self._pending_drops.append((self._seq, column))
+            self._drain_retired()
+            self.arena_bytes_written += len(data)
+            return ArenaRef(
+                arena=self.arena.name, column=column, kind=kind,
+                count=len(obj) if kind == "rsk" else len(data),
+            )
+
+    def _drain_retired(self) -> None:
+        """Drop every pending column that is safely cold (lock held)."""
+        while (
+            self._pending_drops
+            and self._seq - self._pending_drops[0][0] > self.RETIRE_LAG
+        ):
+            _, column = self._pending_drops.pop(0)
+            try:
+                self.arena.drop_column(column)
+            except (ShmArenaError, OSError):  # pragma: no cover
+                pass
+
+    def stats_snapshot(self) -> dict:
+        return {
+            "arena": self.arena.name,
+            "arena_bytes_written": self.arena_bytes_written,
+            "delta_hits": self.delta_hits,
+            "inline_fallbacks": self.inline_fallbacks,
+        }
+
+
+# ----------------------------------------------------------------------
+# Payload encode/decode (position-preserving: shard ids, fault hooks
+# and every consumer keep addressing the same tuple slots)
+# ----------------------------------------------------------------------
+
+#: Below this many packed bytes a search-items block stays inline on
+#: the pipe: a ~100-byte ref plus an arena column (page-rounded, plus
+#: directory churn) only pays for itself on real blocks.
+SHIP_ITEMS_MIN_BYTES = 4096
+
+
+def _packed_items_nbytes(packed: List[PackedMergedInput]) -> int:
+    return sum(
+        len(p.kept_loc) + len(p.kept_ub) + len(p.kept_lb)
+        + len(p.ids.offsets) + len(p.ids.flat)
+        for p in packed
+    )
+
+
+def encode_shard_payload(codec: PayloadCodec, payload: tuple) -> tuple:
+    """Codec form of one :func:`execute_shard_payload` work item."""
+    kind = payload[0]
+    if kind == "refine":
+        _, traversal, ks, backend, shard_id = payload
+        return (
+            "refine", codec.ship(traversal, f"trav-s{shard_id}"), ks, backend,
+            shard_id,
+        )
+    if kind == "shortlist":
+        _, su, queries, rsk_by_k, group_by_k, backend, shard_id = payload
+        return (
+            "shortlist", codec.ship(su, f"su-s{shard_id}"), queries,
+            {
+                k: codec.ship(rsk, f"rsk-s{shard_id}-k{k}", kind="rsk")
+                for k, rsk in rsk_by_k.items()
+            },
+            group_by_k, backend, shard_id,
+        )
+    if kind == "search":
+        _, items, rsk, rsk_group, method, backend = payload
+        packed = [PackedMergedInput.pack(item) for item in items]
+        if _packed_items_nbytes(packed) >= SHIP_ITEMS_MIN_BYTES:
+            # Per-flush blocks, so no delta possible — the win is that
+            # the kept/id tables cross to every worker as a ~100-byte
+            # name instead of re-pickling megabytes onto the pipe.
+            packed = codec.ship_once(packed, "search-items")
+        return (
+            "search", packed,
+            codec.ship(rsk, "rsk-root", kind="rsk"), rsk_group, method, backend,
+        )
+    if kind == "indexed_search":
+        (_, queries, views, traversal, rsk_group, users_total, topk_time_s,
+         io_node_visits, io_invfile_blocks, method, backend) = payload
+        return (
+            "indexed_search", queries, views, codec.ship(traversal, "root-trav"),
+            rsk_group, users_total, topk_time_s, io_node_visits,
+            io_invfile_blocks, method, backend,
+        )
+    return payload  # unknown kinds pass through untouched
+
+
+def decode_shard_payload(payload: tuple) -> tuple:
+    """Inverse of :func:`encode_shard_payload`; identity on plain
+    (pickle-path) payloads, so every execution mode funnels through one
+    call site."""
+    if not isinstance(payload, tuple) or not payload:
+        return payload
+    kind = payload[0]
+    if kind == "refine":
+        _, traversal, ks, backend, shard_id = payload
+        return ("refine", _maybe(traversal), ks, backend, shard_id)
+    if kind == "shortlist":
+        _, su, queries, rsk_by_k, group_by_k, backend, shard_id = payload
+        return (
+            "shortlist", _maybe(su), queries,
+            {k: _maybe(rsk) for k, rsk in rsk_by_k.items()},
+            group_by_k, backend, shard_id,
+        )
+    if kind == "search":
+        _, items, rsk, rsk_group, method, backend = payload
+        return (
+            "search",
+            [
+                item.unpack() if isinstance(item, PackedMergedInput) else item
+                for item in _maybe(items)
+            ],
+            _maybe(rsk), rsk_group, method, backend,
+        )
+    if kind == "indexed_search":
+        (_, queries, views, traversal, rsk_group, users_total, topk_time_s,
+         io_node_visits, io_invfile_blocks, method, backend) = payload
+        return (
+            "indexed_search", queries, views, _maybe(traversal), rsk_group,
+            users_total, topk_time_s, io_node_visits, io_invfile_blocks,
+            method, backend,
+        )
+    return payload
+
+
+def encode_select_payload(codec: PayloadCodec, payload: tuple) -> tuple:
+    """Codec form of one select-stage chunk: the shared phase-1 state
+    (an O(|U|) ``SharedTopK``) delta-ships as a blob reference."""
+    queries, shared, mode, method, backend = payload
+    return (queries, codec.ship(shared, "topk"), mode, method, backend)
+
+
+def decode_select_payload(payload: tuple) -> tuple:
+    queries, shared, mode, method, backend = payload
+    return (queries, _maybe(shared), mode, method, backend)

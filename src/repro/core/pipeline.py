@@ -122,6 +122,11 @@ class StageStats:
     io_invfile_blocks: int = 0
     retries: int = 0        # supervised pool rounds re-dispatched
     degraded: int = 0       # partitions that fell back to in-process
+    #: Serialized bytes crossing the pool pipes this stage: dispatched
+    #: payloads out, returned chunks in.  0 for in-process rounds (the
+    #: payloads never leave the parent, there is nothing to serialize).
+    payload_bytes_out: int = 0
+    payload_bytes_in: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -133,6 +138,8 @@ class StageStats:
             "io_invfile_blocks": self.io_invfile_blocks,
             "retries": self.retries,
             "degraded": self.degraded,
+            "payload_bytes_out": self.payload_bytes_out,
+            "payload_bytes_in": self.payload_bytes_in,
         }
 
 
@@ -160,10 +167,22 @@ class FlushReport:
         """Partitions that fell back to in-process across all stages."""
         return sum(st.degraded for st in self.stages)
 
+    @property
+    def payload_bytes_out(self) -> int:
+        """Serialized payload bytes dispatched to pools this flush."""
+        return sum(st.payload_bytes_out for st in self.stages)
+
+    @property
+    def payload_bytes_in(self) -> int:
+        """Serialized result bytes collected from pools this flush."""
+        return sum(st.payload_bytes_in for st in self.stages)
+
     def snapshot(self) -> dict:
         return {
             "mode": self.mode,
             "batch_size": self.batch_size,
+            "payload_bytes_out": self.payload_bytes_out,
+            "payload_bytes_in": self.payload_bytes_in,
             "stages": [st.snapshot() for st in self.stages],
         }
 
@@ -212,7 +231,14 @@ def execute_shard_payload(dataset, payload: tuple, context=None):
       so the gather replays the simulated I/O onto the shared counter.
     """
     from .partial import compute_partial, compute_shortlist_partial
+    from .payload import decode_shard_payload
 
+    # The ONE decode funnel: arena-encoded payloads (config.use_shm)
+    # resolve their ArenaRefs / packed blocks here; plain pickle
+    # payloads pass through untouched.  Pool workers, degraded
+    # in-process re-runs and the sharded in-process path all land here,
+    # so both transports execute identical inputs.
+    payload = decode_shard_payload(payload)
     kind = payload[0]
     if kind == "refine":
         _, traversal, ks, backend, shard_id = payload
@@ -634,9 +660,12 @@ def run_indexed_chunk_inprocess(engine, pool_state, payload: tuple) -> list:
     derived inputs.
     """
     from .indexed_users import indexed_search
+    from .payload import decode_shard_payload
 
     (_, queries, _views, traversal, rsk_group, users_total, topk_time_s,
-     io_node_visits, io_invfile_blocks, method, backend) = payload
+     io_node_visits, io_invfile_blocks, method, backend) = (
+        decode_shard_payload(payload)
+    )
     out = []
     for query in queries:
         stats = QueryStats(
@@ -751,6 +780,34 @@ class DeriveThresholdsStage(Stage):
 # Executors
 # ----------------------------------------------------------------------
 
+def _encode_payloads(codec, stage_name: str, payloads: list) -> list:
+    """Route payloads through the arena codec before a pool dispatch.
+
+    No-op without a codec (``use_shm`` off / arena unavailable) — the
+    payloads cross the pipe as plain pickles, the PR-3 path.
+    """
+    if codec is None:
+        return payloads
+    from .payload import encode_select_payload, encode_shard_payload
+
+    encode = (
+        encode_select_payload if stage_name == "select" else encode_shard_payload
+    )
+    return [encode(codec, p) for p in payloads]
+
+
+def _payloads_nbytes(payloads) -> int:
+    """Serialized size of a pool round's payloads (or returned chunks).
+
+    Measured as pickle bytes — exactly what the pipe carries — on both
+    transports, so the codec's win shows up as a smaller number, not a
+    different metric.
+    """
+    from .payload import payload_nbytes
+
+    return sum(payload_nbytes(p) for p in payloads)
+
+
 @dataclass(slots=True)
 class ShardHandle:
     """What an executor needs to scatter to one partition."""
@@ -781,10 +838,12 @@ class _ExecutorBase:
             before = io.snapshot() if io is not None else None
             t0 = time.perf_counter()
             if stage.scatter:
-                width, items, retries, degraded = self._run_scatter(stage, ctx)
+                (width, items, retries, degraded,
+                 bytes_out, bytes_in) = self._run_scatter(stage, ctx)
             else:
                 stage.run_central(ctx)
                 width, items, retries, degraded = 1, len(ctx["queries"]), 0, 0
+                bytes_out = bytes_in = 0
             stats = StageStats(
                 stage=stage.name,
                 items=items,
@@ -792,6 +851,8 @@ class _ExecutorBase:
                 time_s=time.perf_counter() - t0,
                 retries=retries,
                 degraded=degraded,
+                payload_bytes_out=bytes_out,
+                payload_bytes_in=bytes_in,
             )
             if io is not None:
                 delta = io.snapshot() - before
@@ -814,8 +875,9 @@ class _ExecutorBase:
 
     def _run_scatter(
         self, stage: Stage, ctx: FlushContext
-    ) -> Tuple[int, int, int, int]:
-        """Run one scatter stage: ``(width, items, retries, degraded)``."""
+    ) -> Tuple[int, int, int, int, int, int]:
+        """Run one scatter stage: ``(width, items, retries, degraded,
+        payload_bytes_out, payload_bytes_in)``."""
         raise NotImplementedError
 
 
@@ -855,7 +917,7 @@ class LocalExecutor(_ExecutorBase):
     # -- scatter routing -----------------------------------------------
     def _run_scatter(
         self, stage: Stage, ctx: FlushContext
-    ) -> Tuple[int, int, int, int]:
+    ) -> Tuple[int, int, int, int, int, int]:
         import multiprocessing
 
         plan = ctx.require("plan")
@@ -873,7 +935,7 @@ class LocalExecutor(_ExecutorBase):
                 for payload in payloads
             ]
             stage.merge(ctx, [chunks])
-            return 1, len(queries), 0, 0
+            return 1, len(queries), 0, 0, 0, 0
 
         want_pool = (
             stage.name == "select" and self.pool is not None
@@ -902,15 +964,23 @@ class LocalExecutor(_ExecutorBase):
         )
         payloads = stage.split(ctx, shard)
         retries = 0
+        bytes_out = bytes_in = 0
         chunks = None
         if pooled:
+            payloads = _encode_payloads(
+                getattr(self.engine, "payload_codec", None), stage.name, payloads
+            )
+            bytes_out = _payloads_nbytes(payloads)
             retries_before = self.pool.health.retries
             try:
                 chunks = self.pool.run_selection(payloads)
             except ScatterFailure:
                 # Pool transport failed past its retry budget: same
-                # payloads, in-process — identity preserved.
+                # payloads, in-process — identity preserved (the decode
+                # funnel resolves arena refs in the parent too).
                 degraded = 1
+            else:
+                bytes_in = _payloads_nbytes(chunks)
             retries = self.pool.health.retries - retries_before
         if chunks is None:
             if forked:
@@ -920,7 +990,7 @@ class LocalExecutor(_ExecutorBase):
 
                 chunks = [_select_chunk(shard.dataset, p) for p in payloads]
         stage.merge(ctx, [chunks])
-        return workers, len(queries), retries, degraded
+        return workers, len(queries), retries, degraded, bytes_out, bytes_in
 
     def _fork_round(self, payloads: List[tuple], workers: int):
         """Ephemeral fork pool for one select round (plan.workers > 1).
@@ -973,19 +1043,20 @@ class ShardedExecutor(_ExecutorBase):
     # -- scatter routing -----------------------------------------------
     def _run_scatter(
         self, stage: Stage, ctx: FlushContext
-    ) -> Tuple[int, int, int, int]:
+    ) -> Tuple[int, int, int, int, int, int]:
         if stage.name in ("search", "indexed-search"):
             return self._scatter_queries(stage, ctx)
         return self._scatter_users(stage, ctx)
 
     def _scatter_users(
         self, stage: Stage, ctx: FlushContext
-    ) -> Tuple[int, int, int, int]:
+    ) -> Tuple[int, int, int, int, int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
         plan = ctx.require("plan")
         if stage.name == "refine" and not ctx.require("need_ks"):
-            return 0, 0, 0, 0  # every k already merged (memoized across flushes)
+            # every k already merged (memoized across flushes)
+            return 0, 0, 0, 0, 0, 0
         # Observed planner decision: at trivial queue depth the shard
         # pools are pure dispatch overhead — run the same payloads
         # in-process (split/merge and partition layout unchanged).
@@ -1025,6 +1096,13 @@ class ShardedExecutor(_ExecutorBase):
         # run concurrently even with one worker each.  A dispatch that
         # fails outright is recovered in the supervised collect below.
         plans = [stage.split(ctx, handle) for handle in handles]
+        codec = getattr(sharded.root, "payload_codec", None)
+        bytes_out = bytes_in = 0
+        for i, handle in enumerate(handles):
+            if handle.pool is None:
+                continue
+            plans[i] = _encode_payloads(codec, stage.name, plans[i])
+            bytes_out += _payloads_nbytes(plans[i])
         dispatches: List[Optional[object]] = [None] * len(handles)
         for i, handle in enumerate(handles):
             if handle.pool is None:
@@ -1050,14 +1128,17 @@ class ShardedExecutor(_ExecutorBase):
             except ScatterFailure:
                 # Supervision exhausted (respawn failed, repeat
                 # deadline, pool broken): re-scatter this shard's round
-                # in-process — execute_shard_payload is pure, so the
-                # merged answer is unchanged.
+                # in-process — execute_shard_payload is pure (and the
+                # decode funnel resolves arena refs in the parent), so
+                # the merged answer is unchanged.
                 returned[i] = [
                     execute_shard_payload(handle.dataset, payload)
                     for payload in plans[i]
                 ]
                 degraded += 1
                 handle.stats.degraded_rounds += 1
+            else:
+                bytes_in += _payloads_nbytes(returned[i])
             delta = handle.pool.health.retries - retries_before
             retries += delta
             handle.stats.retries += delta
@@ -1070,7 +1151,7 @@ class ShardedExecutor(_ExecutorBase):
             for handle, chunks in zip(handles, returned):
                 for partial in (p for chunk in chunks for p in chunk):
                     handle.rsk_by_k[partial.k] = partial.rsk
-        return len(handles), items, retries, degraded
+        return len(handles), items, retries, degraded, bytes_out, bytes_in
 
     def _account(self, stage, handles, returned, items) -> None:
         for handle, chunks in zip(handles, returned):
@@ -1084,7 +1165,7 @@ class ShardedExecutor(_ExecutorBase):
 
     def _scatter_queries(
         self, stage: Stage, ctx: FlushContext
-    ) -> Tuple[int, int, int, int]:
+    ) -> Tuple[int, int, int, int, int, int]:
         sharded = self.sharded
         queries = ctx.require("queries")
         plan = ctx.require("plan")
@@ -1113,8 +1194,14 @@ class ShardedExecutor(_ExecutorBase):
         payloads = stage.split(ctx, handle)
         t0 = time.perf_counter()
         retries = 0
+        bytes_out = bytes_in = 0
         chunks = None
         if use_pool:
+            payloads = _encode_payloads(
+                getattr(sharded.root, "payload_codec", None),
+                stage.name, payloads,
+            )
+            bytes_out = _payloads_nbytes(payloads)
             sharded._search_flushes += 1
             retries_before = pool.health.retries
             try:
@@ -1126,6 +1213,8 @@ class ShardedExecutor(_ExecutorBase):
                 # IOCharges replay at merge time, so the degraded round
                 # charges identically.
                 degraded = 1
+            else:
+                bytes_in = _payloads_nbytes(chunks)
             retries = pool.health.retries - retries_before
         if chunks is None:
             if stage.name == "indexed-search" and not ctx["use_ledgers"]:
@@ -1146,4 +1235,4 @@ class ShardedExecutor(_ExecutorBase):
                 ]
         sharded._search_s += time.perf_counter() - t0
         stage.merge(ctx, [chunks])
-        return handle.workers, len(queries), retries, degraded
+        return handle.workers, len(queries), retries, degraded, bytes_out, bytes_in

@@ -324,6 +324,10 @@ class ServerStats:
     flush_retries: int = 0     # scatter rounds re-dispatched
     degraded_flushes: int = 0  # flushes that fell back to in-process
     queries_shed: int = 0      # rejected with ServerOverloaded
+    #: Serialized payload bytes that crossed pool pipes (dispatched +
+    #: collected), summed over executed flushes — the zero-copy tier's
+    #: win is this counter shrinking, not a claim.
+    bytes_shipped: int = 0
 
     @property
     def avg_batch_size(self) -> float:
@@ -365,4 +369,5 @@ class ServerStats:
             "flush_retries": self.flush_retries,
             "degraded_flushes": self.degraded_flushes,
             "queries_shed": self.queries_shed,
+            "bytes_shipped": self.bytes_shipped,
         }

@@ -92,8 +92,8 @@ __all__ = [
 #: so the (O(num_users)-sized) SharedTopK pickles once per chunk.
 Payload = Tuple[List["MaxBRSTkNNQuery"], SharedTopK, str, str, str]
 
-#: Parent-side registry of pool (dataset, context, faults, pool_id)
-#: tuples, keyed by a per-pool token.  Forked workers inherit the whole
+#: Parent-side registry of pool (dataset, context, faults, pool_id,
+#: arena_name) tuples, keyed by a per-pool token.  Forked workers inherit the whole
 #: registry through copy-on-write and the initializer resolves their
 #: token into ``_WORKER_DATASET`` / ``_WORKER_CONTEXT`` (plus the
 #: fault-injection plan and pool identity) — only the *token* and the
@@ -113,6 +113,12 @@ _WORKER_FAULTS: Optional[FaultPlan] = None
 _WORKER_POOL_ID: Optional[int] = None
 _WORKER_GENERATION = 0
 _WORKER_TASK_INDEX = 0
+#: Name of the shm arena this worker verified it can map (None when the
+#: pool runs without one).  Set by the initializer's attach probe — on
+#: the *first* generation it proves the fork inherited live mappings,
+#: and on every respawned generation N+1 it proves the worker can
+#: re-attach by name alone (the zero-copy tier's respawn contract).
+_WORKER_ARENA_NAME: Optional[str] = None
 _FORK_DATASETS: Dict[int, tuple] = {}
 _FORK_TOKENS = itertools.count()
 
@@ -120,10 +126,23 @@ _FORK_TOKENS = itertools.count()
 def _init_worker(token: int, generation: int = 0) -> None:
     global _WORKER_DATASET, _WORKER_CONTEXT, _WORKER_FAULTS
     global _WORKER_POOL_ID, _WORKER_GENERATION, _WORKER_TASK_INDEX
+    global _WORKER_ARENA_NAME
     entry = _FORK_DATASETS[token]
-    _WORKER_DATASET, _WORKER_CONTEXT, _WORKER_FAULTS, _WORKER_POOL_ID = entry
+    (_WORKER_DATASET, _WORKER_CONTEXT, _WORKER_FAULTS, _WORKER_POOL_ID,
+     arena_name) = entry
     _WORKER_GENERATION = generation
     _WORKER_TASK_INDEX = 0
+    _WORKER_ARENA_NAME = None
+    if arena_name is not None:
+        # Re-attach by name, not by inherited state: a respawned worker
+        # (generation > 0) was forked *after* SIGKILL recovery and must
+        # be able to map the arena from its name alone.  The probe
+        # raises if the arena is gone — failing the spawn loudly beats
+        # serving refs that cannot resolve.
+        from ..storage.shm import ShmArena
+
+        ShmArena.attach(arena_name).close()
+        _WORKER_ARENA_NAME = arena_name
 
 
 def _payload_shard_id(payload: tuple) -> Optional[int]:
@@ -243,6 +262,11 @@ class PersistentWorkerPool:
     pool_id:
         Identity for fault scoping and health reporting (shard id for
         shard pools, ``SEARCH_POOL_ID`` for the root search pool).
+    arena_name:
+        Name of the engine-owned :class:`~repro.storage.shm.ShmArena`
+        (``None`` without one).  Every worker generation's initializer
+        probes an attach-by-name against it, so respawned workers prove
+        they can map the arena without relying on fork inheritance.
     """
 
     def __init__(
@@ -255,6 +279,7 @@ class PersistentWorkerPool:
         deadline: Optional[DeadlinePolicy] = None,
         faults: Optional[FaultPlan] = None,
         pool_id: Optional[int] = None,
+        arena_name: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -271,13 +296,16 @@ class PersistentWorkerPool:
         self.deadline = deadline if deadline is not None else DeadlinePolicy()
         self.faults = faults
         self.pool_id = pool_id
+        self.arena_name = arena_name
         self.health = PoolHealth()
         self._ctx = multiprocessing.get_context("fork")
         #: Reentrant: close() may run from a thread while respawn holds
         #: the lock, and respawn's spawn path re-enters helpers.
         self._lock = threading.RLock()
         self._token = next(_FORK_TOKENS)
-        _FORK_DATASETS[self._token] = (dataset, context, faults, pool_id)
+        _FORK_DATASETS[self._token] = (
+            dataset, context, faults, pool_id, arena_name
+        )
         self._closed = False
         self._pool = None
         self._known_pids: set = set()

@@ -127,10 +127,15 @@ class MaxBRSTkNNServer:
                     )
                     self._engine_pools_started = True
                 else:
+                    # Materialize the zero-copy arena (config.use_shm)
+                    # before forking so workers inherit the shm-backed
+                    # views and can re-attach it by name after respawn.
+                    arena = self.engine.ensure_arena()
                     self._pool = PersistentWorkerPool(
                         self.engine.dataset, cfg.pool_workers,
                         retry=cfg.retry, deadline=cfg.deadline,
                         faults=cfg.faults,
+                        arena_name=arena.name if arena is not None else None,
                     )
             except Exception as exc:  # noqa: BLE001 - degrade, keep serving
                 # Graceful degradation: no pools means in-process
@@ -196,6 +201,12 @@ class MaxBRSTkNNServer:
             # Same bounded-drain argument as above.
             self.engine.close_pools(timeout_s=timeout_s)  # repro: noqa[AB402]
             self._engine_pools_started = False
+        # Unlink the arena after the workers are gone (sharded engines
+        # already did this inside close_pools; close_arena is
+        # idempotent) — a stopped server leaves /dev/shm clean.
+        close_arena = getattr(self.engine, "close_arena", None)
+        if callable(close_arena):
+            close_arena()
         self._started = False
         if flusher_error is not None:
             raise flusher_error
@@ -264,6 +275,9 @@ class MaxBRSTkNNServer:
                 snap["adaptive_ewma_ms"] = round(self._wait.ewma_ms, 3)
         if self._cache is not None:
             snap["cache_entries"] = len(self._cache)
+        codec = getattr(self.engine, "payload_codec", None)
+        if codec is not None:
+            snap["shm_codec"] = codec.stats_snapshot()
         self._sync_fault_counters()
         pool_health = getattr(self.engine, "pool_health", None)
         if callable(pool_health):
@@ -313,7 +327,12 @@ class MaxBRSTkNNServer:
         if error is not None:
             return  # the flush failed outright; no report to read
         report = getattr(self.engine, "last_flush_report", None)
-        if report is not None and report.degraded_partitions > 0:
+        if report is None:
+            return
+        self.stats.bytes_shipped += (
+            report.payload_bytes_out + report.payload_bytes_in
+        )
+        if report.degraded_partitions > 0:
             self.stats.degraded_flushes += 1
 
     # ------------------------------------------------------------------

@@ -316,6 +316,26 @@ class ShardedEngine:
         for shard in self._shards:
             if shard.users:
                 arrays_for(shard.engine.dataset)
+        self.root.ensure_arena()
+
+    # ------------------------------------------------------------------
+    # Zero-copy storage tier (delegated to the root engine)
+    # ------------------------------------------------------------------
+    @property
+    def payload_codec(self):
+        """The root engine's arena codec (``None`` without ``use_shm``)."""
+        return self.root.payload_codec
+
+    @property
+    def arena_name(self) -> Optional[str]:
+        return self.root.arena_name
+
+    def ensure_arena(self):
+        """Materialize the ONE arena (root-owned) for the whole engine."""
+        return self.root.ensure_arena()
+
+    def close_arena(self) -> None:
+        self.root.close_arena()
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -363,13 +383,18 @@ class ShardedEngine:
         if search_workers < 0:
             raise ValueError(f"search_workers must be >= 0, got {search_workers}")
         try:
+            # Materialize the arena (config.use_shm) BEFORE any fork:
+            # workers inherit the shm-backed views via copy-on-write
+            # and respawned generations re-attach it by this name.
+            arena = self.root.ensure_arena()
+            arena_name = arena.name if arena is not None else None
             for shard in self._shards:
                 if shard.users == 0:
                     continue  # nothing will ever be scattered here
                 shard.pool = PersistentWorkerPool(
                     shard.engine.dataset, workers_per_shard,
                     retry=retry, deadline=deadline, faults=faults,
-                    pool_id=shard.shard_id,
+                    pool_id=shard.shard_id, arena_name=arena_name,
                 )
                 shard.stats.pool_workers = workers_per_shard
             if search_workers > 0:
@@ -378,7 +403,7 @@ class ShardedEngine:
                 self._search_pool = PersistentWorkerPool(
                     self.dataset, search_workers, context=self.root.user_tree,
                     retry=retry, deadline=deadline, faults=faults,
-                    pool_id=SEARCH_POOL_ID,
+                    pool_id=SEARCH_POOL_ID, arena_name=arena_name,
                 )
         except BaseException:
             # _pools_started is still False, so the caller (e.g. the
@@ -416,6 +441,11 @@ class ShardedEngine:
         if self._search_pool is not None:
             _close("search pool", self._search_pool)
             self._search_pool = None
+        # Unlink the arena only after every worker process is gone:
+        # live attachments keep their mappings (POSIX semantics), but a
+        # clean close leaves /dev/shm empty — the leak criterion the
+        # shm tests scan for.
+        self.root.close_arena()
         self._pools_started = False
         if failures:
             warnings.warn(

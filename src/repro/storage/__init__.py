@@ -8,5 +8,15 @@ itself depends on this package.
 
 from .iostats import IOCounter, IOSnapshot, PAGE_SIZE_BYTES
 from .pager import LRUBuffer, PageStore
+from .shm import ShmArena, ShmArenaError, arena_segments
 
-__all__ = ["IOCounter", "IOSnapshot", "LRUBuffer", "PAGE_SIZE_BYTES", "PageStore"]
+__all__ = [
+    "IOCounter",
+    "IOSnapshot",
+    "LRUBuffer",
+    "PAGE_SIZE_BYTES",
+    "PageStore",
+    "ShmArena",
+    "ShmArenaError",
+    "arena_segments",
+]

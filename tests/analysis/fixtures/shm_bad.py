@@ -1,0 +1,41 @@
+"""Fixture: shm-backed state pickled, raw SharedMemory outside the arena.
+
+Analyzed by path only — never imported (``pickle``, ``ShmArena`` and
+friends are free variables on purpose).
+"""
+
+
+def pickles_arena_view(arena, payload):
+    view = arena.add_array("col", payload)
+    return pickle.dumps(view)  # noqa: F821  SM601 (tainted name)
+
+
+def pickles_attached_arena(name):
+    handle = ShmArena.attach(name)  # noqa: F821
+    return pickle.dumps(handle)  # noqa: F821  SM601 (arena handle)
+
+
+def pickles_kernel_arrays(dataset):
+    arrays = arrays_for(dataset)  # noqa: F821
+    return pickle.dumps(arrays, protocol=5)  # noqa: F821  SM601
+
+
+def pickles_inline_construction(dataset, fh):
+    pickle.dump(TreeArrays(dataset), fh)  # noqa: F821  SM601 (inline)
+
+
+def raw_segment(name):
+    return SharedMemory(name=name, create=True, size=4096)  # noqa: F821  SM602
+
+
+def raw_segment_dotted(name):
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)  # SM602 (dotted)
+
+
+class NotTheArena:
+    """A SharedMemory inside some other class is still out of bounds."""
+
+    def open(self, name):
+        return SharedMemory(name=name)  # noqa: F821  SM602 (wrong class)

@@ -1,0 +1,65 @@
+"""shm-payload checker: SM601/SM602 at exact lines, and silence."""
+
+from repro.analysis import ShmPayloadChecker, run_paths
+
+from .conftest import line_of
+
+
+def rules_at(report):
+    return {(f.rule, f.line) for f in report.findings}
+
+
+class TestShmPayloadViolations:
+    def test_pickled_tainted_names_fire_sm601(self, lint_fixture):
+        report, path = lint_fixture("shm_bad.py", ShmPayloadChecker())
+        found = rules_at(report)
+        for needle in (
+            "pickle.dumps(view)",
+            "pickle.dumps(handle)",
+            "pickle.dumps(arrays, protocol=5)",
+        ):
+            assert ("SM601", line_of(path, needle)) in found
+
+    def test_inline_construction_fires_sm601(self, lint_fixture):
+        report, path = lint_fixture("shm_bad.py", ShmPayloadChecker())
+        needle = "pickle.dump(TreeArrays(dataset), fh)"
+        assert ("SM601", line_of(path, needle)) in rules_at(report)
+
+    def test_raw_shared_memory_fires_sm602_everywhere(self, lint_fixture):
+        report, path = lint_fixture("shm_bad.py", ShmPayloadChecker())
+        found = rules_at(report)
+        for needle in (
+            "SharedMemory(name=name, create=True, size=4096)",
+            "shared_memory.SharedMemory(name=name)",
+            "SharedMemory(name=name)  # noqa: F821  SM602 (wrong class)",
+        ):
+            assert ("SM602", line_of(path, needle)) in found
+
+    def test_only_the_two_family_codes_fire(self, lint_fixture):
+        report, _ = lint_fixture("shm_bad.py", ShmPayloadChecker())
+        assert report.findings, "the bad fixture must fire"
+        assert {f.rule for f in report.findings} == {"SM601", "SM602"}
+
+
+class TestShmPayloadCleanCode:
+    def test_sanctioned_patterns_are_silent(self, lint_fixture):
+        # Covers: ArenaRef shipping, plain-value pickling, by-name
+        # column reads, attach/close — and the ShmArena class-name
+        # exemption that lets the tier's one construction site pass.
+        report, _ = lint_fixture("shm_ok.py", ShmPayloadChecker())
+        assert report.findings == []
+
+    def test_shipped_storage_tier_is_clean(self):
+        import repro.core.kernels as kernels_mod
+        import repro.core.partial as partial_mod
+        import repro.core.payload as payload_mod
+        import repro.storage.shm as shm_mod
+
+        report = run_paths(
+            [
+                mod.__file__
+                for mod in (kernels_mod, partial_mod, payload_mod, shm_mod)
+            ],
+            [ShmPayloadChecker()],
+        )
+        assert report.findings == []

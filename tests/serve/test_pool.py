@@ -108,6 +108,59 @@ def test_pool_results_match_inprocess_batches():
         assert a.brstknn == b.brstknn
 
 
+def _arena_probe_worker(_):
+    """Runs inside a forked worker: its arena attachment + build view."""
+    return (
+        pool_mod._WORKER_ARENA_NAME,
+        pool_mod._WORKER_GENERATION,
+        DatasetArrays.build_count if HAS_NUMPY else 0,
+    )
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+class TestArenaReattach:
+    """The zero-copy respawn contract: a generation-N+1 worker maps the
+    arena *by name* (its fork happened after SIGKILL recovery, so it
+    cannot rely on inherited state being the published state) and must
+    not rebuild any kernel arrays doing so."""
+
+    def test_respawned_workers_reattach_arena_by_name(self):
+        from repro.storage.shm import ShmArena
+
+        dataset, _ = make_dataset(seed=6)
+        with ShmArena() as arena:
+            with PersistentWorkerPool(
+                dataset, workers=2, arena_name=arena.name
+            ) as pool:
+                parent_builds = DatasetArrays.build_count
+                probes = pool._pool.map(_arena_probe_worker, range(4), chunksize=1)
+                for name, generation, builds in probes:
+                    assert name == arena.name  # generation 0: initial attach
+                    assert generation == 0
+                    assert builds == parent_builds
+
+                pool.respawn()
+                assert pool.health.generation == 1
+                probes = pool._pool.map(_arena_probe_worker, range(4), chunksize=1)
+                for name, generation, builds in probes:
+                    # The initializer re-ran in the fresh worker set and
+                    # proved attach-by-name against the live arena.
+                    assert name == arena.name
+                    assert generation == 1
+                    # Flat build counter: re-attach maps existing
+                    # segments, it never reconstructs DatasetArrays.
+                    assert builds == parent_builds
+
+    def test_pool_without_arena_leaves_workers_unattached(self):
+        dataset, _ = make_dataset(seed=7)
+        with PersistentWorkerPool(dataset, workers=1) as pool:
+            (name, generation, _), = pool._pool.map(
+                _arena_probe_worker, range(1), chunksize=1
+            )
+            assert name is None
+            assert generation == 0
+
+
 class TestBoundedShutdown:
     """close(timeout_s=...) must survive workers that will never exit.
 

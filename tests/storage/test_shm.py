@@ -1,0 +1,508 @@
+"""Zero-copy storage tier: arena lifecycle, codec identity, leak-freedom.
+
+Three contracts under test, each an acceptance item of the tier:
+
+* **round-trip identity** — anything placed in a :class:`ShmArena`
+  (numpy columns, byte blobs, codec-encoded payload blocks) comes back
+  bit for bit, including dict insertion order for ``RSk(u)`` maps;
+* **lifecycle** — attach/detach is refcounted, ``close``/``unlink``/
+  ``destroy`` are idempotent, and an abandoned owner is swept by its
+  finalizer: ``/dev/shm`` holds zero ``reproshm-`` segments after any
+  teardown order, including an injected worker SIGKILL mid-flush;
+* **codec correctness** — encode/decode are exact inverses over
+  randomized ``PartialResult``/shortlist inputs, delta shipping memoizes
+  by object identity + dataset epoch, and every fallback path keeps the
+  payload on plain pickle rather than failing the flush.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.partial import PartialResult, ShortlistPartial
+from repro.core.payload import (
+    ArenaRef,
+    PackedIds,
+    PackedMergedInput,
+    PayloadCodec,
+    _clear_ref_cache,
+    decode_rsk,
+    decode_shard_payload,
+    encode_rsk,
+    encode_shard_payload,
+    resolve_ref,
+)
+from repro.storage.shm import HAS_NUMPY, ShmArena, ShmArenaError, arena_segments
+
+if HAS_NUMPY:
+    import numpy as np
+
+
+def random_rsk(rng, n=None):
+    """A randomized {user_id: RSk(u)} map with non-sorted insertion order."""
+    n = rng.randint(0, 40) if n is None else n
+    ids = rng.sample(range(-(2**40), 2**40), n)
+    return {uid: rng.uniform(-1e9, 1e9) for uid in ids}
+
+
+# ----------------------------------------------------------------------
+# Arena: round-trip identity
+# ----------------------------------------------------------------------
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_array_round_trip_is_bitwise_across_attach():
+    rng = np.random.default_rng(7)
+    originals = {
+        "f64": rng.standard_normal(257),
+        "i64": rng.integers(-(2**62), 2**62, size=(31, 3)),
+        "i32": rng.integers(-(2**31), 2**31, size=11).astype(np.int32),
+        "u8": rng.integers(0, 255, size=1000).astype(np.uint8),
+    }
+    with ShmArena() as arena:
+        for column, arr in originals.items():
+            view = arena.add_array(column, arr)
+            assert view.tobytes() == arr.tobytes()
+            with pytest.raises(ValueError):
+                view[...] = 0  # published state is read-only
+        attached = ShmArena.attach(arena.name)
+        try:
+            for column, arr in originals.items():
+                got = attached.get(column)
+                assert got.dtype == arr.dtype
+                assert got.shape == arr.shape
+                assert got.tobytes() == arr.tobytes()  # bitwise
+        finally:
+            attached.close()
+
+
+def test_bytes_round_trip_and_blob_guard():
+    blob = bytes(random.Random(3).randrange(256) for _ in range(4096))
+    with ShmArena() as arena:
+        arena.add_bytes("blob", blob)
+        assert arena.get_bytes("blob") == blob
+        assert ShmArena.read_column_bytes(arena.name, "blob") == blob
+        if HAS_NUMPY:
+            with pytest.raises(ShmArenaError, match="byte blob"):
+                arena.get("blob")
+
+
+def test_attached_reader_sees_columns_added_after_attach():
+    with ShmArena() as arena:
+        attached = ShmArena.attach(arena.name)
+        try:
+            assert "late" not in attached.columns()
+            arena.add_bytes("late", b"delta-shipped")
+            # get_bytes refreshes the seqlocked directory on a miss.
+            assert attached.get_bytes("late") == b"delta-shipped"
+        finally:
+            attached.close()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_share_arrays_repoints_attributes_and_skips_none():
+    class Holder:
+        def __init__(self):
+            self.a = np.arange(12, dtype=np.int64)
+            self.b = None
+            self.c = np.linspace(0.0, 1.0, 9)
+
+    holder = Holder()
+    want_a, want_c = holder.a.tobytes(), holder.c.tobytes()
+    with ShmArena() as arena:
+        shared = arena.share_arrays(holder, ("a", "b", "c"), prefix="h")
+        assert shared == ["h.a", "h.c"]
+        assert holder.b is None
+        assert holder.a.tobytes() == want_a
+        assert holder.c.tobytes() == want_c
+        assert holder.a is arena.get("h.a")  # attribute now IS the view
+        with pytest.raises(ShmArenaError, match="already shared"):
+            arena.share_arrays(holder, ("a",), prefix="h")
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_close_restores_shared_attributes_to_private_copies():
+    # SharedMemory.close() unmaps even with numpy views exported, so
+    # teardown must hand the host object private copies back — else any
+    # later engine over the same dataset reads unmapped/recycled pages.
+    class Holder:
+        def __init__(self):
+            self.a = np.arange(12, dtype=np.int64)
+            self.c = np.linspace(0.0, 1.0, 9)
+
+    holder = Holder()
+    want_a, want_c = holder.a.tobytes(), holder.c.tobytes()
+    arena = ShmArena()
+    arena.share_arrays(holder, ("a", "c"), prefix="h")
+    arena.destroy()
+    for attr, want in (("a", want_a), ("c", want_c)):
+        restored = getattr(holder, attr)
+        assert restored.base is None  # private memory, not an shm view
+        assert not restored.flags.writeable
+        assert restored.tobytes() == want
+    # The restored object can be shared again into a fresh arena.
+    with ShmArena() as arena2:
+        arena2.share_arrays(holder, ("a", "c"), prefix="h")
+        assert holder.a.tobytes() == want_a
+    assert holder.a.tobytes() == want_a  # and restored again on exit
+    assert not arena_segments()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_close_leaves_replaced_attributes_alone():
+    class Holder:
+        def __init__(self):
+            self.a = np.arange(6, dtype=np.int64)
+
+    holder = Holder()
+    arena = ShmArena()
+    arena.share_arrays(holder, ("a",), prefix="h")
+    replacement = np.zeros(3, dtype=np.float32)
+    holder.a = replacement  # e.g. re-shared into a newer arena
+    arena.destroy()
+    assert holder.a is replacement
+
+
+# ----------------------------------------------------------------------
+# Arena: lifecycle + leak freedom
+# ----------------------------------------------------------------------
+
+def test_attach_is_refcounted_per_process():
+    with ShmArena() as arena:
+        assert ShmArena.attach_count(arena.name) == 0
+        h1 = ShmArena.attach(arena.name)
+        h2 = ShmArena.attach(arena.name)
+        assert h1 is h2  # one shared handle
+        assert ShmArena.attach_count(arena.name) == 2
+        h2.close()
+        assert ShmArena.attach_count(arena.name) == 1
+        h1.close()
+        assert ShmArena.attach_count(arena.name) == 0
+        h1.close()  # extra closes are harmless
+        assert ShmArena.attach_count(arena.name) == 0
+
+
+def test_destroy_leaves_no_segments_and_is_idempotent():
+    arena = ShmArena()
+    arena.add_bytes("x", b"payload")
+    name = arena.name
+    assert any(seg.startswith(name) for seg in arena_segments())
+    arena.destroy()
+    assert not any(seg.startswith(name) for seg in arena_segments())
+    arena.destroy()  # idempotent
+    arena.unlink()
+    arena.close()
+    with pytest.raises((ShmArenaError, FileNotFoundError)):
+        ShmArena.attach(name)
+
+
+def test_abandoned_owner_is_swept_by_finalizer():
+    import gc
+
+    arena = ShmArena()
+    arena.add_bytes("x", b"orphaned")
+    name = arena.name
+    del arena  # dropped without close(): the weakref.finalize must sweep
+    gc.collect()
+    assert not any(seg.startswith(name) for seg in arena_segments())
+
+
+def test_drop_column_unlinks_and_preserves_directory():
+    with ShmArena() as arena:
+        arena.add_bytes("keep", b"live")
+        arena.add_bytes("retire", b"superseded")
+        segment = f"{arena.name}.retire"
+        assert segment in arena_segments()
+        arena.drop_column("retire")
+        assert segment not in arena_segments()
+        assert "retire" not in arena.columns()
+        assert arena.get_bytes("keep") == b"live"
+        arena.drop_column("retire")  # idempotent
+
+
+def test_attach_only_handle_cannot_mutate():
+    with ShmArena() as arena:
+        arena.add_bytes("x", b"1")
+        attached = ShmArena.attach(arena.name)
+        try:
+            with pytest.raises(ShmArenaError, match="owning"):
+                attached.add_bytes("y", b"2")
+            with pytest.raises(ShmArenaError, match="owning"):
+                attached.drop_column("x")
+        finally:
+            attached.close()
+
+
+@pytest.mark.skipif(not HAS_NUMPY, reason="numpy not installed")
+def test_unlink_keeps_existing_mappings_valid():
+    arena = ShmArena()
+    want = np.arange(64, dtype=np.int64)
+    arena.add_array("x", want)
+    attached = ShmArena.attach(arena.name)
+    try:
+        view = attached.get("x")  # mapped while the name still exists
+        arena.unlink()  # names gone; POSIX keeps the memory for mappings
+        assert view.tobytes() == want.tobytes()
+        assert not any(
+            seg.startswith(arena.name) for seg in arena_segments()
+        )
+        # By-name access is now correctly impossible — the exact signal a
+        # respawned worker gets if it outlives the arena.
+        with pytest.raises((ShmArenaError, FileNotFoundError)):
+            ShmArena.read_column_bytes(arena.name, "x")
+    finally:
+        attached.close()
+        arena.close()
+
+
+# ----------------------------------------------------------------------
+# Codec: binary block round trips (randomized)
+# ----------------------------------------------------------------------
+
+def test_rsk_codec_round_trips_with_insertion_order():
+    rng = random.Random(11)
+    for _ in range(25):
+        rsk = random_rsk(rng)
+        decoded = decode_rsk(encode_rsk(rsk))
+        assert decoded == rsk
+        assert list(decoded.items()) == list(rsk.items())  # order too
+    with pytest.raises(ValueError, match="RSK"):
+        decode_rsk(b"nope" + b"\x00" * 16)
+
+
+def test_packed_ids_round_trips_ragged_groups():
+    rng = random.Random(13)
+    for _ in range(25):
+        groups = [
+            [rng.randrange(-(2**40), 2**40) for _ in range(rng.randint(0, 9))]
+            for _ in range(rng.randint(0, 12))
+        ]
+        assert PackedIds.pack(groups).unpack() == groups
+    assert PackedIds.pack([]).unpack() == []
+    assert PackedIds.pack([[], [], []]).unpack() == [[], [], []]
+
+
+def test_packed_merged_input_restores_exact_tuple():
+    rng = random.Random(17)
+    for _ in range(10):
+        kept = [
+            (rng.randrange(0, 500), rng.uniform(0, 50), rng.uniform(-50, 0))
+            for _ in range(rng.randint(0, 8))
+        ]
+        ids = [
+            [rng.randrange(0, 1000) for _ in range(rng.randint(0, 5))]
+            for _ in kept
+        ]
+        item = ("query-sentinel", kept, ids, rng.randint(0, 99),
+                {"stats": rng.random()}, rng.random())
+        assert PackedMergedInput.pack(item).unpack() == item
+
+
+def test_partial_result_pickle_round_trip_randomized():
+    rng = random.Random(19)
+    for _ in range(15):
+        partial = PartialResult(
+            shard_id=rng.randrange(8), k=rng.randrange(1, 9),
+            rsk=random_rsk(rng), users_total=rng.randrange(1000),
+            time_s=rng.random(),
+        )
+        clone = pickle.loads(pickle.dumps(partial))
+        assert clone == partial
+        assert list(clone.rsk.items()) == list(partial.rsk.items())
+
+
+def test_shortlist_partial_pickle_round_trip_randomized():
+    rng = random.Random(23)
+    for _ in range(15):
+        kept = [
+            (rng.randrange(300), rng.uniform(0, 9), rng.uniform(-9, 0))
+            for _ in range(rng.randint(0, 7))
+        ]
+        users = [
+            [rng.randrange(500) for _ in range(rng.randint(0, 6))]
+            for _ in kept
+        ]
+        partial = ShortlistPartial(
+            shard_id=rng.randrange(8), kept=kept, users=users,
+            locations_pruned=rng.randrange(50), time_s=rng.random(),
+        )
+        clone = pickle.loads(pickle.dumps(partial))
+        assert clone == partial  # exact tuples: merge's agreement check holds
+
+
+def test_partial_result_falls_back_to_plain_pickle_on_odd_keys():
+    # Non-int64 keys cannot pack into an RSK block; __reduce__ must fall
+    # back to the plain constructor tuple, not fail the gather.
+    partial = PartialResult(
+        shard_id=0, k=2, rsk={2**70: 1.0}, users_total=1, time_s=0.0
+    )
+    assert pickle.loads(pickle.dumps(partial)) == partial
+
+
+# ----------------------------------------------------------------------
+# Codec: arena shipping (delta memo, fallbacks, retirement)
+# ----------------------------------------------------------------------
+
+def test_ship_delta_hits_on_same_object_same_epoch():
+    epoch = [0]
+    rsk = random_rsk(random.Random(29), n=20)
+    with ShmArena() as arena:
+        codec = PayloadCodec(arena, epoch_fn=lambda: epoch[0])
+        ref1 = codec.ship(rsk, "rsk-root", kind="rsk")
+        assert isinstance(ref1, ArenaRef)
+        assert ref1.count == len(rsk)
+        ref2 = codec.ship(rsk, "rsk-root", kind="rsk")
+        assert ref2 is ref1  # delta hit: same ref, nothing rewritten
+        assert codec.delta_hits == 1
+        _clear_ref_cache()
+        assert resolve_ref(ref1) == rsk
+
+        epoch[0] += 1  # dataset mutated: the old block may not alias
+        ref3 = codec.ship(rsk, "rsk-root", kind="rsk")
+        assert ref3 is not ref1
+        assert ref3.column != ref1.column
+        _clear_ref_cache()
+        assert resolve_ref(ref3) == rsk
+
+
+def test_ship_falls_back_inline_on_unencodable_and_broken_arena():
+    with ShmArena() as arena:
+        codec = PayloadCodec(arena)
+        bad = {"not-an-int": 1.0}
+        assert codec.ship(bad, "rsk-root", kind="rsk") is bad
+        assert codec.inline_fallbacks == 1
+    # Arena destroyed: the first failed write trips the broken latch and
+    # every later ship stays inline (correct, just un-optimized).
+    payload = random_rsk(random.Random(31), n=5)
+    assert codec.ship(payload, "rsk-root", kind="rsk") is payload
+    assert codec._broken
+    assert codec.ship(payload, "rsk-root", kind="rsk") is payload
+
+
+def test_superseded_blocks_retire_after_the_lag():
+    epoch = [0]
+    with ShmArena() as arena:
+        codec = PayloadCodec(arena, epoch_fn=lambda: epoch[0])
+        rsk = random_rsk(random.Random(37), n=4)
+        old_ref = codec.ship(rsk, "rsk-root", kind="rsk")
+        epoch[0] += 1
+        codec.ship(rsk, "rsk-root", kind="rsk")  # supersedes old_ref
+        assert old_ref.column in arena  # not dropped yet: decoders may race
+        for i in range(PayloadCodec.RETIRE_LAG + 1):
+            codec.ship(random_rsk(random.Random(100 + i), n=2), f"t{i}",
+                       kind="rsk")
+        assert old_ref.column not in arena  # retired once safely cold
+        assert f"{arena.name}.{old_ref.column}" not in arena_segments()
+
+
+def test_shard_payload_encode_decode_inverse_and_passthrough():
+    rng = random.Random(41)
+    rsk = random_rsk(rng, n=12)
+    rsk_by_k = {2: random_rsk(rng, n=6), 4: random_rsk(rng, n=6)}
+    with ShmArena() as arena:
+        codec = PayloadCodec(arena)
+        for payload in (
+            ("refine", {"pool": [1, 2, 3]}, [2, 4], "python", 1),
+            ("shortlist", {"su": True}, ["q0"], rsk_by_k, {2: ["q0"]},
+             "python", 0),
+            ("search", [("q0", [(1, 2.0, 0.5)], [[7, 8]], 0, None, 0.0)],
+             rsk, {}, "greedy", "python"),
+        ):
+            encoded = encode_shard_payload(codec, payload)
+            assert encoded[0] == payload[0]
+            assert len(encoded) == len(payload)  # slots preserved
+            _clear_ref_cache()
+            decoded = decode_shard_payload(encoded)
+            assert decoded == payload
+            # The decode funnel is identity on plain pickle-path payloads.
+            assert decode_shard_payload(payload) == payload
+    assert decode_shard_payload(("unknown-kind", 1, 2)) == ("unknown-kind", 1, 2)
+    assert decode_shard_payload(()) == ()
+
+
+# ----------------------------------------------------------------------
+# End to end: the shm path is invisible except in bytes shipped
+# ----------------------------------------------------------------------
+
+HAS_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+
+
+def _serving_round(use_shm, faults=None, seed=5, prebuilt=None):
+    """One pooled 2-shard batch; returns (results, engine arena name)."""
+    from repro import EngineConfig, QueryOptions
+    from repro.serve import RetryPolicy, make_engine
+
+    from ..serve.conftest import build_dataset, make_queries
+
+    dataset, rng, vocab = prebuilt if prebuilt else build_dataset(seed=seed)
+    engine = make_engine(
+        dataset, EngineConfig(fanout=4, num_shards=2, use_shm=use_shm)
+    )
+    engine.start_pools(
+        1, 1, faults=faults, retry=RetryPolicy(max_retries=1, backoff_base_s=0.0)
+    )
+    try:
+        arena_name = engine.arena_name
+        results = engine.query_batch(
+            make_queries(rng, vocab, 6), QueryOptions(backend="python")
+        )
+        report = engine.last_flush_report
+    finally:
+        engine.close_pools()
+    return results, arena_name, report
+
+
+@pytest.mark.skipif(not (HAS_FORK and HAS_NUMPY), reason="needs fork + numpy")
+def test_engine_results_identical_with_and_without_shm():
+    plain, arena_plain, _ = _serving_round(use_shm=False)
+    shm, arena_shm, report = _serving_round(use_shm=True)
+    assert arena_plain is None
+    assert arena_shm is not None
+    for a, b in zip(plain, shm):
+        assert a.location == b.location
+        assert a.keywords == b.keywords
+        assert a.brstknn == b.brstknn
+    assert report.payload_bytes_out > 0  # the codec path actually ran
+    assert not arena_segments(), "serving leaked /dev/shm segments"
+
+
+@pytest.mark.skipif(not (HAS_FORK and HAS_NUMPY), reason="needs fork + numpy")
+def test_shared_dataset_survives_shm_engine_teardown():
+    # Regression: arena teardown used to unmap the segments backing the
+    # dataset's memoized DatasetArrays/TreeArrays views, so EVERY later
+    # engine over the same dataset (pickle or shm) computed garbage.
+    from ..serve.conftest import build_dataset
+
+    dataset, _, vocab = build_dataset(seed=5)
+
+    def round_(use_shm):
+        return _serving_round(
+            use_shm, prebuilt=(dataset, random.Random(99), vocab)
+        )[0]
+
+    baseline = round_(use_shm=False)
+    for use_shm in (True, False, True, False):
+        results = round_(use_shm)
+        for a, b in zip(baseline, results):
+            assert a.location == b.location
+            assert a.keywords == b.keywords
+            assert a.brstknn == b.brstknn
+    assert not arena_segments()
+
+
+@pytest.mark.skipif(not (HAS_FORK and HAS_NUMPY), reason="needs fork + numpy")
+def test_killed_worker_leaks_no_segments_and_results_survive():
+    from repro.serve import FaultPlan
+
+    plain, _, _ = _serving_round(use_shm=False)
+    shm, arena_name, _ = _serving_round(
+        use_shm=True, faults=FaultPlan.kill_worker()
+    )
+    for a, b in zip(plain, shm):
+        assert a.location == b.location
+        assert a.keywords == b.keywords
+        assert a.brstknn == b.brstknn
+    # The SIGKILLed worker held no arena state (read-copy-close access),
+    # and close_pools destroyed the arena: /dev/shm is clean.
+    assert not any(seg.startswith(arena_name) for seg in arena_segments())
+    assert not arena_segments()
