@@ -1,9 +1,10 @@
 """Contract-aware static analysis for the repro codebase.
 
-``repro lint`` runs five repo-specific AST checkers — Stage I/O
+``repro lint`` runs seven repo-specific AST checkers — Stage I/O
 contract drift, fork-pool pickle safety, bitwise-identity kernel
-discipline, async event-loop blocking, and supervised pool-dispatch
-discipline — without importing the target files.  See
+discipline, async event-loop blocking, supervised pool-dispatch
+discipline, shm payload hygiene, and the socket-transport pickle
+funnel — without importing the target files.  See
 :mod:`repro.analysis.engine` for the engine and
 :mod:`repro.analysis.checkers` for the rule families.
 """
@@ -16,6 +17,7 @@ from .checkers import (
     PoolBoundaryChecker,
     ShmPayloadChecker,
     StageContractChecker,
+    TransportChecker,
     checkers_for,
 )
 from .engine import (
@@ -44,6 +46,7 @@ __all__ = [
     "PoolBoundaryChecker",
     "ShmPayloadChecker",
     "StageContractChecker",
+    "TransportChecker",
     "checkers_for",
     "exit_code",
     "format_json",

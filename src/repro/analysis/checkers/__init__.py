@@ -1,4 +1,4 @@
-"""The six repo-specific checker families.
+"""The seven repo-specific checker families.
 
 ``ALL_CHECKERS`` is the ordered default set ``repro lint`` runs;
 :func:`checkers_for` resolves ``--rule`` selections (family names or
@@ -16,6 +16,7 @@ from .kernel_identity import KernelIdentityChecker
 from .pool_boundary import PoolBoundaryChecker
 from .shm_payload import ShmPayloadChecker
 from .stage_contract import StageContractChecker
+from .transport import TransportChecker
 
 __all__ = [
     "ALL_CHECKERS",
@@ -26,6 +27,7 @@ __all__ = [
     "AsyncBlockingChecker",
     "FaultToleranceChecker",
     "ShmPayloadChecker",
+    "TransportChecker",
 ]
 
 #: Default families, in report order.
@@ -36,6 +38,7 @@ ALL_CHECKERS = (
     AsyncBlockingChecker,
     FaultToleranceChecker,
     ShmPayloadChecker,
+    TransportChecker,
 )
 
 

@@ -8,7 +8,12 @@ Commands
                 print throughput (queries/sec) vs sequential;
 ``serve``       start a :class:`MaxBRSTkNNServer`, submit concurrent
                 queries through the async micro-batching front-end, and
-                print latency percentiles plus server stats;
+                print latency percentiles plus server stats
+                (``--transport socket`` scatters to shard-host
+                processes over TCP instead of fork pools);
+``shard-host``  serve shard scatter rounds over TCP: one process per
+                host, rebuilt from the same workload spec as the
+                coordinator;
 ``report``      shortcut to :mod:`repro.bench.report`;
 ``stats``       print Table 4-style statistics of a generated dataset;
 ``lint``        contract-aware static analysis (:mod:`repro.analysis`).
@@ -27,39 +32,21 @@ import sys
 import time
 from typing import List
 
-from . import Dataset, MaxBRSTkNNEngine, MaxBRSTkNNQuery
+from . import MaxBRSTkNNEngine, MaxBRSTkNNQuery
 from .analysis.cli import add_lint_arguments, run_lint
 from .core.config import CachePolicy, EngineConfig, QueryOptions
-from .datagen import (
-    candidate_locations,
-    flickr_like,
-    generate_users,
-    query_pool,
-    yelp_like,
-)
+from .datagen import query_pool
 
 __all__ = ["main"]
 
 
 def _make_workload(args):
-    if args.dataset == "flickr":
-        objects, vocab = flickr_like(num_objects=args.objects, seed=args.seed)
-    else:
-        objects, vocab = yelp_like(num_objects=max(60, args.objects // 6), seed=args.seed)
-    workload = generate_users(
-        objects,
-        num_users=args.users,
-        keywords_per_user=args.ul,
-        unique_keywords=args.uw,
-        area_side=args.area,
-        seed=args.seed,
-    )
-    candidate_locations(workload, num_locations=args.locations, seed=args.seed)
-    dataset = Dataset(
-        objects, workload.users, relevance=args.measure, alpha=args.alpha,
-        vocabulary=vocab,
-    )
-    return dataset, workload
+    # The canonical builder (shared with shard hosts and the multi-host
+    # bench): the same spec on any process yields a bitwise-identical
+    # dataset, which is what multi-host serving relies on.
+    from .serve.shardhost import make_workload, workload_spec_from_args
+
+    return make_workload(workload_spec_from_args(args))
 
 
 def _query_options(args, workers: int = 1) -> QueryOptions:
@@ -171,6 +158,19 @@ def _cmd_serve(args) -> int:
         print("serve: --fault needs --pool-workers >= 1 (faults are injected "
               "into the worker pools)", file=sys.stderr)
         return 2
+    if args.transport == "socket":
+        if not args.hosts:
+            print("serve: --transport socket needs --hosts host:port[,...]",
+                  file=sys.stderr)
+            return 2
+        if args.shards < 2:
+            print("serve: --transport socket needs --shards >= 2 (the socket "
+                  "scatter rides the sharded engine)", file=sys.stderr)
+            return 2
+        if args.pool_workers > 0:
+            print("serve: --transport socket replaces the fork pools; drop "
+                  "--pool-workers", file=sys.stderr)
+            return 2
     # Deterministic fault injection (CI's fault-smoke job): every plan
     # is armed for pool generation 0 only, so the recovery — respawn,
     # retry, or in-process degradation — must produce results identical
@@ -209,6 +209,13 @@ def _cmd_serve(args) -> int:
         faults=faults,
     )
     queries = _make_query_pool(workload, args, args.queries)
+    if args.transport == "socket":
+        # Shard hosts replace the fork pools: the engine's executor is
+        # swapped for the SocketExecutor before the server starts (the
+        # server itself runs pool-less, pool_workers=0).
+        engine.connect_hosts(
+            args.hosts, retry=RetryPolicy(), deadline=deadline
+        )
 
     latencies: List[float] = []
 
@@ -229,7 +236,11 @@ def _cmd_serve(args) -> int:
             results = await asyncio.gather(*(timed(q) for q in queries))
             return list(results), time.perf_counter() - t0, server.stats_snapshot()
 
-    results, elapsed, snapshot = asyncio.run(run())
+    try:
+        results, elapsed, snapshot = asyncio.run(run())
+    finally:
+        if args.transport == "socket":
+            engine.close_hosts()
     if args.explain:
         # The same plan again, now that the engine's FlushHistory holds
         # the served flushes: decisions rendered "static" on the cold
@@ -300,6 +311,37 @@ def _cmd_serve(args) -> int:
               "for the static contract checks (stage I/O, pool boundary, "
               "kernel identity, async blocking)")
     return 0
+
+
+def _cmd_shard_host(args) -> int:
+    """Run one shard host process (blocks until killed)."""
+    from .serve.shardhost import (
+        parse_socket_fault,
+        run_host,
+        workload_spec_from_args,
+    )
+
+    if args.shards < 1:
+        print("shard-host: --shards must be >= 1", file=sys.stderr)
+        return 2
+    host, _, port_s = args.listen.rpartition(":")
+    if not host:
+        print(f"shard-host: --listen must be host:port, got {args.listen!r}",
+              file=sys.stderr)
+        return 2
+    try:
+        fault = parse_socket_fault(args.fault)
+    except ValueError as exc:
+        print(f"shard-host: {exc}", file=sys.stderr)
+        return 2
+    return run_host(
+        workload_spec_from_args(args),
+        args.shards,
+        partitioner=args.partitioner,
+        listen=(host, int(port_s)),
+        fault=fault,
+        arena=args.arena,
+    )
 
 
 def _cmd_stats(args) -> int:
@@ -409,7 +451,37 @@ def main(argv=None) -> int:
     serve.add_argument("--max-pending", type=int, default=None,
                        help="admission bound: shed queries (ServerOverloaded) "
                             "past this many pending (default: unbounded)")
+    serve.add_argument("--transport", choices=["fork", "socket"], default="fork",
+                       help="scatter transport: fork pools (default) or TCP "
+                            "frames to shard-host processes (--hosts)")
+    serve.add_argument("--hosts", default="",
+                       help="comma-separated host:port list of running "
+                            "shard-host processes (--transport socket)")
     serve.set_defaults(func=_cmd_serve)
+
+    shard_host = sub.add_parser(
+        "shard-host",
+        help="serve shard scatter rounds over TCP (one process per host; "
+             "pair with `serve --transport socket`)",
+    )
+    _add_workload_args(shard_host)
+    shard_host.add_argument("--listen", default="127.0.0.1:0",
+                            help="host:port to bind (port 0 = ephemeral; the "
+                                 "bound port is printed as 'SHARDHOST "
+                                 "LISTENING <port>')")
+    shard_host.add_argument("--shards", type=int, default=2,
+                            help="the coordinator's shard count (partition "
+                                 "layout must match)")
+    shard_host.add_argument("--partitioner", choices=["hash", "grid"],
+                            default="hash")
+    shard_host.add_argument("--arena", default=None,
+                            help="shared-memory arena name to probe at "
+                                 "startup (fail fast before serving)")
+    shard_host.add_argument("--fault", default="none",
+                            help="socket fault to inject host-side: none, "
+                                 "drop-frame:N, stall-read:N[:S] or "
+                                 "refuse-accept")
+    shard_host.set_defaults(func=_cmd_shard_host)
 
     stats = sub.add_parser("stats", help="print dataset statistics")
     _add_workload_args(stats)

@@ -63,6 +63,8 @@ __all__ = [
     "decode_shard_payload",
     "encode_select_payload",
     "decode_select_payload",
+    "encode_gather_payload",
+    "decode_gather_payload",
     "resolve_ref",
     "payload_nbytes",
 ]
@@ -486,3 +488,149 @@ def encode_select_payload(codec: PayloadCodec, payload: tuple) -> tuple:
 def decode_select_payload(payload: tuple) -> tuple:
     queries, shared, mode, method, backend = payload
     return (queries, _maybe(shared), mode, method, backend)
+
+
+# ----------------------------------------------------------------------
+# Gather funnels (worker -> parent direction)
+# ----------------------------------------------------------------------
+# Scatter payloads got the codec in PR 9; the *returned* chunks still
+# crossed back as pickles (``PartialResult.__reduce__`` compacts the
+# per-object blocks, but every object pays pickle framing and rebuild
+# references).  These funnels turn a whole refine/shortlist chunk into
+# ONE self-describing binary block — no pickle at all on the gather
+# direction, which is what the socket transport frames verbatim and
+# what ``payload_bytes_in`` measures on the fork-pool pipe.  Every
+# other chunk shape (search results, indexed ``(result, charge)``
+# pairs, empty lists) passes through unchanged, so the decode funnel is
+# safe to apply unconditionally at every collect site.
+
+_GATHER_PARTIALS_MAGIC = b"GPR1"
+_GATHER_SHORTLISTS_MAGIC = b"GSL1"
+_GPR_ROW = "<qqqdI"   # shard_id, k, users_total, time_s, rsk blob len
+_GSL_ROW = "<qqdI"    # shard_id, locations_pruned, time_s, kept count
+
+
+def _encode_gather_partials(chunk) -> bytes:
+    parts = [_GATHER_PARTIALS_MAGIC, struct.pack("<I", len(chunk))]
+    for p in chunk:
+        blob = encode_rsk(p.rsk)
+        parts.append(struct.pack(
+            _GPR_ROW, p.shard_id, p.k, p.users_total, p.time_s, len(blob)
+        ))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _decode_gather_partials(data: bytes) -> list:
+    from .partial import PartialResult
+
+    (n,) = struct.unpack_from("<I", data, 4)
+    row = struct.calcsize(_GPR_ROW)
+    off = 8
+    out = []
+    for _ in range(n):
+        shard_id, k, users_total, time_s, blob_len = struct.unpack_from(
+            _GPR_ROW, data, off
+        )
+        off += row
+        rsk = decode_rsk(data[off:off + blob_len])
+        off += blob_len
+        out.append(PartialResult(
+            shard_id=shard_id, k=k, rsk=rsk,
+            users_total=users_total, time_s=time_s,
+        ))
+    return out
+
+
+def _encode_gather_shortlists(chunk) -> bytes:
+    parts = [_GATHER_SHORTLISTS_MAGIC, struct.pack("<I", len(chunk))]
+    for p in chunk:
+        loc = array("q", (t[0] for t in p.kept)).tobytes()
+        ub = array("d", (t[1] for t in p.kept)).tobytes()
+        lb = array("d", (t[2] for t in p.kept)).tobytes()
+        ids = PackedIds.pack(p.users)
+        parts.append(struct.pack(
+            _GSL_ROW, p.shard_id, p.locations_pruned, p.time_s, len(p.kept)
+        ))
+        parts.extend((loc, ub, lb))
+        parts.append(struct.pack("<II", len(ids.offsets), len(ids.flat)))
+        parts.extend((ids.offsets, ids.flat))
+    return b"".join(parts)
+
+
+def _decode_gather_shortlists(data: bytes) -> list:
+    from .partial import ShortlistPartial
+
+    (n,) = struct.unpack_from("<I", data, 4)
+    row = struct.calcsize(_GSL_ROW)
+    off = 8
+    out = []
+    for _ in range(n):
+        shard_id, pruned, time_s, kept_n = struct.unpack_from(
+            _GSL_ROW, data, off
+        )
+        off += row
+        loc = array("q")
+        loc.frombytes(data[off:off + 8 * kept_n])
+        off += 8 * kept_n
+        ub = array("d")
+        ub.frombytes(data[off:off + 8 * kept_n])
+        off += 8 * kept_n
+        lb = array("d")
+        lb.frombytes(data[off:off + 8 * kept_n])
+        off += 8 * kept_n
+        off_len, flat_len = struct.unpack_from("<II", data, off)
+        off += 8
+        ids = PackedIds(
+            offsets=data[off:off + off_len],
+            flat=data[off + off_len:off + off_len + flat_len],
+        )
+        off += off_len + flat_len
+        out.append(ShortlistPartial(
+            shard_id=shard_id,
+            kept=list(zip(loc.tolist(), ub.tolist(), lb.tolist())),
+            users=ids.unpack(),
+            locations_pruned=pruned,
+            time_s=time_s,
+        ))
+    return out
+
+
+def encode_gather_payload(chunk):
+    """Compact wire form of one worker's returned chunk.
+
+    A chunk of :class:`~repro.core.partial.PartialResult`\\ s (refine)
+    or :class:`~repro.core.partial.ShortlistPartial`\\ s (shortlist)
+    becomes one RSK1/PackedIds-packed ``bytes`` block; every other
+    chunk is returned unchanged, so callers can funnel all returns
+    through this without knowing the payload kind.  Decoding restores
+    byte-identical python values (float bits, dict insertion order,
+    list order), preserving the merge layer's determinism contract.
+    """
+    from .partial import PartialResult, ShortlistPartial
+
+    if not isinstance(chunk, list) or not chunk:
+        return chunk
+    try:
+        if all(type(p) is PartialResult for p in chunk):
+            return _encode_gather_partials(chunk)
+        if all(type(p) is ShortlistPartial for p in chunk):
+            return _encode_gather_shortlists(chunk)
+    except (TypeError, OverflowError, struct.error):
+        # Unpackable contents (non-int64 ids): stay on the pickle path.
+        return chunk
+    return chunk
+
+
+def decode_gather_payload(chunk):
+    """Inverse of :func:`encode_gather_payload`; identity on plain
+    (never-encoded) chunks, so in-process fallback rounds and search
+    results flow through the same collect-site funnel untouched."""
+    if not isinstance(chunk, (bytes, bytearray)):
+        return chunk
+    data = bytes(chunk)
+    if data[:4] == _GATHER_PARTIALS_MAGIC:
+        return _decode_gather_partials(data)
+    if data[:4] == _GATHER_SHORTLISTS_MAGIC:
+        return _decode_gather_shortlists(data)
+    return chunk

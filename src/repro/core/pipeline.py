@@ -808,6 +808,15 @@ def _payloads_nbytes(payloads) -> int:
     return sum(payload_nbytes(p) for p in payloads)
 
 
+def _decode_gather(chunks: list) -> list:
+    """The ONE gather decode funnel for collected pool rounds: inverse
+    of the worker-side :func:`repro.core.payload.encode_gather_payload`
+    (identity on chunks that were never encoded)."""
+    from .payload import decode_gather_payload
+
+    return [decode_gather_payload(c) for c in chunks]
+
+
 @dataclass(slots=True)
 class ShardHandle:
     """What an executor needs to scatter to one partition."""
@@ -981,6 +990,7 @@ class LocalExecutor(_ExecutorBase):
                 degraded = 1
             else:
                 bytes_in = _payloads_nbytes(chunks)
+                chunks = _decode_gather(chunks)
             retries = self.pool.health.retries - retries_before
         if chunks is None:
             if forked:
@@ -1139,6 +1149,7 @@ class ShardedExecutor(_ExecutorBase):
                 handle.stats.degraded_rounds += 1
             else:
                 bytes_in += _payloads_nbytes(returned[i])
+                returned[i] = _decode_gather(returned[i])
             delta = handle.pool.health.retries - retries_before
             retries += delta
             handle.stats.retries += delta
@@ -1215,6 +1226,7 @@ class ShardedExecutor(_ExecutorBase):
                 degraded = 1
             else:
                 bytes_in = _payloads_nbytes(chunks)
+                chunks = _decode_gather(chunks)
             retries = pool.health.retries - retries_before
         if chunks is None:
             if stage.name == "indexed-search" and not ctx["use_ledgers"]:

@@ -44,12 +44,15 @@ from .faults import FaultPlan, InjectedFault
 from .pool import PersistentWorkerPool, PoolHealth, PoolState
 from .server import MaxBRSTkNNServer
 from .sharded import ShardedEngine, make_engine
+from .shardhost import ShardHost, WorkloadSpec, make_workload
+from .transport import FrameCodec, ShardHostClient, ShardRegistry, SocketExecutor
 
 __all__ = [
     "AdaptiveWaitController",
     "DeadlinePolicy",
     "FaultPlan",
     "FlushDeadlineExceeded",
+    "FrameCodec",
     "InjectedFault",
     "MaxBRSTkNNServer",
     "PersistentWorkerPool",
@@ -64,7 +67,13 @@ __all__ = [
     "ServerStats",
     "ServerStopped",
     "ServingError",
+    "ShardHost",
+    "ShardHostClient",
+    "ShardRegistry",
     "ShardedEngine",
+    "SocketExecutor",
     "WorkerCrashed",
+    "WorkloadSpec",
     "make_engine",
+    "make_workload",
 ]

@@ -26,6 +26,23 @@ A :class:`FaultPlan` is a frozen description of *what* to break and
   were impossible (driving the pool into its terminal BROKEN state and
   the executors into in-process degradation).
 
+The **socket transport** (:mod:`repro.serve.transport`) adds a
+host-side fault family, enforced inside the shard-host frame loop
+(:mod:`repro.serve.shardhost`) so the coordinator's recovery runs over
+real TCP failures, not simulated ones:
+
+* ``drop_connection_on_frame=N`` — the host closes the connection
+  abruptly instead of answering its N-th scatter frame (0-based,
+  counted per host process, fires once): the coordinator sees EOF /
+  reset, i.e. :class:`~repro.serve.errors.WorkerCrashed`.
+* ``stall_read_on_frame=N`` — the host sleeps ``stall_s`` seconds
+  before answering its N-th scatter frame (fires once), driving the
+  coordinator's read timeout
+  (:class:`~repro.serve.errors.FlushDeadlineExceeded`).
+* ``refuse_accept`` — the host closes every accepted connection before
+  reading a byte: persistent refusal of service, the socket analog of
+  ``pool_loss`` (the coordinator degrades to in-process execution).
+
 Determinism comes from **generation gating**: worker-side faults are
 armed only while the pool is in one of the listed ``generations``
 (default: only generation 0, the pool as first forked).  After the
@@ -75,12 +92,18 @@ class FaultPlan:
     exception_on_task: Optional[int] = None
     break_dispatch: bool = False
     break_respawn: bool = False
+    # -- socket transport faults (enforced host-side, fire once) -------
+    drop_connection_on_frame: Optional[int] = None
+    stall_read_on_frame: Optional[int] = None
+    stall_s: float = 5.0
+    refuse_accept: bool = False
     pool_id: Optional[int] = None
     generations: Optional[Tuple[int, ...]] = (0,)
 
     def __post_init__(self) -> None:
         for name in ("kill_worker_on_task", "hang_on_task",
-                     "exception_on_shard", "exception_on_task"):
+                     "exception_on_shard", "exception_on_task",
+                     "drop_connection_on_frame", "stall_read_on_frame"):
             value = getattr(self, name)
             if value is not None and (
                 isinstance(value, bool) or not isinstance(value, int) or value < 0
@@ -89,6 +112,8 @@ class FaultPlan:
                                  f"got {value!r}")
         if not (isinstance(self.hang_s, (int, float)) and self.hang_s >= 0):
             raise ValueError(f"hang_s must be >= 0, got {self.hang_s!r}")
+        if not (isinstance(self.stall_s, (int, float)) and self.stall_s >= 0):
+            raise ValueError(f"stall_s must be >= 0, got {self.stall_s!r}")
         if self.generations is not None:
             object.__setattr__(self, "generations", tuple(self.generations))
 
@@ -160,3 +185,23 @@ class FaultPlan:
         gone, and serving must degrade to in-process execution."""
         kwargs.setdefault("generations", None)
         return cls(break_dispatch=True, break_respawn=True, **kwargs)
+
+    # -- socket transport faults (the shard-host --fault vocabulary) ---
+    @classmethod
+    def drop_connection(cls, frame: int = 0, **kwargs) -> "FaultPlan":
+        """The host drops the connection on its ``frame``-th scatter
+        frame instead of answering (fires once): coordinator-side EOF,
+        i.e. ``WorkerCrashed`` over TCP."""
+        return cls(drop_connection_on_frame=frame, **kwargs)
+
+    @classmethod
+    def stall_read(cls, frame: int = 0, stall_s: float = 5.0, **kwargs) -> "FaultPlan":
+        """The host answers its ``frame``-th scatter frame ``stall_s``
+        seconds late (fires once), outliving any read deadline."""
+        return cls(stall_read_on_frame=frame, stall_s=stall_s, **kwargs)
+
+    @classmethod
+    def refuse(cls, **kwargs) -> "FaultPlan":
+        """The host closes every accepted connection before reading:
+        persistent refusal (the socket analog of ``pool_loss``)."""
+        return cls(refuse_accept=True, **kwargs)

@@ -66,6 +66,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..core.batch import SharedTopK, _select_chunk
 from ..core.kernels import HAS_NUMPY, arrays_for
+from ..core.payload import encode_gather_payload
 from ..core.pipeline import execute_shard_payload
 from .config import DeadlinePolicy, RetryPolicy
 from .errors import (
@@ -185,9 +186,13 @@ ShardPayload = Tuple
 
 def _run_shard_payload(payload: ShardPayload):
     _maybe_inject(payload)
-    return execute_shard_payload(
+    chunk = execute_shard_payload(
         _WORKER_DATASET, payload, context=_WORKER_CONTEXT
     )
+    # Gather funnel: refine/shortlist chunks cross the worker->parent
+    # pipe as ONE binary block; everything else returns unchanged.  The
+    # executors decode at their collect sites.
+    return encode_gather_payload(chunk)
 
 
 class PoolState(enum.Enum):

@@ -207,6 +207,10 @@ class ShardedEngine:
         self._merged_by_k: Dict[int, MergedThresholds] = {}
         self._search_pool: Optional[PersistentWorkerPool] = None
         self._pools_started = False
+        #: Socket transport state (connect_hosts/close_hosts): the
+        #: registry of shard host processes, or None on the fork path.
+        self._registry = None
+        self._hosts_connected = False
         #: Fault counters of pools already closed, so `fault_counters()`
         #: stays monotone across pool generations and restarts.
         self._closed_fault_totals: Dict[str, int] = {
@@ -376,6 +380,8 @@ class ShardedEngine:
         """
         if self._pools_started:
             raise RuntimeError("shard pools already started")
+        if self._hosts_connected:
+            raise RuntimeError("cannot start pools: shard hosts are connected")
         if workers_per_shard < 1:
             raise ValueError(f"workers_per_shard must be >= 1, got {workers_per_shard}")
         if search_workers is None:
@@ -455,6 +461,68 @@ class ShardedEngine:
                 stacklevel=2,
             )
 
+    # ------------------------------------------------------------------
+    # Shard host lifecycle (the socket transport)
+    # ------------------------------------------------------------------
+    def connect_hosts(
+        self, hosts, *, retry=None, deadline=None, connect_timeout_s: float = 5.0
+    ) -> "ShardedEngine":
+        """Scatter to shard host processes over TCP (socket analog of
+        :meth:`start_pools`).
+
+        ``hosts`` is a ``"host:port,host:port"`` string or a sequence
+        of specs/pairs — one entry per ``repro shard-host`` process,
+        each of which rebuilt this engine's exact partition layout from
+        the shared workload spec (:mod:`repro.serve.shardhost`).  The
+        engine's executor is swapped for a
+        :class:`~repro.serve.transport.SocketExecutor`; pipeline stages
+        run unchanged, scatter rounds cross TCP as
+        :class:`~repro.serve.transport.FrameCodec` frames carrying the
+        arena-codec payloads verbatim.  ``retry`` / ``deadline`` are
+        the same supervision policies the fork pools take; host death
+        re-scatters a round to a surviving host, exhaustion degrades it
+        to in-process execution — results bitwise-identical throughout.
+
+        Mutually exclusive with :meth:`start_pools` (one transport at a
+        time); undo with :meth:`close_hosts`.
+        """
+        if self._pools_started:
+            raise RuntimeError("cannot connect hosts: fork pools are running")
+        if self._hosts_connected:
+            raise RuntimeError("shard hosts already connected")
+        from .transport import ShardRegistry, SocketExecutor
+
+        # Materialize the arena (config.use_shm) BEFORE the first
+        # scatter so payload encoding has refs to ship; hosts attach
+        # the segments lazily, by name, as foreign attachers.
+        self.root.ensure_arena()
+        registry = ShardRegistry.from_specs(
+            hosts, connect_timeout_s=connect_timeout_s
+        )
+        registry.connect_all()
+        self._registry = registry
+        self._executor = SocketExecutor(
+            self, registry, retry=retry, deadline=deadline
+        )
+        self._hosts_connected = True
+        return self
+
+    def close_hosts(self) -> None:
+        """Drop the host connections and restore in-process scatter
+        (idempotent).  Registry fault counters are banked so
+        :meth:`fault_counters` stays monotone, mirroring pool close."""
+        if not self._hosts_connected:
+            return
+        registry = self._registry
+        totals = self._closed_fault_totals
+        for key, value in registry.fault_counters().items():
+            totals[key] = totals.get(key, 0) + value
+        registry.close()
+        self._registry = None
+        self._executor = ShardedExecutor(self)
+        self._hosts_connected = False
+        self.root.close_arena()
+
     def _absorb_fault_totals(self, pool: PersistentWorkerPool) -> None:
         """Bank a closing pool's counters so totals stay monotone."""
         health = pool.health
@@ -480,6 +548,9 @@ class ShardedEngine:
             totals["worker_deaths"] += health.worker_deaths
             totals["deadline_hits"] += health.deadline_hits
             totals["retries"] += health.retries
+        if self._registry is not None:
+            for key, value in self._registry.fault_counters().items():
+                totals[key] = totals.get(key, 0) + value
         return totals
 
     def pool_health(self) -> List[dict]:
@@ -491,6 +562,8 @@ class ShardedEngine:
                              **shard.pool.health.snapshot()})
         if self._search_pool is not None:
             rows.append({"pool": "search", **self._search_pool.health.snapshot()})
+        if self._registry is not None:
+            rows.extend(self._registry.health_rows())
         return rows
 
     def __enter__(self) -> "ShardedEngine":
@@ -498,6 +571,7 @@ class ShardedEngine:
 
     def __exit__(self, *exc_info) -> None:
         self.close_pools()
+        self.close_hosts()
 
     # ------------------------------------------------------------------
     # Queries

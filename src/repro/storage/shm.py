@@ -55,9 +55,19 @@ leaving the tracker cache empty at interpreter shutdown — no "leaked
 shared_memory" warnings, and SIGKILLed workers leave no registrations
 of their own to clean.  A ``weakref.finalize`` on owner arenas unlinks
 as a last resort, so even an abandoned arena leaves ``/dev/shm`` clean.
-(Attaching from an *unrelated* OS process — the future remote-transport
-item — needs CPython 3.13's ``track=False`` or an explicit unregister
-on its side; nothing in this repo does that today.)
+
+Attaching from an *unrelated* OS process — a socket-transport shard
+host (:mod:`repro.serve.shardhost`) — is the one case where the rule
+flips: that process runs its OWN resource tracker, so an attach-side
+registration there is not an idempotent set-add into the creator's
+tracker but a fresh entry in a foreign one, and the foreign tracker
+would *unlink the creator's live segments* when the shard host exits.
+Such a process declares itself via :func:`set_untracked_attach`, after
+which every attach in the process maps segments without tracker
+registration: natively with CPython 3.13's ``track=False``, and on
+older interpreters by compensating the attach-side registration
+immediately (safe exactly because the tracker is process-private
+here — the in-tree prohibition above does not apply).
 """
 
 from __future__ import annotations
@@ -77,7 +87,14 @@ except ImportError:  # pragma: no cover - exercised on numpy-free installs
     np = None
     HAS_NUMPY = False
 
-__all__ = ["ShmArena", "ShmArenaError", "arena_segments", "SHM_PREFIX"]
+__all__ = [
+    "ShmArena",
+    "ShmArenaError",
+    "arena_segments",
+    "set_untracked_attach",
+    "untracked_attach_enabled",
+    "SHM_PREFIX",
+]
 
 #: Every segment this tier creates starts with this prefix, so tests
 #: (and the CI leak-check) can scan ``/dev/shm`` for leftovers without
@@ -96,6 +113,49 @@ _HEADER_BYTES = 256 * 1024
 
 _NAME_COUNTER = 0
 _NAME_LOCK = threading.Lock()
+
+#: Process-wide attach-tracking mode.  False (default): attaches go
+#: through the stock ``SharedMemory`` constructor and the in-tree
+#: tracker discipline in the module docstring applies.  True (set by
+#: :func:`set_untracked_attach` in foreign-process attachers like the
+#: socket shard host): attaches never leave a resource_tracker
+#: registration behind in this process.
+_UNTRACKED_ATTACH = False
+
+#: Lazily resolved: does this interpreter's SharedMemory accept the
+#: 3.13+ ``track=`` keyword?  (None = not probed yet.)
+_HAS_TRACK_PARAM: Optional[bool] = None
+
+
+def set_untracked_attach(enabled: bool = True) -> None:
+    """Declare this process an *unrelated* attacher (shard host).
+
+    Must be called before any arena attach in the process.  With it
+    enabled, mapping an existing segment registers nothing with the
+    process's resource tracker, so a shard host exiting (or crashing)
+    can never tear down the coordinating owner's live ``/dev/shm``
+    segments.  Owner-side creates are unaffected — exactly one process
+    (the creator) stays responsible for the unlink.
+    """
+    global _UNTRACKED_ATTACH
+    _UNTRACKED_ATTACH = bool(enabled)
+
+
+def untracked_attach_enabled() -> bool:
+    """Is this process in foreign-attacher (untracked) mode?"""
+    return _UNTRACKED_ATTACH
+
+
+def _track_param_supported() -> bool:
+    global _HAS_TRACK_PARAM
+    if _HAS_TRACK_PARAM is None:
+        import inspect
+        from multiprocessing import shared_memory
+
+        _HAS_TRACK_PARAM = "track" in inspect.signature(
+            shared_memory.SharedMemory.__init__
+        ).parameters
+    return _HAS_TRACK_PARAM
 
 
 class ShmArenaError(RuntimeError):
@@ -214,8 +274,26 @@ class ShmArena:
         # that registration is an idempotent set-add.  Do NOT unregister
         # it here: that would erase the creator's entry and turn the
         # final unlink() into tracker-side KeyError noise (see module
-        # docstring).
-        return shared_memory.SharedMemory(name=name, create=create, size=size)
+        # docstring).  The one exception is a process that declared
+        # itself a *foreign* attacher (set_untracked_attach): its
+        # tracker is process-private, and letting it register would make
+        # the shard host's exit unlink the owner's live segments.
+        if create or not _UNTRACKED_ATTACH:
+            return shared_memory.SharedMemory(name=name, create=create, size=size)
+        if _track_param_supported():
+            return shared_memory.SharedMemory(name=name, track=False)
+        from multiprocessing import resource_tracker
+
+        seg = shared_memory.SharedMemory(name=name)
+        try:
+            # Compensate the attach-side registration in THIS process's
+            # own tracker (safe: nothing else in the process registered
+            # the name — see the module docstring's foreign-attach
+            # paragraph).
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker gone at shutdown
+            pass
+        return seg
 
     @staticmethod
     def _unlink_by_name(name: str) -> None:

@@ -1,0 +1,30 @@
+"""Fixture: raw pickle calls in a module that touches sockets.
+
+Analyzed by path only — never imported (``pickle``, ``FrameCodec`` and
+friends are free variables on purpose).  The ``import socket`` below is
+what puts this module on the socket path.
+"""
+
+import asyncio
+import socket
+
+
+def ships_raw_pickle(sock, payload):
+    sock.sendall(pickle.dumps(payload))  # noqa: F821  TR701 (dumps)
+
+
+def reads_raw_pickle(sock):
+    return pickle.loads(sock.recv(65536))  # noqa: F821  TR701 (loads)
+
+
+async def streams_raw_pickle(writer, payload, fh):
+    pickle.dump(payload, fh)  # noqa: F821  TR701 (dump to file-like)
+    writer.write(b"")
+    await writer.drain()
+
+
+class NotACodec:
+    """A pickle call inside some other class is still out of bounds."""
+
+    def decode(self, body):
+        return pickle.loads(body)  # noqa: F821  TR701 (wrong class)

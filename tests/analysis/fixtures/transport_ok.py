@@ -1,0 +1,44 @@
+"""Fixture: sanctioned socket-path patterns the transport family allows.
+
+Pickle confined to the codec funnels, frames built through them, and —
+in ``off_socket_path``-style modules without socket imports — nothing
+in scope at all (that case lives in ``pool_ok.py``; this module DOES
+import socket, so silence here proves the exemptions, not the scope
+gate).
+"""
+
+import asyncio
+import socket
+
+
+class FrameCodec:
+    """The one sanctioned body-pickle site on the socket path."""
+
+    @staticmethod
+    def encode_body(obj):
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)  # noqa: F821
+
+    @staticmethod
+    def decode_body(data):
+        return pickle.loads(data)  # noqa: F821
+
+
+class PayloadCodec:
+    """Scatter payloads get the same dispensation."""
+
+    def encode(self, payload):
+        return pickle.dumps(payload)  # noqa: F821
+
+
+def ships_through_the_funnel(sock, payload):
+    sock.sendall(FrameCodec.encode_body(payload))
+
+
+async def reads_through_the_funnel(reader):
+    body = await reader.readexactly(21)
+    return FrameCodec.decode_body(body)
+
+
+def non_pickle_serialization(sock, rows):
+    # Other codecs are fine — the rule is about pickle specifically.
+    sock.sendall(encode_gather_payload(rows))  # noqa: F821

@@ -1,0 +1,57 @@
+"""transport checker: TR701 at exact lines, scope gate, and silence."""
+
+from repro.analysis import TransportChecker, run_paths
+
+from .conftest import line_of
+
+
+def rules_at(report):
+    return {(f.rule, f.line) for f in report.findings}
+
+
+class TestTransportViolations:
+    def test_raw_pickle_calls_fire_tr701(self, lint_fixture):
+        report, path = lint_fixture("transport_bad.py", TransportChecker())
+        found = rules_at(report)
+        for needle in (
+            "pickle.dumps(payload))  # noqa: F821  TR701 (dumps)",
+            "pickle.loads(sock.recv(65536))",
+            "pickle.dump(payload, fh)",
+            "pickle.loads(body)  # noqa: F821  TR701 (wrong class)",
+        ):
+            assert ("TR701", line_of(path, needle)) in found
+
+    def test_only_the_family_code_fires(self, lint_fixture):
+        report, _ = lint_fixture("transport_bad.py", TransportChecker())
+        assert report.findings, "the bad fixture must fire"
+        assert {f.rule for f in report.findings} == {"TR701"}
+
+    def test_finding_count_is_exact(self, lint_fixture):
+        report, _ = lint_fixture("transport_bad.py", TransportChecker())
+        assert len(report.findings) == 4
+
+
+class TestTransportCleanCode:
+    def test_codec_funnels_are_silent(self, lint_fixture):
+        report, _ = lint_fixture("transport_ok.py", TransportChecker())
+        assert report.findings == []
+
+    def test_modules_off_the_socket_path_are_out_of_scope(self, lint_fixture):
+        # pool_bad.py pickles plenty, but never imports socket/asyncio —
+        # that's the pool-boundary family's turf, not transport's.
+        report, _ = lint_fixture("pool_bad.py", TransportChecker())
+        assert report.findings == []
+
+    def test_shipped_transport_tier_is_clean(self):
+        import repro.serve.server as server_mod
+        import repro.serve.shardhost as shardhost_mod
+        import repro.serve.transport as transport_mod
+
+        report = run_paths(
+            [
+                mod.__file__
+                for mod in (server_mod, shardhost_mod, transport_mod)
+            ],
+            [TransportChecker()],
+        )
+        assert report.findings == []

@@ -1,0 +1,340 @@
+"""Multi-host scatter: identity and fault recovery over real sockets.
+
+Shard hosts run as embedded asyncio servers on background threads —
+real TCP, real frames, real failure modes (a stopped thread looks like
+a killed host process to the coordinator) — with the same shard
+dataset replicas the engine holds, which is exactly what a spawned
+``repro shard-host`` process reconstructs from the workload spec.
+
+The acceptance bar everywhere: results bitwise-identical to a fresh
+sequential engine, whatever the transport did to get there.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import EngineConfig, MaxBRSTkNNEngine
+from repro.core.config import QueryOptions
+from repro.serve import (
+    DeadlinePolicy,
+    FaultPlan,
+    MaxBRSTkNNServer,
+    RetryPolicy,
+    ServerConfig,
+    ShardHost,
+    ShardedEngine,
+)
+
+from .conftest import assert_results_equal, build_dataset, make_queries
+
+OPTS = QueryOptions(method="approx", mode="joint", backend="python")
+FAST = DeadlinePolicy(flush_deadline_s=5.0, poll_interval_s=0.01)
+
+
+class HostThread:
+    """One embedded shard host on its own thread + event loop."""
+
+    def __init__(self, host: ShardHost):
+        self.host = host
+        self.loop = None
+        self.port = None
+        self._ready = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+        self.thread.start()
+        assert self._ready.wait(10), "shard host failed to bind"
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        self.port = self.loop.run_until_complete(self.host.start())
+        self._ready.set()
+        try:
+            self.loop.run_until_complete(self.host.serve_forever())
+        except (asyncio.CancelledError, RuntimeError):
+            pass  # cancelled at stop()
+        finally:
+            self.loop.close()
+
+    def stop(self):
+        """Kill the host: every handler dies, connections reset."""
+        if self.loop.is_closed():
+            return
+
+        def _cancel():
+            for task in asyncio.all_tasks(self.loop):
+                task.cancel()
+
+        self.loop.call_soon_threadsafe(_cancel)
+        self.thread.join(10)
+
+
+def sharded_with_hosts(num_shards, num_hosts, seed=0, fault_on_host=None,
+                       **dataset_kwargs):
+    """A ShardedEngine plus ``num_hosts`` embedded hosts over its shards.
+
+    The hosts hold the engine's own shard datasets — byte-identical
+    replicas, the in-process analog of a shard-host process rebuilding
+    them from the workload spec.
+    """
+    dataset, rng, vocab = build_dataset(seed, **dataset_kwargs)
+    engine = ShardedEngine(dataset, EngineConfig(fanout=4, num_shards=num_shards))
+    replicas = {
+        shard.shard_id: shard.engine.dataset for shard in engine.shards
+    }
+    hosts = []
+    for i in range(num_hosts):
+        fault = fault_on_host.get(i) if fault_on_host else None
+        hosts.append(HostThread(ShardHost(replicas, dataset, fault=fault)))
+    return engine, hosts, rng, vocab
+
+
+def connect(engine, hosts, retry=None, deadline=FAST):
+    engine.connect_hosts(
+        [f"127.0.0.1:{h.port}" for h in hosts],
+        retry=retry if retry is not None else RetryPolicy(max_retries=2),
+        deadline=deadline,
+    )
+
+
+def teardown(engine, hosts):
+    engine.close_hosts()
+    for h in hosts:
+        h.stop()
+
+
+def reference_results(dataset, queries, engine, mode="joint"):
+    ref = MaxBRSTkNNEngine(
+        dataset,
+        EngineConfig(fanout=4, index_users=(mode == "indexed")),
+        object_tree=engine.object_tree,
+    )
+    opts = QueryOptions(method="approx", mode=mode, backend="python")
+    return [ref.query(q, opts) for q in queries]
+
+
+# ----------------------------------------------------------------------
+# Identity: shard counts x host counts x modes x mixed k
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("num_shards,num_hosts", [(2, 2), (4, 4), (4, 2)])
+def test_socket_scatter_matches_sequential(num_shards, num_hosts):
+    engine, hosts, rng, vocab = sharded_with_hosts(num_shards, num_hosts)
+    try:
+        connect(engine, hosts)
+        queries = make_queries(rng, vocab, 8, ks=(3, 5))
+        served = engine.query_batch(queries, OPTS)
+        report = engine.last_flush_report
+        assert report.degraded_partitions == 0
+        assert report.total_retries == 0
+        scatter = {s.stage: s for s in report.stages}
+        assert scatter["refine"].scatter_width == num_shards
+        assert scatter["refine"].payload_bytes_out > 0
+        assert scatter["refine"].payload_bytes_in > 0
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_socket_scatter_indexed_mode_matches_sequential():
+    dataset, rng, vocab = build_dataset(3)
+    engine = ShardedEngine(
+        dataset, EngineConfig(fanout=4, num_shards=2, index_users=True)
+    )
+    replicas = {s.shard_id: s.engine.dataset for s in engine.shards}
+    hosts = [HostThread(ShardHost(replicas, dataset)) for _ in range(2)]
+    try:
+        connect(engine, hosts)
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        opts = QueryOptions(method="approx", mode="indexed", backend="python")
+        served = engine.query_batch(queries, opts)
+        assert_results_equal(
+            served,
+            reference_results(engine.dataset, queries, engine, mode="indexed"),
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_socket_scatter_memoizes_refine_across_flushes():
+    engine, hosts, rng, vocab = sharded_with_hosts(2, 2, seed=5)
+    try:
+        connect(engine, hosts)
+        first = make_queries(rng, vocab, 4, ks=(3,))
+        second = make_queries(rng, vocab, 4, ks=(3,))
+        engine.query_batch(first, OPTS)
+        engine.query_batch(second, OPTS)
+        report = engine.last_flush_report
+        refine = next(s for s in report.stages if s.stage == "refine")
+        # k=3 was merged on the first flush; the second ships nothing.
+        assert refine.scatter_width == 0
+        assert refine.payload_bytes_out == 0
+    finally:
+        teardown(engine, hosts)
+
+
+def test_host_death_rescatters_to_survivor():
+    engine, hosts, rng, vocab = sharded_with_hosts(2, 2, seed=1)
+    try:
+        connect(engine, hosts)
+        warm = make_queries(rng, vocab, 4, ks=(3,))
+        engine.query_batch(warm, OPTS)
+        hosts[0].stop()  # killed host: connections reset mid-round
+        queries = make_queries(rng, vocab, 4, ks=(5,))
+        served = engine.query_batch(queries, OPTS)
+        report = engine.last_flush_report
+        assert report.total_retries >= 1
+        assert report.degraded_partitions == 0
+        counters = engine.fault_counters()
+        assert counters["worker_deaths"] == 1
+        assert counters["retries"] >= 1
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_all_hosts_dead_degrades_in_process():
+    engine, hosts, rng, vocab = sharded_with_hosts(2, 2, seed=2)
+    try:
+        connect(engine, hosts)
+        for h in hosts:
+            h.stop()
+        queries = make_queries(rng, vocab, 4, ks=(3, 5))
+        served = engine.query_batch(queries, OPTS)
+        report = engine.last_flush_report
+        assert report.degraded_partitions > 0
+        assert engine.fault_counters()["worker_deaths"] == 2
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_heartbeat_marks_dead_and_resurrects():
+    engine, hosts, rng, vocab = sharded_with_hosts(2, 2, seed=4)
+    try:
+        connect(engine, hosts)
+        registry = engine._registry
+        assert all(registry.ping_all().values())
+        hosts[1].stop()
+        sweep = registry.ping_all()
+        assert sweep[f"127.0.0.1:{hosts[1].port}"] is False
+        assert len(registry.alive_hosts()) == 1
+        assert registry.counters["worker_deaths"] == 1
+    finally:
+        teardown(engine, hosts)
+
+
+def test_connect_hosts_excludes_fork_pools():
+    engine, hosts, rng, vocab = sharded_with_hosts(2, 1, seed=6)
+    try:
+        connect(engine, hosts)
+        with pytest.raises(RuntimeError, match="hosts are connected"):
+            engine.start_pools(1)
+        engine.close_hosts()
+        engine.start_pools(1)
+        with pytest.raises(RuntimeError, match="pools are running"):
+            engine.connect_hosts([f"127.0.0.1:{hosts[0].port}"])
+        engine.close_pools()
+    finally:
+        engine.close_pools()
+        engine.close_hosts()
+        for h in hosts:
+            h.stop()
+
+
+# ----------------------------------------------------------------------
+# Socket faults through the server (exact ServerStats counters)
+# ----------------------------------------------------------------------
+
+def serve_over_sockets(engine, hosts, queries, retry=None):
+    """Run one served batch over the socket transport; returns
+    ``(results, stats_snapshot)``."""
+    connect(engine, hosts, retry=retry)
+    config = ServerConfig(
+        max_batch=len(queries), max_wait_ms=50.0, pool_workers=0,
+        options=OPTS, deadline=FAST,
+    )
+
+    async def run():
+        async with MaxBRSTkNNServer(engine, config) as server:
+            results = await server.submit_many(queries)
+            return results, server.stats_snapshot()
+
+    return asyncio.run(run())
+
+
+def test_drop_connection_fault_recovers_via_rescatter():
+    engine, hosts, rng, vocab = sharded_with_hosts(
+        2, 2, seed=7, fault_on_host={0: FaultPlan.drop_connection(0)}
+    )
+    try:
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        served, stats = serve_over_sockets(engine, hosts, queries)
+        assert stats["worker_deaths"] == 1
+        assert stats["flush_retries"] >= 1
+        assert stats["degraded_flushes"] == 0
+        assert stats["deadline_hits"] == 0
+        assert stats["bytes_shipped"] > 0
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_stall_read_fault_hits_deadline_then_recovers():
+    engine, hosts, rng, vocab = sharded_with_hosts(
+        2, 2, seed=8,
+        fault_on_host={0: FaultPlan.stall_read(0, stall_s=30.0)},
+    )
+    try:
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        engine.connect_hosts(
+            [f"127.0.0.1:{h.port}" for h in hosts],
+            retry=RetryPolicy(max_retries=2),
+            deadline=DeadlinePolicy(flush_deadline_s=0.5, poll_interval_s=0.01),
+        )
+        config = ServerConfig(
+            max_batch=len(queries), max_wait_ms=50.0, pool_workers=0,
+            options=OPTS,
+        )
+
+        async def run():
+            async with MaxBRSTkNNServer(engine, config) as server:
+                results = await server.submit_many(queries)
+                return results, server.stats_snapshot()
+
+        served, stats = asyncio.run(run())
+        assert stats["deadline_hits"] == 1
+        assert stats["worker_deaths"] == 1  # the stalled host left rotation
+        assert stats["flush_retries"] >= 1
+        assert stats["degraded_flushes"] == 0
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)
+
+
+def test_refuse_accept_fault_degrades_every_flush_in_process():
+    engine, hosts, rng, vocab = sharded_with_hosts(
+        2, 2, seed=9,
+        fault_on_host={0: FaultPlan.refuse(), 1: FaultPlan.refuse()},
+    )
+    try:
+        queries = make_queries(rng, vocab, 6, ks=(3, 5))
+        served, stats = serve_over_sockets(engine, hosts, queries)
+        assert stats["degraded_flushes"] >= 1
+        assert stats["worker_deaths"] == 2  # both hosts refused service
+        assert_results_equal(
+            served, reference_results(engine.dataset, queries, engine)
+        )
+    finally:
+        teardown(engine, hosts)

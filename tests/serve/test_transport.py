@@ -1,0 +1,214 @@
+"""Unit tests for the socket transport wire layer.
+
+Frame codec round trips, host-spec parsing, and the client's error
+mapping (refused → PoolUnavailable, EOF → WorkerCrashed, timeout →
+FlushDeadlineExceeded) against throwaway local sockets.  The full
+scatter path over live shard hosts is ``test_multihost.py``.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.errors import (
+    FlushDeadlineExceeded,
+    PoolUnavailable,
+    WorkerCrashed,
+)
+from repro.serve.transport import (
+    FrameCodec,
+    ShardHostClient,
+    ShardRegistry,
+    parse_host_specs,
+)
+
+
+# ----------------------------------------------------------------------
+# FrameCodec
+# ----------------------------------------------------------------------
+
+def test_frame_round_trip():
+    body = FrameCodec.encode_body([("refine", None, [3, 5], "python", 1)])
+    frame = FrameCodec.pack(FrameCodec.SCATTER, 7, 1, 42, body)
+    header, rest = frame[:FrameCodec.HEADER_SIZE], frame[FrameCodec.HEADER_SIZE:]
+    kind, flush_seq, shard_id, epoch, length = FrameCodec.unpack_header(header)
+    assert kind == FrameCodec.SCATTER
+    assert flush_seq == 7
+    assert shard_id == 1
+    assert epoch == 42
+    assert length == len(body)
+    assert rest == body
+    assert FrameCodec.decode_body(rest) == [("refine", None, [3, 5], "python", 1)]
+
+
+def test_frame_header_is_21_bytes_and_supports_negative_shard():
+    assert FrameCodec.HEADER_SIZE == 21
+    frame = FrameCodec.pack(FrameCodec.PING, 0, -1, 0)
+    kind, _, shard_id, _, length = FrameCodec.unpack_header(frame)
+    assert kind == FrameCodec.PING
+    assert shard_id == -1
+    assert length == 0
+
+
+def test_frame_rejects_bad_magic_and_kind():
+    frame = FrameCodec.pack(FrameCodec.RESULT, 1, 0, 0, b"x")
+    with pytest.raises(ValueError, match="magic"):
+        FrameCodec.unpack_header(b"XXXX" + frame[4:FrameCodec.HEADER_SIZE])
+    with pytest.raises(ValueError, match="kind"):
+        FrameCodec.pack(99, 1, 0, 0)
+    bad = struct.pack("<4sBIiII", b"RPF1", 99, 1, 0, 0, 0)
+    with pytest.raises(ValueError, match="kind"):
+        FrameCodec.unpack_header(bad)
+
+
+# ----------------------------------------------------------------------
+# Host specs
+# ----------------------------------------------------------------------
+
+def test_parse_host_specs_variants():
+    assert parse_host_specs("a:1,b:2") == [("a", 1), ("b", 2)]
+    assert parse_host_specs(["a:1", ("b", 2)]) == [("a", 1), ("b", 2)]
+    assert parse_host_specs("127.0.0.1:9000") == [("127.0.0.1", 9000)]
+
+
+def test_parse_host_specs_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_host_specs("")
+    with pytest.raises(ValueError):
+        parse_host_specs("no-port")
+    with pytest.raises(ValueError):
+        parse_host_specs("h:0")
+    with pytest.raises(ValueError):
+        parse_host_specs("h:70000")
+
+
+# ----------------------------------------------------------------------
+# Client error mapping (the failure-ladder contract)
+# ----------------------------------------------------------------------
+
+def _listener():
+    """A bound, listening socket on an ephemeral port."""
+    srv = socket.socket()
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    return srv, srv.getsockname()[1]
+
+
+def test_connect_refused_maps_to_pool_unavailable():
+    srv, port = _listener()
+    srv.close()  # nothing listens on this port anymore
+    client = ShardHostClient("127.0.0.1", port, connect_timeout_s=1.0)
+    with pytest.raises(PoolUnavailable):
+        client.connect()
+    assert not client.alive
+
+
+def test_eof_mid_frame_maps_to_worker_crashed():
+    srv, port = _listener()
+
+    def peer():
+        conn, _ = srv.accept()
+        conn.recv(64)      # swallow whatever arrives
+        conn.close()       # EOF with the round in flight
+
+    thread = threading.Thread(target=peer, daemon=True)
+    thread.start()
+    client = ShardHostClient("127.0.0.1", port)
+    client.connect()
+    client.send_frame(FrameCodec.pack(FrameCodec.PING, 0, -1, 0))
+    with pytest.raises(WorkerCrashed):
+        client.recv_frame(5.0)
+    assert not client.alive
+    thread.join(5)
+    srv.close()
+
+
+def test_read_timeout_maps_to_flush_deadline_exceeded():
+    srv, port = _listener()
+
+    def peer():
+        conn, _ = srv.accept()
+        conn.recv(64)
+        # ... and never answer.
+        threading.Event().wait(2.0)
+        conn.close()
+
+    thread = threading.Thread(target=peer, daemon=True)
+    thread.start()
+    client = ShardHostClient("127.0.0.1", port)
+    client.connect()
+    client.send_frame(FrameCodec.pack(FrameCodec.PING, 0, -1, 0))
+    with pytest.raises(FlushDeadlineExceeded):
+        client.recv_frame(0.2)
+    thread.join(5)
+    srv.close()
+
+
+def test_client_counts_wire_bytes():
+    srv, port = _listener()
+    reply = FrameCodec.pack(FrameCodec.PONG, 0, -1, 0)
+
+    def peer():
+        conn, _ = srv.accept()
+        conn.recv(FrameCodec.HEADER_SIZE)
+        conn.sendall(reply)
+        conn.close()
+
+    thread = threading.Thread(target=peer, daemon=True)
+    thread.start()
+    client = ShardHostClient("127.0.0.1", port)
+    client.connect()
+    ping = FrameCodec.pack(FrameCodec.PING, 0, -1, 0)
+    client.send_frame(ping)
+    kind, *_ = client.recv_frame(5.0)
+    assert kind == FrameCodec.PONG
+    assert client.bytes_sent == len(ping)
+    assert client.bytes_received == len(reply)
+    assert client.rounds == 1
+    thread.join(5)
+    srv.close()
+    client.close()
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_registry_assigns_shards_over_survivors():
+    clients = [ShardHostClient("h", p) for p in (1, 2, 3)]
+    for c in clients:
+        c.alive = True  # pretend-connected; no I/O in this test
+    registry = ShardRegistry(clients)
+    assert registry.host_for(0) is clients[0]
+    assert registry.host_for(4) is clients[1]
+    registry.mark_dead(clients[0], RuntimeError("boom"))
+    assert registry.host_for(0) is clients[1]
+    assert registry.counters["worker_deaths"] == 1
+    # A second death report for the same host is not double-counted.
+    registry.mark_dead(clients[0], RuntimeError("boom again"))
+    assert registry.counters["worker_deaths"] == 1
+    registry.mark_dead(clients[1], RuntimeError("boom"))
+    registry.mark_dead(clients[2], RuntimeError("boom"))
+    with pytest.raises(PoolUnavailable):
+        registry.host_for(0)
+
+
+def test_registry_connect_all_requires_a_live_host():
+    srv, port = _listener()
+    srv.close()
+    registry = ShardRegistry.from_specs(
+        f"127.0.0.1:{port}", connect_timeout_s=0.5
+    )
+    with pytest.raises(PoolUnavailable):
+        registry.connect_all()
+
+
+def test_registry_health_rows_shape():
+    clients = [ShardHostClient("h", 1)]
+    registry = ShardRegistry(clients)
+    (row,) = registry.health_rows()
+    assert row["pool"] == "host-h:1"
+    assert row["state"] == "dead"
+    assert set(row) >= {"rounds", "bytes_sent", "bytes_received"}

@@ -17,6 +17,7 @@ Three contracts under test, each an acceptance item of the tier:
 
 import pickle
 import random
+import struct
 
 import pytest
 
@@ -27,10 +28,13 @@ from repro.core.payload import (
     PackedMergedInput,
     PayloadCodec,
     _clear_ref_cache,
+    decode_gather_payload,
     decode_rsk,
     decode_shard_payload,
+    encode_gather_payload,
     encode_rsk,
     encode_shard_payload,
+    payload_nbytes,
     resolve_ref,
 )
 from repro.storage.shm import HAS_NUMPY, ShmArena, ShmArenaError, arena_segments
@@ -506,3 +510,176 @@ def test_killed_worker_leaks_no_segments_and_results_survive():
     # and close_pools destroyed the arena: /dev/shm is clean.
     assert not any(seg.startswith(arena_name) for seg in arena_segments())
     assert not arena_segments()
+
+
+# ----------------------------------------------------------------------
+# Gather funnels: exact inverses, identity on plain chunks
+# ----------------------------------------------------------------------
+
+def _random_partials(rng):
+    return [
+        PartialResult(
+            shard_id=s, k=k, rsk=random_rsk(rng),
+            users_total=rng.randrange(1, 1000), time_s=rng.uniform(0.0, 2.0),
+        )
+        for s, k in ((0, 3), (1, 5), (2, 7))
+    ]
+
+
+def _random_shortlists(rng):
+    out = []
+    for shard_id in range(3):
+        kept_n = rng.randrange(0, 6)
+        kept = [
+            (rng.randrange(0, 50), rng.uniform(-1e6, 1e6), rng.uniform(-1e6, 1e6))
+            for _ in range(kept_n)
+        ]
+        users = [
+            rng.sample(range(10_000), rng.randrange(0, 8)) for _ in range(kept_n)
+        ]
+        out.append(ShortlistPartial(
+            shard_id=shard_id, kept=kept, users=users,
+            locations_pruned=rng.randrange(0, 20), time_s=rng.uniform(0.0, 1.0),
+        ))
+    return out
+
+
+def test_gather_partials_round_trip_is_exact():
+    rng = random.Random(11)
+    chunk = _random_partials(rng)
+    wire = encode_gather_payload(chunk)
+    assert isinstance(wire, bytes)
+    # The whole chunk is one binary block — strictly smaller than the
+    # pickled chunk (the 68 KiB gather gap this funnel exists to close).
+    assert len(wire) < payload_nbytes(chunk)
+    back = decode_gather_payload(wire)
+    assert len(back) == len(chunk)
+    for orig, got in zip(chunk, back):
+        assert (got.shard_id, got.k, got.users_total) == (
+            orig.shard_id, orig.k, orig.users_total
+        )
+        assert struct.pack("<d", got.time_s) == struct.pack("<d", orig.time_s)
+        assert list(got.rsk.items()) == list(orig.rsk.items())  # order too
+        assert encode_rsk(got.rsk) == encode_rsk(orig.rsk)      # bitwise
+
+
+def test_gather_shortlists_round_trip_is_exact():
+    rng = random.Random(12)
+    chunk = _random_shortlists(rng)
+    wire = encode_gather_payload(chunk)
+    assert isinstance(wire, bytes)
+    back = decode_gather_payload(wire)
+    assert len(back) == len(chunk)
+    for orig, got in zip(chunk, back):
+        assert got.shard_id == orig.shard_id
+        assert got.locations_pruned == orig.locations_pruned
+        assert struct.pack("<d", got.time_s) == struct.pack("<d", orig.time_s)
+        assert got.kept == orig.kept
+        assert [
+            struct.pack("<dd", ub, lb) for _, ub, lb in got.kept
+        ] == [struct.pack("<dd", ub, lb) for _, ub, lb in orig.kept]
+        assert got.users == orig.users
+
+
+def test_gather_funnel_is_identity_on_plain_chunks():
+    rng = random.Random(13)
+    plain = [
+        [],                                   # empty chunk
+        ["result-a", "result-b"],             # search-result-ish chunk
+        [(object(), None)],                   # indexed (result, charge)-ish
+        ("refine", None, [3], "python", 0),   # a payload tuple, not a chunk
+        None,
+    ]
+    for chunk in plain:
+        assert encode_gather_payload(chunk) is chunk
+        assert decode_gather_payload(chunk) is chunk
+    mixed = _random_partials(rng) + _random_shortlists(rng)
+    assert encode_gather_payload(mixed) is mixed  # heterogeneous: untouched
+    assert decode_gather_payload(b"NOPE" + b"\x00" * 16) == b"NOPE" + b"\x00" * 16
+
+
+def test_gather_funnel_falls_back_on_unpackable_contents():
+    rng = random.Random(14)
+    chunk = _random_partials(rng)
+    chunk[1].rsk = {2**70: 1.0}  # key overflows int64: stay on pickle
+    assert encode_gather_payload(chunk) is chunk
+    bad = _random_shortlists(rng)
+    bad[0].kept = [("not-an-int", 0.0, 0.0)]
+    assert encode_gather_payload(bad) is bad
+
+
+# ----------------------------------------------------------------------
+# Foreign-process (untracked) attach: no resource_tracker noise
+# ----------------------------------------------------------------------
+
+def test_untracked_attach_leaves_no_tracker_registration(monkeypatch):
+    from multiprocessing import resource_tracker
+
+    from repro.storage import shm as shm_mod
+
+    events = []
+    real_register = resource_tracker.register
+    real_unregister = resource_tracker.unregister
+
+    def register(name, rtype):
+        events.append(("register", name, rtype))
+        real_register(name, rtype)
+
+    def unregister(name, rtype):
+        events.append(("unregister", name, rtype))
+        real_unregister(name, rtype)
+
+    with ShmArena() as arena:
+        arena.add_bytes("blob", b"x" * 64)
+        monkeypatch.setattr(resource_tracker, "register", register)
+        monkeypatch.setattr(resource_tracker, "unregister", unregister)
+        # monkeypatch restores the module flag even if the test dies.
+        monkeypatch.setattr(shm_mod, "_UNTRACKED_ATTACH", False)
+        shm_mod.set_untracked_attach(True)
+        assert shm_mod.untracked_attach_enabled()
+        attached = ShmArena.attach(arena.name)
+        try:
+            assert attached.get_bytes("blob") == b"x" * 64
+        finally:
+            attached.close()
+        assert ShmArena.read_column_bytes(arena.name, "blob") == b"x" * 64
+        # Attach-side net registrations must be zero: natively (3.13+
+        # track=False registers nothing) or by immediate compensation
+        # (< 3.13) — either way this process's tracker holds no entry
+        # that could unlink the owner's segments at exit.
+        net = {}
+        for kind, name, rtype in events:
+            if rtype != "shared_memory":
+                continue
+            net[name] = net.get(name, 0) + (1 if kind == "register" else -1)
+        assert all(count == 0 for count in net.values()), events
+        shm_mod.set_untracked_attach(False)
+    # Owner teardown (create-side registrations) is unaffected.
+    assert arena.name not in arena_segments()
+    assert not any(s.startswith(arena.name) for s in arena_segments())
+
+
+def test_tracked_attach_is_the_default(monkeypatch):
+    from repro.storage import shm as shm_mod
+
+    assert shm_mod.untracked_attach_enabled() is False
+    calls = []
+    real_open = shm_mod.ShmArena._open
+
+    with ShmArena() as arena:
+        arena.add_bytes("blob", b"y" * 8)
+
+        def spying_open(name, create, size=0):
+            calls.append((name, create))
+            return real_open(name, create, size)
+
+        monkeypatch.setattr(
+            shm_mod.ShmArena, "_open", staticmethod(spying_open)
+        )
+        attached = ShmArena.attach(arena.name)
+        try:
+            assert attached.get_bytes("blob") == b"y" * 8
+        finally:
+            attached.close()
+        assert any(not create for _, create in calls)
+    assert not any(s.startswith(arena.name) for s in arena_segments())
